@@ -1,0 +1,51 @@
+"""EXP-EXT1 -- style scaling: N-bit ripple adders in QDI and micropipeline.
+
+Extension experiment: how LE count, PLB count and filling ratio scale with the
+operand width in each style.  The shape to observe: QDI costs ~5x the LEs of
+bundled data (the price of delay insensitivity) but keeps a higher filling
+ratio; both grow linearly.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.cad.metrics import filling_ratio
+from repro.cad.pack import pack_design, packing_summary
+from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
+
+BIT_WIDTHS = (1, 2, 4, 8)
+
+
+def _sweep():
+    rows = []
+    for bits in BIT_WIDTHS:
+        for factory, style in ((qdi_ripple_adder, "qdi"), (micropipeline_ripple_adder, "micropipeline")):
+            bench_circuit = factory(bits)
+            pack_design(bench_circuit.mapped)
+            report = filling_ratio(bench_circuit.mapped)
+            summary = packing_summary(bench_circuit.mapped)
+            rows.append(
+                {
+                    "bits": bits,
+                    "style": style,
+                    "les": len(bench_circuit.mapped.les),
+                    "plbs": summary["plbs"],
+                    "pdes": len(bench_circuit.mapped.pdes),
+                    "filling_ratio": round(report.per_le, 4),
+                }
+            )
+    return rows
+
+
+def test_adder_width_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    by_key = {(row["bits"], row["style"]): row for row in rows}
+    for bits in BIT_WIDTHS:
+        qdi = by_key[(bits, "qdi")]
+        mp = by_key[(bits, "micropipeline")]
+        assert qdi["les"] > mp["les"]
+        assert qdi["filling_ratio"] > mp["filling_ratio"]
+    # Linear growth in the QDI LE count.
+    assert by_key[(8, "qdi")]["les"] == pytest.approx(8 * by_key[(1, "qdi")]["les"], rel=0.3)

@@ -1,0 +1,75 @@
+"""EXP-EXT4 -- CAD flow cost and quality scaling.
+
+Extension experiment: runtime-quality behaviour of the packer, placer and
+router as the design grows (QDI ripple adders of increasing width on a fabric
+sized to fit).  The shape: wirelength grows with design size, the router
+converges, and the flow stays comfortably interactive for paper-scale inputs.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.lemap import MappedDesign
+from repro.cad.pack import pack_design
+from repro.cad.place import place_design
+from repro.cad.route import route_design
+from repro.circuits.adders import qdi_ripple_adder
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.core.rrgraph import RoutingResourceGraph
+
+WIDTHS = (1, 2, 4)
+
+
+def _flow_for(bits: int) -> dict[str, object]:
+    adder = qdi_ripple_adder(bits)
+    design: MappedDesign = adder.mapped
+    pack_design(design)
+    side = max(4, int(len(design.plbs) ** 0.5) + 2)
+    params = ArchitectureParams(
+        width=side, height=side, routing=RoutingParams(channel_width=10, io_pads_per_side=6)
+    )
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=1)
+    routing = route_design(design, placement, graph)
+    return {
+        "bits": bits,
+        "les": len(design.les),
+        "plbs": len(design.plbs),
+        "grid": f"{side}x{side}",
+        "hpwl": round(placement.cost, 1),
+        "routed_nets": len(routing.routed),
+        "wirelength": routing.total_wirelength,
+        "router_iterations": routing.iterations,
+        "routed": routing.success,
+    }
+
+
+def test_cad_flow_scaling(benchmark):
+    rows = benchmark.pedantic(lambda: [_flow_for(bits) for bits in WIDTHS], rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    assert all(row["routed"] for row in rows)
+    wirelengths = [row["wirelength"] for row in rows]
+    assert wirelengths == sorted(wirelengths)
+
+
+def test_placement_benchmark_small(benchmark):
+    """Micro-benchmark of the annealer itself on the 4-bit adder."""
+    adder = qdi_ripple_adder(2)
+    pack_design(adder.mapped)
+    fabric = Fabric(ArchitectureParams(width=6, height=6))
+    placement = benchmark.pedantic(
+        place_design, args=(adder.mapped, fabric), kwargs={"seed": 3}, rounds=1, iterations=1
+    )
+    assert len(placement.plb_sites) == len(adder.mapped.plbs)
+
+
+def test_full_flow_benchmark(benchmark):
+    """End-to-end flow latency for the paper's QDI full adder."""
+    flow = CadFlow(ArchitectureParams(width=5, height=5), FlowOptions())
+
+    from repro.circuits.fulladder import qdi_full_adder
+
+    result = benchmark.pedantic(flow.run, args=(qdi_full_adder(),), rounds=1, iterations=1)
+    assert result.routing is not None and result.routing.success

@@ -1,0 +1,71 @@
+"""EXP-EXT2 -- fabric exploration: channel width and grid size.
+
+Extension experiment: configuration-bit cost and routability of the QDI full
+adder as the routing channel width varies, plus the config-bit scaling of the
+fabric with grid size (the "architecture genericity" the paper advertises).
+"""
+
+from repro.analysis.tables import format_table
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.route import RoutingError
+from repro.circuits.fulladder import qdi_full_adder
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.core.stats import fabric_statistics
+
+CHANNEL_WIDTHS = (4, 8, 12)
+GRIDS = ((4, 4), (6, 6), (8, 8))
+
+
+def _channel_width_sweep():
+    rows = []
+    for width in CHANNEL_WIDTHS:
+        params = ArchitectureParams(width=5, height=5, routing=RoutingParams(channel_width=width))
+        flow = CadFlow(params, FlowOptions(generate_bitstream=False))
+        try:
+            result = flow.run(qdi_full_adder())
+            success = bool(result.routing and result.routing.success)
+            wirelength = result.routing.total_wirelength if result.routing else 0
+        except RoutingError:
+            success, wirelength = False, 0
+        stats = fabric_statistics(params)
+        rows.append(
+            {
+                "channel_width": width,
+                "routed": success,
+                "wirelength": wirelength,
+                "config_bits_total": stats["config_bits_total"],
+                "config_bits_routing": stats["config_bits_cbox"] + stats["config_bits_sbox"],
+            }
+        )
+    return rows
+
+
+def test_channel_width_sweep(benchmark):
+    rows = benchmark.pedantic(_channel_width_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    assert any(row["routed"] for row in rows)
+    bits = [row["config_bits_routing"] for row in rows]
+    assert bits == sorted(bits)  # wider channels cost more configuration
+
+
+def test_grid_size_scaling(benchmark):
+    def sweep():
+        return [fabric_statistics(ArchitectureParams(width=w, height=h)) for w, h in GRIDS]
+
+    stats = benchmark(sweep)
+    rows = [
+        {
+            "grid": s["grid"],
+            "plbs": s["plb_count"],
+            "les": s["le_count"],
+            "config_bits": s["config_bits_total"],
+        }
+        for s in stats
+    ]
+    print()
+    print(format_table(rows))
+    totals = [row["config_bits"] for row in rows]
+    assert totals == sorted(totals)
+    # Logic configuration dominates and scales with the PLB count.
+    assert stats[-1]["config_bits_plb"] == stats[-1]["plb_count"] * ArchitectureParams().plb.config_bits

@@ -1,0 +1,49 @@
+"""EXP-F1 -- Figure 1: the Programmable Logic Block.
+
+Regenerates the content of Figure 1: the PLB's structure (two LEs, the
+interconnection matrix, the programmable delay element) and its
+configuration-bit budget, and benchmarks the behavioural PLB evaluation
+(a memory element looped through the IM).
+"""
+
+from repro.analysis.figures import render_figure1_plb
+from repro.core.im import IMConfig
+from repro.core.le import LEConfig
+from repro.core.params import ArchitectureParams
+from repro.core.plb import PLB, PLBConfig
+from repro.core.stats import plb_statistics
+from repro.logic.functions import c_element_table
+
+
+def test_fig1_plb_structure_and_bits(benchmark):
+    params = ArchitectureParams()
+    stats = benchmark(plb_statistics, params)
+    print()
+    print(render_figure1_plb(params))
+    print({key: stats[key] for key in ("les_per_plb", "im_sources", "im_destinations",
+                                       "im_config_bits", "le_config_bits", "pde_config_bits",
+                                       "plb_config_bits")})
+    assert stats["les_per_plb"] == 2
+    assert stats["plb_config_bits"] == params.plb.config_bits
+
+
+def test_fig1_plb_memory_element_evaluation(benchmark):
+    """Evaluate a Muller C-element realised by looping an LE output via the IM."""
+    plb = PLB()
+    plb.configure(
+        PLBConfig(
+            le_configs=[LEConfig(lut_tables=[c_element_table(("i0", "i1"), state="i2"), None, None])],
+            im_config=IMConfig(routes={"le0_i0": "in0", "le0_i1": "in1", "le0_i2": "le0_o0", "out0": "le0_o0"}),
+        )
+    )
+
+    def run_handshake_cycle():
+        state: dict = {}
+        sequence = [(1, 1), (0, 1), (0, 0), (1, 0), (1, 1), (0, 0)]
+        outputs = None
+        for in0, in1 in sequence:
+            outputs, state = plb.evaluate({"in0": in0, "in1": in1}, state)
+        return outputs["out0"]
+
+    result = benchmark(run_handshake_cycle)
+    assert result == 0

@@ -1,0 +1,53 @@
+"""EXP-F2 -- Figure 2: the Logic Element (LUT7-3 + LUT2-1).
+
+Regenerates the LE's structure and configuration cost and benchmarks LE
+evaluation with a dual-rail function plus its validity output -- the usage
+pattern the paper designed the LE for.
+"""
+
+from repro.analysis.figures import render_figure2_le
+from repro.core.le import LEConfig, LogicElement
+from repro.core.params import ArchitectureParams
+from repro.core.stats import le_statistics
+from repro.logic.functions import or_table
+from repro.logic.truthtable import TruthTable
+
+
+def test_fig2_le_structure_and_bits(benchmark):
+    params = ArchitectureParams()
+    stats = benchmark(le_statistics, params)
+    print()
+    print(render_figure2_le(params))
+    print(stats)
+    assert stats["lut_inputs"] == 7 and stats["lut_outputs"] == 3
+    assert stats["validity_lut_inputs"] == 2
+
+
+def test_fig2_le_dual_rail_evaluation(benchmark):
+    """One LE computing a dual-rail sum rail + validity, evaluated repeatedly."""
+    le = LogicElement()
+    sum_t = TruthTable.from_function(
+        tuple(f"i{k}" for k in range(7)),
+        lambda i0, i1, i2, i3, i4, i5, i6: (i1 ^ i3 ^ i5) if (i0 | i1) and (i2 | i3) and (i4 | i5) else i6,
+    )
+    le.configure(
+        LEConfig(
+            lut_tables=[sum_t, None, None],
+            validity_table=or_table(inputs=("v0", "v1")),
+        )
+    )
+
+    vectors = []
+    for value in range(64):
+        vector = {f"i{k}": (value >> k) & 1 for k in range(6)}
+        vector["i6"] = 0
+        vectors.append(vector)
+
+    def evaluate_all():
+        total = 0
+        for vector in vectors:
+            total += le.evaluate(vector)["o0"]
+        return total
+
+    result = benchmark(evaluate_all)
+    assert 0 <= result <= len(vectors)

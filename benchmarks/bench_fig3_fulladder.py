@@ -1,0 +1,46 @@
+"""EXP-F3a / EXP-F3b -- Figure 3: the full adder in both styles.
+
+Runs the complete CAD flow (map -> pack -> place -> route -> bitstream) on the
+micropipeline (Figure 3a) and QDI (Figure 3b) full adders and prints the
+per-LE mapping (the dashed boxes of the figure), then benchmarks the flow.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.cad.flow import CadFlow
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
+from repro.core.params import ArchitectureParams
+
+
+def _run_flow(circuit_factory):
+    flow = CadFlow(ArchitectureParams(width=5, height=5))
+    return flow.run(circuit_factory())
+
+
+@pytest.mark.parametrize(
+    "factory, expected_plbs, uses_pde",
+    [
+        pytest.param(micropipeline_full_adder, 1, True, id="fig3a-micropipeline"),
+        pytest.param(qdi_full_adder, 3, False, id="fig3b-qdi"),
+    ],
+)
+def test_fig3_full_adder_flow(benchmark, factory, expected_plbs, uses_pde):
+    result = benchmark.pedantic(_run_flow, args=(factory,), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    rows = [
+        {
+            "le": le.name,
+            "lut_functions": len(le.functions),
+            "lut_inputs": len(le.lut_input_nets),
+            "validity": le.validity is not None,
+            "feedback_nets": ", ".join(le.feedback_nets),
+        }
+        for le in result.mapped.les
+    ]
+    print(format_table(rows))
+    assert len(result.mapped.plbs) == expected_plbs
+    assert (len(result.mapped.pdes) == 1) == uses_pde
+    assert result.routing is not None and result.routing.success
+    assert result.bitstream is not None and result.bitstream.used_bits() > 0

@@ -1,0 +1,24 @@
+"""EXP-FR -- Section 5 headline: filling ratios of the two full adders.
+
+Paper: "an overall filling ratio of 51% for the micropipeline circuits and
+76% for the QDI circuits".  This bench regenerates the comparison table
+(measured vs paper) and asserts the shape: QDI fills the logic elements
+substantially better than micropipeline.
+"""
+
+from repro import api
+from repro.analysis.tables import format_table
+
+
+def test_filling_ratio_headline(benchmark):
+    rows = benchmark.pedantic(api.reproduce_filling_ratios, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    by_style = {row["style"]: row for row in rows}
+    qdi = by_style["qdi-dual-rail"]["measured_filling_ratio"]
+    mp = by_style["micropipeline"]["measured_filling_ratio"]
+    assert qdi > mp, "QDI must fill the LEs better than micropipeline (paper: 76% vs 51%)"
+    assert qdi / mp > 1.15
+    # Absolute values stay in the neighbourhood of the paper's numbers.
+    assert 0.55 <= qdi <= 0.90
+    assert 0.40 <= mp <= 0.65

@@ -1,0 +1,57 @@
+"""EXP-EXT3 -- pipeline throughput on the simulated fabric.
+
+Extension experiment: stream tokens through WCHB FIFOs of increasing depth
+(gate-level simulation with the architecture's delay model) and measure token
+throughput and latency.  The shape: latency grows linearly with depth while
+the streaming throughput stays roughly constant (half-buffer pipelines hold
+one token per two stages).
+"""
+
+from repro.analysis.tables import format_table
+from repro.asynclogic.tokens import throughput
+from repro.circuits.fifo import wchb_fifo
+from repro.sim import (
+    FourPhaseDualRailConsumer,
+    FourPhaseDualRailProducer,
+    GateLevelSimulator,
+    HandshakeHarness,
+)
+
+DEPTHS = (2, 4, 8)
+TOKENS = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1]
+
+
+def _measure(depth: int) -> dict[str, object]:
+    fifo = wchb_fifo(depth)
+    simulator = GateLevelSimulator(fifo.netlist)
+    producer = FourPhaseDualRailProducer(fifo.channel("in"), TOKENS, "in_ack")
+    consumer = FourPhaseDualRailConsumer(fifo.channel("out"), "out_ack")
+    end_time = HandshakeHarness(simulator, [producer, consumer]).run()
+    tokens = producer.tokens
+    return {
+        "depth": depth,
+        "tokens": len(consumer.received),
+        "correct": consumer.received == TOKENS,
+        "sim_time_ps": end_time,
+        "throughput_tokens_per_ns": round((throughput(tokens) or 0.0) * 1000, 4),
+        "avg_cycle_ps": round(end_time / len(TOKENS), 1),
+    }
+
+
+def _sweep():
+    return [_measure(depth) for depth in DEPTHS]
+
+
+def test_wchb_fifo_throughput(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    assert all(row["correct"] for row in rows)
+    assert all(row["tokens"] == len(TOKENS) for row in rows)
+    # Total simulated time (and hence average cycle) grows with depth, while
+    # throughput stays within a small factor (the environment is lock-step,
+    # so deeper FIFOs pay proportionally more forward latency per token).
+    times = [row["sim_time_ps"] for row in rows]
+    assert times == sorted(times)
+    rates = [row["throughput_tokens_per_ns"] for row in rows]
+    assert max(rates) <= 4.0 * min(rates)

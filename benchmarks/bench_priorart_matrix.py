@@ -1,0 +1,26 @@
+"""EXP-PRIOR -- the Section 1 comparison with prior asynchronous FPGAs.
+
+The paper has no explicit table, but Section 1 enumerates MONTAGE, PGA-STC,
+GALSA, STACC and PAPA and argues each is tied to one design style.  This
+bench regenerates the style-support matrix and checks that only the paper's
+architecture covers every supported style.
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.compare import prior_art_table
+from repro.baselines.priorart import style_support_matrix, styles_supported_count
+
+
+def test_prior_art_style_matrix(benchmark):
+    rows = benchmark(prior_art_table)
+    print()
+    print(format_table(rows, columns=["architecture", "year", "base_fabric",
+                                      "qdi-dual-rail", "qdi-1-of-4", "micropipeline",
+                                      "wchb", "styles_supported"]))
+    counts = styles_supported_count()
+    ours = "Multi-style (this paper)"
+    assert counts[ours] == 4
+    assert all(count < counts[ours] for name, count in counts.items() if name != ours)
+    matrix = style_support_matrix()
+    assert not matrix["PAPA"]["micropipeline"]
+    assert not matrix["GALSA"]["qdi-dual-rail"]

@@ -1,0 +1,37 @@
+"""EXP-SYNC -- asynchronous logic on a synchronous LUT4 FPGA (ref. [3]).
+
+The paper motivates a dedicated fabric by noting that commercial synchronous
+FPGAs leave most of their resources unexploited when hosting asynchronous
+logic.  This bench maps the full adders (and a ripple adder) onto both
+fabrics and regenerates the comparison table.
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.compare import compare_with_sync_baseline
+from repro.circuits.fifo import wchb_fifo
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
+
+
+def _compare():
+    circuits = [
+        qdi_full_adder(),
+        qdi_full_adder(encoding="1-of-4", name="qdi_full_adder_1of4"),
+        micropipeline_full_adder(),
+        wchb_fifo(4),
+    ]
+    return compare_with_sync_baseline(circuits)
+
+
+def test_sync_fpga_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print()
+    print(format_table(rows))
+    for row in rows:
+        # The synchronous baseline never does better than the dedicated fabric
+        # and wastes every flip-flop of the CLBs it occupies.
+        assert row["sync_luts"] >= row["async_les"]
+        assert row["sync_wasted_flip_flops"] > 0
+    # For the paper's function blocks the gap is large (several LUT4s per LE).
+    for row in rows:
+        if "full_adder" in row["circuit"]:
+            assert row["lut_per_le_ratio"] >= 2

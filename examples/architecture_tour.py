@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A tour of the architecture model: Figures 1 and 2, fabric statistics,
+configuration-bit budget and the routing-resource graph.
+
+Run with::
+
+    python examples/architecture_tour.py
+"""
+
+from repro.analysis.area import fabric_area_report, plb_area_estimate
+from repro.analysis.figures import render_figure1_plb, render_figure2_le
+from repro.analysis.tables import format_table
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.core.rrgraph import RoutingResourceGraph
+from repro.core.stats import fabric_statistics
+
+
+def main() -> None:
+    params = ArchitectureParams()
+
+    print(render_figure2_le(params))
+    print()
+    print(render_figure1_plb(params))
+    print()
+
+    print("=== Fabric statistics (default 6x6 instance) ===")
+    stats = fabric_statistics(params)
+    for key in ("grid", "plb_count", "le_count", "io_pad_count", "channel_width",
+                "routing_wires", "config_bits_total", "config_bits_plb",
+                "config_bits_cbox", "config_bits_sbox"):
+        print(f"  {key:>22}: {stats[key]}")
+    print()
+
+    print("=== Area model ===")
+    print(f"  per PLB : {plb_area_estimate(params.plb)}")
+    print(f"  fabric  : {fabric_area_report(params)}")
+    print()
+
+    print("=== Routing-resource graph ===")
+    graph = RoutingResourceGraph(Fabric(params))
+    print(f"  {graph.summary()}")
+    print()
+
+    print("=== Architecture genericity: scaling the fabric ===")
+    rows = []
+    for width, height, channels in ((4, 4, 6), (6, 6, 8), (8, 8, 10), (12, 12, 12)):
+        scaled = ArchitectureParams(width=width, height=height,
+                                    routing=RoutingParams(channel_width=channels))
+        s = fabric_statistics(scaled)
+        rows.append({"grid": s["grid"], "channel_width": channels,
+                     "PLBs": s["plb_count"], "LEs": s["le_count"],
+                     "config_bits": s["config_bits_total"]})
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Pipeline experiment: stream tokens through WCHB FIFOs of increasing depth.
+
+Demonstrates the QDI pipeline style (weak-conditioned half buffers) on the
+gate-level simulator: tokens flow in order, latency grows with depth, and the
+handshake protocol is verified by the channel checkers.
+
+Run with::
+
+    python examples/pipeline_throughput.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.asynclogic.tokens import average_latency, throughput
+from repro.circuits.fifo import wchb_fifo
+from repro.sim import (
+    FourPhaseDualRailConsumer,
+    FourPhaseDualRailProducer,
+    GateLevelSimulator,
+    HandshakeHarness,
+)
+
+TOKENS = [1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0]
+
+
+def measure(depth: int) -> dict:
+    fifo = wchb_fifo(depth)
+    simulator = GateLevelSimulator(fifo.netlist)
+    producer = FourPhaseDualRailProducer(fifo.channel("in"), TOKENS, "in_ack")
+    consumer = FourPhaseDualRailConsumer(fifo.channel("out"), "out_ack")
+    end_time = HandshakeHarness(simulator, [producer, consumer]).run()
+    assert consumer.received == TOKENS, "FIFO must deliver tokens in order"
+    return {
+        "depth": depth,
+        "tokens": len(consumer.received),
+        "sim_time_ps": end_time,
+        "avg_token_latency_ps": round(average_latency(producer.tokens) or 0, 1),
+        "throughput_tokens_per_ns": round((throughput(producer.tokens) or 0) * 1000, 3),
+    }
+
+
+def main() -> None:
+    rows = [measure(depth) for depth in (2, 3, 4, 6, 8)]
+    print(format_table(rows))
+    print()
+    print("All FIFOs delivered every token in order under the 4-phase dual-rail protocol.")
+
+
+if __name__ == "__main__":
+    main()

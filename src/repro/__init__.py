@@ -1,0 +1,37 @@
+"""repro -- reproduction of "FPGA Architecture for Multi-Style Asynchronous Logic".
+
+This package implements, in pure Python, a behavioural model of the multi-style
+asynchronous FPGA proposed by Huot, Dubreuil, Fesquet and Renaudin (DATE 2005),
+together with everything needed to exercise it:
+
+* :mod:`repro.logic` -- Boolean functions and truth tables (LUT contents).
+* :mod:`repro.netlist` -- gate-level netlists and a gate library including
+  Muller C-elements and latches.
+* :mod:`repro.asynclogic` -- handshake protocols, delay-insensitive data
+  encodings, completion detection and channel abstractions.
+* :mod:`repro.styles` -- circuit generators for the supported logic styles
+  (QDI dual-rail / 1-of-N, micropipeline bundled data, WCHB pipelines).
+* :mod:`repro.core` -- the paper's contribution: the PLB (interconnection
+  matrix + two LUT7-3/LUT2-1 logic elements + programmable delay element), the
+  island-style fabric, the routing-resource graph and the bitstream format.
+* :mod:`repro.cad` -- technology mapping, packing, placement, routing, timing
+  and utilisation metrics (filling ratio).
+* :mod:`repro.sim` -- event-driven simulation of gate netlists and of the
+  configured fabric, with handshake test benches and protocol checkers.
+* :mod:`repro.circuits` -- benchmark circuits (the paper's full adder and
+  larger workloads) in every style.
+* :mod:`repro.baselines` -- a synchronous LUT4 FPGA baseline and abstract
+  models of prior asynchronous FPGAs (MONTAGE, PGA-STC, GALSA, STACC, PAPA).
+* :mod:`repro.analysis` -- area models, ASCII architecture figures and result
+  tables.
+
+Quickstart::
+
+    from repro import api
+    result = api.map_full_adder(style="qdi")
+    print(result.report())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""Analysis and reporting helpers.
+
+* :mod:`~repro.analysis.area` -- configuration-bit and transistor-estimate
+  area models for PLBs, fabrics and mapped designs.
+* :mod:`~repro.analysis.figures` -- ASCII renderings of Figure 1 (the PLB) and
+  Figure 2 (the LE), plus a fabric floorplan view of placed designs.
+* :mod:`~repro.analysis.tables` -- small helpers to format result rows as
+  aligned text tables (used by the examples and the benchmark harness).
+"""
+
+from repro.analysis.area import design_area_report, fabric_area_report, plb_area_estimate
+from repro.analysis.figures import render_fabric_floorplan, render_figure1_plb, render_figure2_le
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "plb_area_estimate",
+    "fabric_area_report",
+    "design_area_report",
+    "render_figure1_plb",
+    "render_figure2_le",
+    "render_fabric_floorplan",
+    "format_table",
+]

@@ -1,0 +1,93 @@
+"""Area models.
+
+Two granularities:
+
+* **configuration bits** -- the exact number of SRAM cells a block or fabric
+  needs (derived from the architecture model), which is the primary area
+  proxy used throughout the experiments;
+* **transistor estimate** -- a coarse conversion (6T per config bit, plus
+  per-block logic overheads) so results can also be quoted in "equivalent
+  transistors", the unit older FPGA papers tend to use.
+"""
+
+from __future__ import annotations
+
+from repro.cad.lemap import MappedDesign
+from repro.core.bitstream import BitstreamBudget
+from repro.core.params import ArchitectureParams, PLBParams
+
+#: SRAM configuration cell cost.
+TRANSISTORS_PER_CONFIG_BIT = 6
+#: Logic overhead of one LE beyond its configuration storage (muxes, buffers).
+TRANSISTORS_PER_LE_LOGIC = 420
+#: Crossbar switch cost per IM crosspoint.
+TRANSISTORS_PER_IM_CROSSPOINT = 2
+#: Per-tap cost of the programmable delay element.
+TRANSISTORS_PER_PDE_TAP = 12
+#: Routing switch cost (per switch-box programmable point).
+TRANSISTORS_PER_ROUTING_BIT = 8
+
+
+def plb_area_estimate(params: PLBParams | None = None) -> dict[str, int]:
+    """Configuration-bit and transistor estimate of one PLB."""
+    params = params if params is not None else PLBParams()
+    le_bits = params.les_per_plb * params.le.config_bits
+    im_bits = params.im_config_bits
+    pde_bits = params.pde_config_bits
+    config_bits = le_bits + im_bits + pde_bits
+
+    transistors = (
+        config_bits * TRANSISTORS_PER_CONFIG_BIT
+        + params.les_per_plb * TRANSISTORS_PER_LE_LOGIC
+        + params.im_sources * params.im_destinations * TRANSISTORS_PER_IM_CROSSPOINT
+        + params.pde_taps * TRANSISTORS_PER_PDE_TAP
+    )
+    return {
+        "le_config_bits": le_bits,
+        "im_config_bits": im_bits,
+        "pde_config_bits": pde_bits,
+        "plb_config_bits": config_bits,
+        "plb_transistor_estimate": transistors,
+    }
+
+
+def fabric_area_report(params: ArchitectureParams | None = None) -> dict[str, int]:
+    """Whole-fabric area: logic and routing configuration plus estimates."""
+    params = params if params is not None else ArchitectureParams()
+    budget = BitstreamBudget.for_architecture(params)
+    by_kind = budget.bits_by_kind()
+    plb = plb_area_estimate(params.plb)
+    routing_bits = by_kind.get("cbox", 0) + by_kind.get("sbox", 0) + by_kind.get("io", 0)
+    transistors = (
+        params.plb_count * plb["plb_transistor_estimate"]
+        + routing_bits * TRANSISTORS_PER_ROUTING_BIT
+    )
+    return {
+        "plb_count": params.plb_count,
+        "config_bits_total": budget.total_bits,
+        "config_bits_logic": by_kind.get("plb", 0),
+        "config_bits_routing": routing_bits,
+        "transistor_estimate": transistors,
+        "config_bits_per_plb": plb["plb_config_bits"],
+    }
+
+
+def design_area_report(design: MappedDesign) -> dict[str, object]:
+    """Area actually consumed by a mapped design (occupied resources only)."""
+    params = design.params
+    le_bits_each = params.le.config_bits
+    plb_area = plb_area_estimate(params)
+    occupied_plbs = len(design.plbs) if design.plbs else None
+    report: dict[str, object] = {
+        "design": design.name,
+        "les_used": len(design.les),
+        "pdes_used": len(design.pdes),
+        "le_config_bits_used": len(design.les) * le_bits_each,
+    }
+    if occupied_plbs is not None:
+        report["plbs_used"] = occupied_plbs
+        report["config_bits_occupied_plbs"] = occupied_plbs * plb_area["plb_config_bits"]
+        report["transistor_estimate_occupied"] = (
+            occupied_plbs * plb_area["plb_transistor_estimate"]
+        )
+    return report

@@ -1,0 +1,106 @@
+"""ASCII renderings of the paper's architecture figures.
+
+:func:`render_figure1_plb` and :func:`render_figure2_le` reproduce the
+*content* of Figure 1 (the PLB's internal view) and Figure 2 (the LE's
+internal view) as annotated ASCII diagrams parameterised by the architecture
+instance; :func:`render_fabric_floorplan` draws the island-style grid with a
+placed design overlaid (used by the examples).
+"""
+
+from __future__ import annotations
+
+from repro.cad.place import Placement
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams
+
+
+def render_figure2_le(params: ArchitectureParams | None = None) -> str:
+    """Figure 2: the Logic Element (multi-output LUT + validity LUT)."""
+    params = params if params is not None else ArchitectureParams()
+    le = params.plb.le
+    k, m = le.lut_inputs, le.lut_outputs
+    v = le.validity_lut_inputs
+    lines = [
+        f"Figure 2 -- Logic Element (LUT{k}-{m} + LUT{v}-{le.validity_lut_outputs})",
+        "",
+        f"  LE inputs (i0..i{k - 1})        auxiliary outputs",
+        "        |                         ^",
+        "        v                         |",
+        "  +-----------------------------------+",
+        f"  |        multi-output LUT{k}-{m}        |--> o0",
+        "  |  (internal signals exported for   |--> o1",
+        "  |   1-of-N / multi-rail encodings)  |--> o2"[: 39 + 7] + "",
+        "  +-----------------------------------+",
+        "        |  (selected signals)",
+        "        v",
+        "  +---------------+",
+        f"  |   LUT{v}-{le.validity_lut_outputs}      |--> ov   (data validity / completion)",
+        "  +---------------+",
+        "",
+        f"  configuration: {le.lut_config_bits} bits (LUT{k}-{m}) + "
+        f"{le.validity_lut_config_bits} bits (LUT{v}) + {le.validity_selector_bits} bits (validity input selectors)",
+        f"  total LE configuration: {le.config_bits} bits",
+    ]
+    return "\n".join(lines)
+
+
+def render_figure1_plb(params: ArchitectureParams | None = None) -> str:
+    """Figure 1: the PLB (interconnection matrix + two LEs + PDE)."""
+    params = params if params is not None else ArchitectureParams()
+    plb = params.plb
+    from repro.core.plb import PLB  # local import to avoid a cycle at module load
+
+    reference = PLB(plb)
+    lines = [
+        f"Figure 1 -- Programmable Logic Block ({plb.les_per_plb} LEs + PDE + IM)",
+        "",
+        f"  PLB inputs (in0..in{plb.plb_inputs - 1})",
+        "        |",
+        "        v",
+        "  +-------------------------------------------------------------+",
+        f"  |        Interconnection Matrix  ({len(reference.im.sources)} sources x "
+        f"{len(reference.im.destinations)} destinations)      |",
+        "  |   (LE outputs loop back through the IM -> memory elements)   |",
+        "  +-------------------------------------------------------------+",
+        "     |                |                 |                 ^",
+        "     v                v                 v                 |",
+        "  +--------+      +--------+      +-----------+           |",
+        f"  |  LE 0  |      |  LE 1  |      |   PDE     |-----------+",
+        f"  | LUT{plb.le.lut_inputs}-{plb.le.lut_outputs} |      | LUT{plb.le.lut_inputs}-{plb.le.lut_outputs} |      | {plb.pde_taps} taps x  |",
+        f"  | +LUT{plb.le.validity_lut_inputs}  |      | +LUT{plb.le.validity_lut_inputs}  |      | {plb.pde_step_ps} ps    |",
+        "  +--------+      +--------+      +-----------+",
+        "     |                |",
+        "     v                v",
+        f"  PLB outputs (out0..out{plb.plb_outputs - 1})",
+        "",
+        f"  configuration: {plb.les_per_plb} x {plb.le.config_bits} (LE) + {plb.pde_config_bits} (PDE) + "
+        f"{plb.im_config_bits} (IM) = {plb.config_bits} bits",
+    ]
+    return "\n".join(lines)
+
+
+def render_fabric_floorplan(
+    fabric: Fabric,
+    placement: Placement | None = None,
+    cell_width: int = 10,
+) -> str:
+    """The island-style grid, with placed PLB names overlaid when given."""
+    occupied: dict[tuple[int, int], str] = {}
+    if placement is not None:
+        for name, site in placement.plb_sites.items():
+            occupied[site] = name
+
+    lines = [f"Fabric floorplan {fabric.width}x{fabric.height} "
+             f"(channel width {fabric.params.routing.channel_width})"]
+    horizontal_rule = "+" + "+".join(["-" * cell_width] * fabric.width) + "+"
+    for y in reversed(range(fabric.height)):
+        lines.append(horizontal_rule)
+        row_cells = []
+        for x in range(fabric.width):
+            label = occupied.get((x, y), "")
+            row_cells.append(label[:cell_width].center(cell_width))
+        lines.append("|" + "|".join(row_cells) + "|")
+    lines.append(horizontal_rule)
+    if placement is not None:
+        lines.append(f"placed PLBs: {len(placement.plb_sites)}; HPWL cost: {placement.cost:.1f}")
+    return "\n".join(lines)

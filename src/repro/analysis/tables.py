@@ -1,0 +1,39 @@
+"""Tiny text-table formatter used by examples and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Iterable[str] | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render *rows* (dictionaries) as an aligned plain-text table.
+
+    Column order follows *columns* when given, otherwise the key order of the
+    first row.  Floats are formatted with *float_format*; everything else with
+    ``str``.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(name, "")) for name in column_names] for row in rows]
+    widths = [
+        max(len(column_names[index]), max(len(line[index]) for line in rendered))
+        for index in range(len(column_names))
+    ]
+    header = " | ".join(name.ljust(width) for name, width in zip(column_names, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered
+    ]
+    return "\n".join([header, separator] + body)

@@ -1,0 +1,174 @@
+"""High-level convenience API.
+
+These helpers wrap the most common end-to-end uses of the library in one call
+each, so the examples and quick interactive experiments stay short:
+
+* :func:`map_full_adder` -- run the paper's Figure 3 experiment for one style.
+* :func:`reproduce_filling_ratios` -- the Section 5 headline numbers for both
+  styles in one table.
+* :func:`run_flow` -- run the full CAD flow on any styled circuit.
+* :func:`simulate_circuit` -- push a token sequence through a QDI or
+  micropipeline full adder (gate level or mapped) and return the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cad.flow import CadFlow, FlowOptions, FlowResult
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder, reference_sum_carry
+from repro.core.params import ArchitectureParams
+from repro.sim.handshake import (
+    FourPhaseBundledConsumer,
+    FourPhaseBundledProducer,
+    FourPhaseDualRailProducer,
+    HandshakeHarness,
+    PassiveDualRailConsumer,
+)
+from repro.sim.lesim import simulate_mapped_design
+from repro.sim.netsim import GateLevelSimulator
+from repro.styles.base import LogicStyle, StyledCircuit
+
+
+def run_flow(
+    circuit: StyledCircuit,
+    architecture: ArchitectureParams | None = None,
+    options: FlowOptions | None = None,
+) -> FlowResult:
+    """Run the complete CAD flow (map, pack, place, route, bitstream) once."""
+    flow = CadFlow(architecture, options)
+    return flow.run(circuit)
+
+
+def map_full_adder(
+    style: str = "qdi",
+    architecture: ArchitectureParams | None = None,
+    options: FlowOptions | None = None,
+) -> FlowResult:
+    """Reproduce the paper's full-adder mapping for one style.
+
+    ``style`` accepts ``"qdi"`` / ``"dual-rail"`` / ``"1-of-4"`` /
+    ``"micropipeline"`` / ``"bundled-data"``.
+    """
+    normalised = style.lower()
+    if normalised in ("qdi", "dual-rail", "qdi-dual-rail"):
+        circuit = qdi_full_adder()
+    elif normalised in ("1-of-4", "qdi-1-of-4"):
+        circuit = qdi_full_adder(encoding="1-of-4")
+    elif normalised in ("micropipeline", "bundled-data", "bundled"):
+        circuit = micropipeline_full_adder()
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    return run_flow(circuit, architecture, options)
+
+
+def reproduce_filling_ratios(
+    architecture: ArchitectureParams | None = None,
+) -> list[dict[str, object]]:
+    """The Section 5 experiment: filling ratios of both full adders.
+
+    Returns one row per style with the measured filling ratio and the paper's
+    reported value for comparison.
+    """
+    paper_values = {
+        LogicStyle.MICROPIPELINE.value: 0.51,
+        LogicStyle.QDI_DUAL_RAIL.value: 0.76,
+    }
+    rows: list[dict[str, object]] = []
+    for style in ("micropipeline", "qdi"):
+        result = map_full_adder(
+            style,
+            architecture,
+            FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False),
+        )
+        style_name = result.mapped.style.value if result.mapped.style else style
+        rows.append(
+            {
+                "style": style_name,
+                "measured_filling_ratio": round(result.filling.per_le, 4) if result.filling else None,
+                "paper_filling_ratio": paper_values.get(style_name),
+                "les": len(result.mapped.les),
+                "plbs": len(result.mapped.plbs),
+                "pdes": len(result.mapped.pdes),
+            }
+        )
+    return rows
+
+
+@dataclass
+class SimulationOutcome:
+    """Result of :func:`simulate_circuit`."""
+
+    circuit: str
+    style: str
+    inputs: list[tuple[int, int, int]]
+    sums: list[int]
+    carries: list[int]
+    correct: bool
+    simulated_time_ps: int
+
+
+def simulate_circuit(
+    style: str = "qdi",
+    vectors: list[tuple[int, int, int]] | None = None,
+    use_mapped: bool = False,
+) -> SimulationOutcome:
+    """Push full-adder operand triples through a simulated implementation.
+
+    ``use_mapped=True`` simulates the LE-level mapped design (i.e. the circuit
+    as configured on the fabric) instead of the gate-level netlist.
+    """
+    vectors = vectors or [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+    normalised = style.lower()
+
+    if normalised.startswith("qdi") or normalised == "dual-rail":
+        circuit = qdi_full_adder()
+        if use_mapped:
+            from repro.cad.techmap import template_map
+
+            simulator = simulate_mapped_design(template_map(circuit))
+        else:
+            simulator = GateLevelSimulator(circuit.netlist)
+        producers = [
+            FourPhaseDualRailProducer(circuit.channel("a"), [v[0] for v in vectors], "ack"),
+            FourPhaseDualRailProducer(circuit.channel("b"), [v[1] for v in vectors], "ack"),
+            FourPhaseDualRailProducer(circuit.channel("cin"), [v[2] for v in vectors], "ack"),
+        ]
+        sum_consumer = PassiveDualRailConsumer(circuit.channel("sum"), "ack")
+        carry_consumer = PassiveDualRailConsumer(circuit.channel("cout"), "ack")
+        harness = HandshakeHarness(simulator, producers + [sum_consumer, carry_consumer])
+        end_time = harness.run()
+        sums, carries = sum_consumer.received, carry_consumer.received
+    elif normalised in ("micropipeline", "bundled-data", "bundled"):
+        circuit = micropipeline_full_adder()
+        if use_mapped:
+            from repro.cad.techmap import template_map
+
+            simulator = simulate_mapped_design(template_map(circuit))
+        else:
+            simulator = GateLevelSimulator(circuit.netlist)
+        input_channel = circuit.input_channels[0]
+        output_channel = circuit.output_channels[0]
+        encoded = [a | (b << 1) | (c << 2) for a, b, c in vectors]
+        producer = FourPhaseBundledProducer(input_channel, encoded, input_channel.ack_wire)
+        consumer = FourPhaseBundledConsumer(
+            output_channel, output_channel.req_wire, output_channel.ack_wire
+        )
+        harness = HandshakeHarness(simulator, [producer, consumer])
+        end_time = harness.run()
+        sums = [value & 1 for value in consumer.received]
+        carries = [(value >> 1) & 1 for value in consumer.received]
+    else:
+        raise ValueError(f"unknown style {style!r}")
+
+    expected = [reference_sum_carry(*vector) for vector in vectors]
+    correct = sums == [s for s, _ in expected] and carries == [c for _, c in expected]
+    return SimulationOutcome(
+        circuit=circuit.name,
+        style=circuit.style.value,
+        inputs=list(vectors),
+        sums=sums,
+        carries=carries,
+        correct=correct,
+        simulated_time_ps=end_time,
+    )

@@ -1,0 +1,66 @@
+"""Asynchronous-logic substrate.
+
+This package captures the concepts of Section 2 of the paper in executable
+form:
+
+* :mod:`~repro.asynclogic.protocols` -- handshake protocols (4-phase
+  return-to-zero and 2-phase transition signalling) and the timing-assumption
+  classes (DI, QDI, micropipeline/bundled-data).
+* :mod:`~repro.asynclogic.encodings` -- data encodings: dual-rail (1-of-2),
+  general 1-of-N, m-of-n sketches, and single-rail bundled data.  Each encoder
+  converts integers to rail values and back, and knows its validity/neutrality
+  predicates (the "data validity" the LUT2-1 of the LE computes).
+* :mod:`~repro.asynclogic.celements` -- behavioural Muller C-element models
+  used by the simulator and referenced by the gate library.
+* :mod:`~repro.asynclogic.completion` -- completion-detection netlist
+  generators (OR per digit followed by a C-element tree).
+* :mod:`~repro.asynclogic.channels` -- channel specifications binding a
+  protocol, an encoding and a width; used by the style generators and by the
+  handshake test benches.
+* :mod:`~repro.asynclogic.tokens` -- the token abstraction exchanged by test
+  benches with the simulated circuits.
+"""
+
+from repro.asynclogic.protocols import (
+    Protocol,
+    TimingClass,
+    FourPhaseProtocol,
+    TwoPhaseProtocol,
+    protocol_by_name,
+)
+from repro.asynclogic.encodings import (
+    BundledDataEncoding,
+    DataEncoding,
+    DualRailEncoding,
+    OneOfNEncoding,
+    encoding_by_name,
+)
+from repro.asynclogic.celements import CElement, AsymmetricCElement
+from repro.asynclogic.channels import Channel, ChannelEnd
+from repro.asynclogic.completion import (
+    completion_detector,
+    dual_rail_validity,
+    one_of_n_validity,
+)
+from repro.asynclogic.tokens import Token
+
+__all__ = [
+    "Protocol",
+    "TimingClass",
+    "FourPhaseProtocol",
+    "TwoPhaseProtocol",
+    "protocol_by_name",
+    "DataEncoding",
+    "DualRailEncoding",
+    "OneOfNEncoding",
+    "BundledDataEncoding",
+    "encoding_by_name",
+    "CElement",
+    "AsymmetricCElement",
+    "Channel",
+    "ChannelEnd",
+    "completion_detector",
+    "dual_rail_validity",
+    "one_of_n_validity",
+    "Token",
+]

@@ -1,0 +1,104 @@
+"""Behavioural Muller C-element models.
+
+The Muller C-element is the fundamental state-holding component of
+asynchronous logic (Section 3 of the paper points out that the PLB's
+interconnection matrix exists precisely so C-elements can be built by looping
+LUT outputs back).  These small state machines are used by the handshake test
+benches and by unit tests as golden references for the LUT implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.logic.functions import c_element_table, generalized_c_table
+from repro.logic.truthtable import TruthTable
+
+
+@dataclass
+class CElement:
+    """A symmetric Muller C-element with *arity* inputs.
+
+    The output rises when all inputs are 1, falls when all inputs are 0 and
+    holds otherwise.
+    """
+
+    arity: int = 2
+    output: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError("a C-element needs at least two inputs")
+
+    def step(self, inputs: Sequence[int]) -> int:
+        """Apply one set of input values and return the (possibly new) output."""
+        if len(inputs) != self.arity:
+            raise ValueError(f"expected {self.arity} inputs, got {len(inputs)}")
+        if all(inputs):
+            self.output = 1
+        elif not any(inputs):
+            self.output = 0
+        return self.output
+
+    def reset(self, value: int = 0) -> None:
+        self.output = 1 if value else 0
+
+    def next_state_table(self) -> TruthTable:
+        """The next-state truth table (matches the ``C<arity>`` library cell)."""
+        return c_element_table(tuple(f"a{i}" for i in range(self.arity)))
+
+
+@dataclass
+class AsymmetricCElement:
+    """A generalised C-element with separate rising ("plus") and falling
+    ("minus") input sets.
+
+    Inputs listed in both sets behave symmetrically.  This is the component
+    used by many 4-phase latch controllers.
+    """
+
+    plus: tuple[str, ...]
+    minus: tuple[str, ...]
+    output: int = 0
+    _names: tuple[str, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        names: list[str] = []
+        for name in tuple(self.plus) + tuple(self.minus):
+            if name not in names:
+                names.append(name)
+        if not names:
+            raise ValueError("an asymmetric C-element needs at least one input")
+        self._names = tuple(names)
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def step(self, **inputs: int) -> int:
+        missing = [name for name in self._names if name not in inputs]
+        if missing:
+            raise ValueError(f"missing inputs {missing}")
+        if all(inputs[name] for name in self.plus):
+            self.output = 1
+        elif not any(inputs[name] for name in self.minus):
+            self.output = 0
+        return self.output
+
+    def reset(self, value: int = 0) -> None:
+        self.output = 1 if value else 0
+
+    def next_state_table(self) -> TruthTable:
+        return generalized_c_table(self.plus, self.minus)
+
+
+def c_element_lut_config(arity: int = 2) -> TruthTable:
+    """The LUT configuration realising a C-element with looped feedback.
+
+    The returned table has ``arity + 1`` inputs; the last one is the feedback
+    input that the mapper connects to the LUT's own output through the PLB's
+    interconnection matrix.  This is the construction Section 3 of the paper
+    describes for implementing memory elements on the fabric.
+    """
+    return c_element_table(tuple(f"a{i}" for i in range(arity)))

@@ -1,0 +1,132 @@
+"""Channel specifications.
+
+A :class:`Channel` bundles together everything that defines how two
+asynchronous modules talk to each other: a handshake protocol, a data
+encoding and a payload width.  The style generators use channels to derive
+wire names, and the handshake test benches use them to drive and observe
+simulated circuits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.asynclogic.encodings import DataEncoding, DualRailEncoding
+from repro.asynclogic.protocols import FourPhaseProtocol, Protocol
+
+
+class ChannelEnd(enum.Enum):
+    """Which side of the channel a module sits on."""
+
+    SENDER = "sender"
+    RECEIVER = "receiver"
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A typed point-to-point asynchronous channel.
+
+    Attributes
+    ----------
+    name:
+        Base name used to derive wire names (``<name>_<digit>_<rail>``,
+        ``<name>_req``, ``<name>_ack``).
+    width_bits:
+        Payload width in binary bits.
+    encoding:
+        Data encoding of the payload.
+    protocol:
+        Handshake protocol.
+    """
+
+    name: str
+    width_bits: int = 1
+    encoding: DataEncoding = field(default_factory=DualRailEncoding)
+    protocol: Protocol = FourPhaseProtocol
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ValueError("channel width must be at least 1 bit")
+
+    # ------------------------------------------------------------------
+    # Wire naming
+    # ------------------------------------------------------------------
+    @property
+    def digits(self) -> int:
+        return self.encoding.digits_for_bits(self.width_bits)
+
+    def data_wires(self) -> tuple[str, ...]:
+        """All payload wire names, digit by digit."""
+        wires: list[str] = []
+        for digit_index in range(self.digits):
+            digit_name = self.name if self.digits == 1 else f"{self.name}{digit_index}"
+            wires.extend(self.encoding.rail_names(digit_name))
+        return tuple(wires)
+
+    def digit_wires(self, digit_index: int) -> tuple[str, ...]:
+        """Wire names of one digit group."""
+        if not 0 <= digit_index < self.digits:
+            raise IndexError(f"digit {digit_index} out of range for {self.digits}-digit channel")
+        digit_name = self.name if self.digits == 1 else f"{self.name}{digit_index}"
+        return self.encoding.rail_names(digit_name)
+
+    @property
+    def req_wire(self) -> str:
+        """Request wire (only physically present for bundled-data channels)."""
+        return f"{self.name}_req"
+
+    @property
+    def ack_wire(self) -> str:
+        return f"{self.name}_ack"
+
+    @property
+    def has_request_wire(self) -> bool:
+        """DI codes carry validity on the data wires; bundled data needs a request."""
+        return not self.encoding.is_delay_insensitive
+
+    def all_wires(self) -> tuple[str, ...]:
+        wires = list(self.data_wires())
+        if self.has_request_wire:
+            wires.append(self.req_wire)
+        wires.append(self.ack_wire)
+        return tuple(wires)
+
+    @property
+    def wire_count(self) -> int:
+        return len(self.all_wires())
+
+    # ------------------------------------------------------------------
+    # Value translation
+    # ------------------------------------------------------------------
+    def encode(self, value: int) -> dict[str, int]:
+        """Wire-name → value mapping of the payload for *value* (no req/ack)."""
+        rails = self.encoding.encode_word(value, self.width_bits)
+        return dict(zip(self.data_wires(), rails))
+
+    def neutral(self) -> dict[str, int]:
+        """The all-spacer payload assignment."""
+        rails = self.encoding.neutral_word(self.width_bits)
+        return dict(zip(self.data_wires(), rails))
+
+    def decode(self, values: dict[str, int]) -> int | None:
+        """Decode payload wires back to an integer (``None`` while neutral)."""
+        rails = [values[wire] for wire in self.data_wires()]
+        return self.encoding.decode_word(rails, self.width_bits)
+
+    def is_valid(self, values: dict[str, int]) -> bool:
+        rails = [values[wire] for wire in self.data_wires()]
+        return self.encoding.word_is_valid(rails, self.width_bits)
+
+    def is_neutral(self, values: dict[str, int]) -> bool:
+        rails = [values[wire] for wire in self.data_wires()]
+        return all(rail == 0 for rail in rails)
+
+    def with_name(self, name: str) -> "Channel":
+        """A copy of the channel under a different base name."""
+        return Channel(
+            name=name,
+            width_bits=self.width_bits,
+            encoding=self.encoding,
+            protocol=self.protocol,
+        )

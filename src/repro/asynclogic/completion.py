@@ -1,0 +1,108 @@
+"""Completion-detection generators.
+
+For delay-insensitive codes, the receiver must detect that *every* digit of a
+word carries a complete code word (and, for the return-to-zero phase, that
+every digit has returned to neutral).  The classic construction is an OR gate
+per digit followed by a Muller C-element tree; the paper's LE supports the
+per-digit OR directly with the LUT2-1 attached to the multi-output LUT.
+
+The functions here build those detectors as gate-level netlist fragments using
+:class:`~repro.netlist.builder.NetlistBuilder`, and also expose the underlying
+Boolean functions for use by the LUT mapper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.asynclogic.channels import Channel
+from repro.logic.functions import or_table
+from repro.logic.truthtable import TruthTable
+from repro.netlist.builder import NetlistBuilder
+
+
+def dual_rail_validity(false_rail: str = "d_f", true_rail: str = "d_t") -> TruthTable:
+    """Validity function of one dual-rail digit: ``d_f | d_t``.
+
+    This is exactly the function the paper dedicates the LE's LUT2-1 to.
+    """
+    return or_table(inputs=(false_rail, true_rail))
+
+
+def one_of_n_validity(rail_names: Sequence[str]) -> TruthTable:
+    """Validity function of one 1-of-N digit: OR of all rails."""
+    if len(rail_names) < 2:
+        raise ValueError("a 1-of-N digit has at least two rails")
+    return or_table(inputs=tuple(rail_names))
+
+
+def digit_validity_gate(builder: NetlistBuilder, rails: Sequence[str], out: str | None = None) -> str:
+    """Emit the per-digit OR gate into *builder* and return its output net."""
+    rails = list(rails)
+    if len(rails) == 1:
+        return builder.buf(rails[0], out=out)
+    return builder.or_tree(rails, out=out)
+
+
+def completion_detector(
+    builder: NetlistBuilder,
+    channel: Channel,
+    out: str | None = None,
+    prefix: str | None = None,
+) -> str:
+    """Build a full completion detector for *channel* inside *builder*.
+
+    The detector ORs the rails of each digit and combines the per-digit
+    validity signals with a C-element tree; its output is high when the whole
+    word is valid and low when the whole word is neutral (the behaviour needed
+    by 4-phase QDI acknowledgement generation).
+
+    Returns the name of the completion output net.
+    """
+    if not channel.encoding.is_delay_insensitive:
+        raise ValueError(
+            f"completion detection is undefined for non-DI encoding {channel.encoding.name!r}"
+        )
+    prefix = prefix if prefix is not None else f"{channel.name}_cd"
+    digit_valid_nets: list[str] = []
+    for digit_index in range(channel.digits):
+        rails = channel.digit_wires(digit_index)
+        digit_out = builder.net(f"{prefix}_v{digit_index}")
+        digit_validity_gate(builder, rails, out=digit_out)
+        digit_valid_nets.append(digit_out)
+
+    if len(digit_valid_nets) == 1:
+        if out is not None:
+            return builder.buf(digit_valid_nets[0], out=out)
+        return digit_valid_nets[0]
+    target = out if out is not None else builder.net(f"{prefix}_done")
+    return builder.c_tree(digit_valid_nets, out=target)
+
+
+def completion_tree_depth(digits: int) -> int:
+    """Depth (in C-element levels) of a balanced completion tree over *digits*."""
+    if digits < 1:
+        raise ValueError("digits must be positive")
+    depth = 0
+    width = digits
+    while width > 1:
+        width = (width + 1) // 2
+        depth += 1
+    return depth
+
+
+def completion_cost(channel: Channel) -> dict[str, int]:
+    """Gate-count estimate of a completion detector for *channel*.
+
+    Used by the baselines' area model when comparing against FPGAs without
+    native validity support.
+    """
+    digits = channel.digits
+    rails = channel.encoding.rails_per_digit
+    or_gates = digits * max(rails - 1, 0)
+    c_elements = max(digits - 1, 0)
+    return {
+        "or_gates": or_gates,
+        "c_elements": c_elements,
+        "tree_depth": completion_tree_depth(digits) if digits else 0,
+    }

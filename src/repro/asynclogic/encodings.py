@@ -1,0 +1,223 @@
+"""Data encodings for asynchronous channels.
+
+The paper stresses that the architecture must support several data encodings
+(dual-rail, 1-of-N, bundled data).  Each encoding here knows how to:
+
+* translate an integer value into the wire values of one *digit* (a group of
+  rails), and back;
+* produce the *neutral* (spacer) wire state used by return-to-zero protocols;
+* evaluate its validity predicate -- the function the LE's LUT2-1 (or an OR of
+  rails) computes to detect that a digit carries data.
+
+Multi-digit words are handled by :meth:`DataEncoding.encode_word` /
+:meth:`DataEncoding.decode_word`, which split an integer into digits of
+``bits_per_digit`` bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class EncodingError(ValueError):
+    """Raised when wire values do not form a legal code word."""
+
+
+@dataclass(frozen=True)
+class DataEncoding:
+    """Base class for channel data encodings.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"dual-rail"``.
+    rails_per_digit:
+        Number of wires in one digit group.
+    bits_per_digit:
+        Number of binary bits one digit carries.
+    is_delay_insensitive:
+        True when validity is encoded on the data wires themselves (dual-rail,
+        1-of-N); false for bundled data, which needs a separate request wire
+        and a matched delay.
+    """
+
+    name: str
+    rails_per_digit: int
+    bits_per_digit: int
+    is_delay_insensitive: bool
+
+    # -- single digit ----------------------------------------------------
+    def encode_digit(self, value: int) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def decode_digit(self, rails: Sequence[int]) -> int | None:
+        """Decode one digit; returns ``None`` for the neutral (spacer) state."""
+        raise NotImplementedError
+
+    def neutral_digit(self) -> tuple[int, ...]:
+        """The all-neutral (spacer) wire state of one digit."""
+        return tuple([0] * self.rails_per_digit)
+
+    def digit_is_valid(self, rails: Sequence[int]) -> bool:
+        """Validity predicate of one digit (complete code word present)."""
+        raise NotImplementedError
+
+    def digit_is_neutral(self, rails: Sequence[int]) -> bool:
+        return tuple(rails) == self.neutral_digit()
+
+    def rail_names(self, digit_name: str) -> tuple[str, ...]:
+        """Conventional wire names of one digit, e.g. ``a_0``, ``a_1``."""
+        return tuple(f"{digit_name}_{index}" for index in range(self.rails_per_digit))
+
+    # -- whole words ------------------------------------------------------
+    def digits_for_bits(self, width_bits: int) -> int:
+        """Number of digits needed to carry *width_bits* binary bits."""
+        return (width_bits + self.bits_per_digit - 1) // self.bits_per_digit
+
+    def encode_word(self, value: int, width_bits: int) -> tuple[int, ...]:
+        """Encode *value* (non-negative) over ``digits_for_bits(width_bits)`` digits."""
+        if value < 0 or value >= (1 << width_bits):
+            raise EncodingError(f"value {value} does not fit in {width_bits} bits")
+        rails: list[int] = []
+        mask = (1 << self.bits_per_digit) - 1
+        for digit_index in range(self.digits_for_bits(width_bits)):
+            digit_value = (value >> (digit_index * self.bits_per_digit)) & mask
+            rails.extend(self.encode_digit(digit_value))
+        return tuple(rails)
+
+    def decode_word(self, rails: Sequence[int], width_bits: int) -> int | None:
+        """Decode a word; ``None`` if any digit is neutral (no complete data)."""
+        digits = self.digits_for_bits(width_bits)
+        expected = digits * self.rails_per_digit
+        if len(rails) != expected:
+            raise EncodingError(f"expected {expected} rails, got {len(rails)}")
+        value = 0
+        for digit_index in range(digits):
+            start = digit_index * self.rails_per_digit
+            digit_rails = rails[start : start + self.rails_per_digit]
+            digit_value = self.decode_digit(digit_rails)
+            if digit_value is None:
+                return None
+            value |= digit_value << (digit_index * self.bits_per_digit)
+        return value
+
+    def neutral_word(self, width_bits: int) -> tuple[int, ...]:
+        return tuple([0] * (self.digits_for_bits(width_bits) * self.rails_per_digit))
+
+    def word_is_valid(self, rails: Sequence[int], width_bits: int) -> bool:
+        """True when every digit of the word is a complete code word."""
+        digits = self.digits_for_bits(width_bits)
+        for digit_index in range(digits):
+            start = digit_index * self.rails_per_digit
+            if not self.digit_is_valid(rails[start : start + self.rails_per_digit]):
+                return False
+        return True
+
+
+class OneOfNEncoding(DataEncoding):
+    """1-of-N (one-hot) encoding: exactly one of N rails is high per digit."""
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError("1-of-N encoding requires N >= 2")
+        bits = (n - 1).bit_length()
+        if (1 << bits) != n:
+            # Non-power-of-two radices are legal (e.g. 1-of-3); they carry
+            # floor(log2(N)) full binary bits when used for binary data.
+            bits = n.bit_length() - 1
+        super().__init__(
+            name=f"1-of-{n}",
+            rails_per_digit=n,
+            bits_per_digit=bits,
+            is_delay_insensitive=True,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.rails_per_digit
+
+    def encode_digit(self, value: int) -> tuple[int, ...]:
+        if not 0 <= value < self.n:
+            raise EncodingError(f"digit value {value} out of range for {self.name}")
+        return tuple(1 if index == value else 0 for index in range(self.n))
+
+    def decode_digit(self, rails: Sequence[int]) -> int | None:
+        if len(rails) != self.n:
+            raise EncodingError(f"{self.name} digit needs {self.n} rails, got {len(rails)}")
+        ones = [index for index, rail in enumerate(rails) if rail]
+        if not ones:
+            return None
+        if len(ones) > 1:
+            raise EncodingError(f"illegal {self.name} code word {tuple(rails)}: multiple rails high")
+        return ones[0]
+
+    def digit_is_valid(self, rails: Sequence[int]) -> bool:
+        return sum(1 for rail in rails if rail) == 1
+
+
+class DualRailEncoding(OneOfNEncoding):
+    """Dual-rail (1-of-2) encoding: one bit per digit, rails (false, true)."""
+
+    def __init__(self) -> None:
+        super().__init__(2)
+        object.__setattr__(self, "name", "dual-rail")
+        object.__setattr__(self, "bits_per_digit", 1)
+
+    def rail_names(self, digit_name: str) -> tuple[str, ...]:
+        """Dual-rail wires are conventionally named ``x_f`` (0) and ``x_t`` (1)."""
+        return (f"{digit_name}_f", f"{digit_name}_t")
+
+
+class BundledDataEncoding(DataEncoding):
+    """Single-rail bundled data: plain binary wires plus a separate request.
+
+    Validity cannot be derived from the data wires; it is signalled by the
+    bundled request after a matched delay (the role of the PDE in the paper's
+    PLB).  ``digit_is_valid`` therefore always returns ``True`` -- callers
+    must consult the request wire.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="bundled-data",
+            rails_per_digit=1,
+            bits_per_digit=1,
+            is_delay_insensitive=False,
+        )
+
+    def encode_digit(self, value: int) -> tuple[int, ...]:
+        if value not in (0, 1):
+            raise EncodingError(f"bundled-data digit must be 0/1, got {value}")
+        return (value,)
+
+    def decode_digit(self, rails: Sequence[int]) -> int | None:
+        if len(rails) != 1:
+            raise EncodingError(f"bundled-data digit has exactly 1 rail, got {len(rails)}")
+        return rails[0]
+
+    def digit_is_valid(self, rails: Sequence[int]) -> bool:
+        return True
+
+    def rail_names(self, digit_name: str) -> tuple[str, ...]:
+        return (digit_name,)
+
+
+_ENCODINGS = {
+    "dual-rail": DualRailEncoding,
+    "dualrail": DualRailEncoding,
+    "1-of-2": DualRailEncoding,
+    "bundled-data": BundledDataEncoding,
+    "bundled": BundledDataEncoding,
+    "single-rail": BundledDataEncoding,
+}
+
+
+def encoding_by_name(name: str) -> DataEncoding:
+    """Construct an encoding from its name (``"1-of-N"`` accepted for any N)."""
+    lowered = name.lower()
+    if lowered in _ENCODINGS:
+        return _ENCODINGS[lowered]()
+    if lowered.startswith("1-of-"):
+        return OneOfNEncoding(int(lowered.split("-")[-1]))
+    raise KeyError(f"unknown encoding {name!r}")

@@ -1,0 +1,108 @@
+"""Handshake protocols and timing-assumption classes.
+
+Asynchronous modules communicate through request/acknowledge handshakes
+(Section 2 of the paper).  Two families are modelled:
+
+* **4-phase (return-to-zero)**: request and data rise, acknowledge rises,
+  request and data return to neutral, acknowledge falls.  Both full adders of
+  the paper's example use this protocol.
+* **2-phase (transition signalling)**: every transition of request or
+  acknowledge is an event; no return-to-zero phase.
+
+The protocol objects describe the phases abstractly; the handshake test
+benches in :mod:`repro.sim.handshake` execute them against simulated circuits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TimingClass(enum.Enum):
+    """Timing-assumption classes discussed in Section 2 of the paper."""
+
+    DI = "delay-insensitive"
+    QDI = "quasi-delay-insensitive"
+    SDI = "speed-independent"
+    BUNDLED = "bundled-data / micropipeline"
+
+    @property
+    def requires_matched_delay(self) -> bool:
+        """True if the class relies on a matched (programmable) delay element."""
+        return self is TimingClass.BUNDLED
+
+    @property
+    def requires_isochronic_forks(self) -> bool:
+        """True if correctness rests on the isochronic-fork assumption."""
+        return self is TimingClass.QDI
+
+
+class Phase(enum.Enum):
+    """Logical phases of one handshake cycle."""
+
+    IDLE = "idle"
+    DATA_VALID = "data-valid"
+    ACK_ASSERTED = "ack-asserted"
+    RETURN_TO_ZERO = "return-to-zero"
+    ACK_RELEASED = "ack-released"
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """An abstract handshake protocol.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"four-phase"`` / ``"two-phase"``).
+    phases_per_cycle:
+        Number of signalling phases per transferred data item (4 or 2).
+    return_to_zero:
+        Whether data/request must return to a neutral state between items.
+    """
+
+    name: str
+    phases_per_cycle: int
+    return_to_zero: bool
+
+    def handshake_sequence(self) -> tuple[Phase, ...]:
+        """The ordered phases of one complete handshake cycle."""
+        if self.return_to_zero:
+            return (
+                Phase.DATA_VALID,
+                Phase.ACK_ASSERTED,
+                Phase.RETURN_TO_ZERO,
+                Phase.ACK_RELEASED,
+            )
+        return (Phase.DATA_VALID, Phase.ACK_ASSERTED)
+
+    def cycles_for_tokens(self, tokens: int) -> int:
+        """Number of signalling phases needed to transfer *tokens* items."""
+        return tokens * self.phases_per_cycle
+
+
+#: The 4-phase return-to-zero protocol used by both examples in the paper.
+FourPhaseProtocol = Protocol(name="four-phase", phases_per_cycle=4, return_to_zero=True)
+
+#: The 2-phase (transition-signalling) protocol.
+TwoPhaseProtocol = Protocol(name="two-phase", phases_per_cycle=2, return_to_zero=False)
+
+_PROTOCOLS = {
+    "four-phase": FourPhaseProtocol,
+    "4-phase": FourPhaseProtocol,
+    "4ph": FourPhaseProtocol,
+    "two-phase": TwoPhaseProtocol,
+    "2-phase": TwoPhaseProtocol,
+    "2ph": TwoPhaseProtocol,
+}
+
+
+def protocol_by_name(name: str) -> Protocol:
+    """Look a protocol up by any of its accepted aliases."""
+    try:
+        return _PROTOCOLS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(set(_PROTOCOLS))}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Tokens: the unit of data exchanged with simulated asynchronous circuits.
+
+A :class:`Token` is an integer payload plus bookkeeping time stamps filled in
+by the handshake test benches (when the producer started driving it, when the
+consumer acknowledged it).  The throughput/latency numbers of the pipeline
+experiments are computed from these stamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Token:
+    """One data item flowing through an asynchronous channel."""
+
+    value: int
+    issued_at: int | None = None
+    accepted_at: int | None = None
+    completed_at: int | None = None
+
+    @property
+    def latency(self) -> int | None:
+        """Time from issue to completion (acknowledge release), if known."""
+        if self.issued_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Token(value={self.value}, issued_at={self.issued_at}, "
+            f"accepted_at={self.accepted_at}, completed_at={self.completed_at})"
+        )
+
+
+def throughput(tokens: list[Token]) -> float | None:
+    """Average tokens per time unit over the completed tokens, if computable."""
+    completed = [tok for tok in tokens if tok.completed_at is not None]
+    if len(completed) < 2:
+        return None
+    start = min(tok.completed_at for tok in completed)
+    end = max(tok.completed_at for tok in completed)
+    if end == start:
+        return None
+    return (len(completed) - 1) / (end - start)
+
+
+def average_latency(tokens: list[Token]) -> float | None:
+    """Mean issue-to-completion latency over tokens where it is known."""
+    latencies = [tok.latency for tok in tokens if tok.latency is not None]
+    if not latencies:
+        return None
+    return sum(latencies) / len(latencies)

@@ -1,0 +1,28 @@
+"""Baselines the paper positions itself against.
+
+* :mod:`~repro.baselines.sync_fpga` -- a conventional synchronous LUT4 island
+  FPGA (the "use a commercial FPGA" option of reference [3]): asynchronous
+  netlists are mapped onto plain 4-input LUTs with no native C-element,
+  validity or delay support, which is exactly the resource waste the paper's
+  introduction cites as motivation.
+* :mod:`~repro.baselines.priorart` -- abstract descriptors of the prior
+  asynchronous FPGAs discussed in Section 1 (MONTAGE, PGA-STC, GALSA, STACC,
+  PAPA) capturing which logic styles each supports.
+* :mod:`~repro.baselines.compare` -- harnesses producing the comparison tables
+  used by EXP-PRIOR and EXP-SYNC.
+"""
+
+from repro.baselines.sync_fpga import SyncFPGAParams, SyncMappingResult, map_to_sync_fpga
+from repro.baselines.priorart import PriorArtFPGA, prior_art_fpgas, style_support_matrix
+from repro.baselines.compare import compare_with_sync_baseline, prior_art_table
+
+__all__ = [
+    "SyncFPGAParams",
+    "SyncMappingResult",
+    "map_to_sync_fpga",
+    "PriorArtFPGA",
+    "prior_art_fpgas",
+    "style_support_matrix",
+    "compare_with_sync_baseline",
+    "prior_art_table",
+]

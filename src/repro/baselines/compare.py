@@ -1,0 +1,73 @@
+"""Comparison harnesses backing EXP-PRIOR and EXP-SYNC.
+
+Both functions return plain lists of row dictionaries so the benchmark
+harness can print them as tables and the tests can assert on the shape of the
+comparison (the paper's architecture supports every style; asynchronous logic
+on the synchronous baseline wastes resources).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.priorart import prior_art_fpgas
+from repro.baselines.sync_fpga import SyncFPGAParams, map_to_sync_fpga
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.core.params import ArchitectureParams
+from repro.styles.base import LogicStyle, StyledCircuit
+
+
+def prior_art_table() -> list[dict[str, object]]:
+    """The Section 1 comparison: one row per architecture."""
+    rows: list[dict[str, object]] = []
+    for fpga in prior_art_fpgas():
+        row: dict[str, object] = {
+            "architecture": fpga.name,
+            "year": fpga.year,
+            "base_fabric": fpga.base_fabric,
+            "reference": fpga.reference,
+        }
+        for style in LogicStyle:
+            overhead = fpga.overhead(style)
+            row[style.value] = overhead if overhead is not None else "-"
+        row["styles_supported"] = sum(1 for style in LogicStyle if fpga.supports(style))
+        rows.append(row)
+    return rows
+
+
+def compare_with_sync_baseline(
+    circuits: list[StyledCircuit],
+    architecture: ArchitectureParams | None = None,
+    sync_params: SyncFPGAParams | None = None,
+) -> list[dict[str, object]]:
+    """EXP-SYNC: the paper's fabric vs a synchronous LUT4 FPGA, per circuit.
+
+    For every circuit the row reports the paper-architecture LE/PLB cost and
+    filling ratio (via the template-mapping flow, without place & route for
+    speed) next to the synchronous baseline's LUT/CLB cost and LUT-input
+    utilisation.
+    """
+    architecture = architecture if architecture is not None else ArchitectureParams(width=10, height=10)
+    sync_params = sync_params if sync_params is not None else SyncFPGAParams()
+    flow = CadFlow(
+        architecture,
+        FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False),
+    )
+
+    rows: list[dict[str, object]] = []
+    for circuit in circuits:
+        result = flow.run(circuit)
+        sync = map_to_sync_fpga(circuit.netlist, sync_params)
+        rows.append(
+            {
+                "circuit": circuit.name,
+                "style": circuit.style.value,
+                "async_les": len(result.mapped.les),
+                "async_plbs": len(result.mapped.plbs),
+                "async_filling_ratio": round(result.filling.per_le, 4) if result.filling else None,
+                "sync_luts": sync.luts_used,
+                "sync_clbs": sync.clbs_used,
+                "sync_lut_input_utilisation": round(sync.lut_input_utilisation, 4),
+                "sync_wasted_flip_flops": sync.wasted_flip_flops,
+                "lut_per_le_ratio": round(sync.luts_used / max(1, len(result.mapped.les)), 2),
+            }
+        )
+    return rows

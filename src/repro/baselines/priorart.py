@@ -1,0 +1,136 @@
+"""Abstract models of the prior asynchronous FPGAs discussed in Section 1.
+
+The paper motivates its architecture by noting that every earlier asynchronous
+FPGA is tied to one design style: MONTAGE and PGA-STC build on a synchronous
+fabric, GALSA and STACC are globally-asynchronous / locally-synchronous, and
+PAPA is a fully asynchronous fabric specialised for pipelined QDI circuits.
+The descriptors here capture that qualitative comparison (plus rough
+per-style overhead factors) so EXP-PRIOR can regenerate the comparison table.
+
+The overhead factors are coarse literature-derived estimates -- they only
+support the qualitative claim (a style outside an architecture's sweet spot is
+expensive or impossible), not absolute area numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.styles.base import LogicStyle
+
+
+@dataclass(frozen=True)
+class PriorArtFPGA:
+    """One prior asynchronous-FPGA architecture.
+
+    ``style_overhead`` maps a logic style to the estimated relative resource
+    factor for implementing that style on the architecture (1.0 = native
+    support); styles missing from the map are considered unsupported.
+    """
+
+    name: str
+    year: int
+    reference: str
+    organisation: str
+    base_fabric: str
+    style_overhead: dict[LogicStyle, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def supports(self, style: LogicStyle) -> bool:
+        return style in self.style_overhead
+
+    def overhead(self, style: LogicStyle) -> float | None:
+        return self.style_overhead.get(style)
+
+
+def prior_art_fpgas() -> list[PriorArtFPGA]:
+    """The five prior architectures of Section 1 plus this paper's fabric."""
+    return [
+        PriorArtFPGA(
+            name="MONTAGE",
+            year=1994,
+            reference="[4] Hauck et al., IEEE D&T 1994",
+            organisation="University of Washington",
+            base_fabric="synchronous island FPGA with arbiters",
+            style_overhead={
+                LogicStyle.MICROPIPELINE: 1.4,
+                LogicStyle.QDI_DUAL_RAIL: 2.5,
+            },
+            notes="Timed/asynchronous interface circuits; no multi-rail support",
+        ),
+        PriorArtFPGA(
+            name="PGA-STC",
+            year=1995,
+            reference="[5] Maheswaran, UC Davis MSc 1995",
+            organisation="UC Davis",
+            base_fabric="synchronous FPGA extended for self-timed circuits",
+            style_overhead={
+                LogicStyle.MICROPIPELINE: 1.3,
+            },
+            notes="Bundled-data self-timed blocks on a synchronous base",
+        ),
+        PriorArtFPGA(
+            name="GALSA",
+            year=1996,
+            reference="[6] Gao, Edinburgh PhD 1996",
+            organisation="University of Edinburgh",
+            base_fabric="globally asynchronous, locally synchronous array",
+            style_overhead={
+                LogicStyle.MICROPIPELINE: 1.2,
+            },
+            notes="Asynchronous only between locally synchronous islands",
+        ),
+        PriorArtFPGA(
+            name="STACC",
+            year=1997,
+            reference="[7] Payne, Edinburgh PhD 1997",
+            organisation="University of Edinburgh",
+            base_fabric="self-timed array, globally asynchronous / locally synchronous",
+            style_overhead={
+                LogicStyle.MICROPIPELINE: 1.2,
+            },
+            notes="Token-based timing cells around synchronous datapath blocks",
+        ),
+        PriorArtFPGA(
+            name="PAPA",
+            year=2003,
+            reference="[8] Teifel & Manohar, FPL 2003",
+            organisation="Cornell University",
+            base_fabric="fully asynchronous pipelined array",
+            style_overhead={
+                LogicStyle.QDI_DUAL_RAIL: 1.0,
+                LogicStyle.WCHB: 1.0,
+            },
+            notes="Optimised for fine-grain QDI pipelines only",
+        ),
+        PriorArtFPGA(
+            name="Multi-style (this paper)",
+            year=2005,
+            reference="Huot et al., DATE 2005",
+            organisation="TIMA Laboratory",
+            base_fabric="island fabric of PLBs (LUT7-3 + LUT2-1 + PDE + IM)",
+            style_overhead={
+                LogicStyle.QDI_DUAL_RAIL: 1.0,
+                LogicStyle.QDI_ONE_OF_FOUR: 1.0,
+                LogicStyle.MICROPIPELINE: 1.0,
+                LogicStyle.WCHB: 1.0,
+            },
+            notes="Style-independent: memory by LUT looping, validity LUT, programmable delay",
+        ),
+    ]
+
+
+def style_support_matrix() -> dict[str, dict[str, bool]]:
+    """Architecture name -> {style name -> supported} (EXP-PRIOR)."""
+    matrix: dict[str, dict[str, bool]] = {}
+    for fpga in prior_art_fpgas():
+        matrix[fpga.name] = {style.value: fpga.supports(style) for style in LogicStyle}
+    return matrix
+
+
+def styles_supported_count() -> dict[str, int]:
+    """How many of the four styles each architecture supports."""
+    return {
+        name: sum(1 for supported in row.values() if supported)
+        for name, row in style_support_matrix().items()
+    }

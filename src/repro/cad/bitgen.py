@@ -1,0 +1,178 @@
+"""Configuration generation: from packed PLBs to PLB configurations and a
+full fabric bitstream.
+
+For every packed PLB the generator:
+
+1. assigns the LE's logical input nets to physical LUT pins (``i0..``) and the
+   validity inputs to ``v0``/``v1``;
+2. rewrites the mapped truth tables over those physical pins;
+3. routes the PLB's interconnection matrix: LE inputs are fed either from
+   another LE output inside the PLB, from the PDE output, or from a PLB input
+   pin (allocated deterministically); externally consumed outputs are routed
+   to PLB output pins;
+4. programs the PDE tap from the mapped matched delay.
+
+The per-tile configurations are then serialised into the fabric-level
+:class:`~repro.core.bitstream.Bitstream` using each block's ``config_vector``
+layout, which the round-trip tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cad.lemap import MappedDesign, MappedPLB
+from repro.cad.place import Placement
+from repro.core.bitstream import Bitstream, BitstreamBudget
+from repro.core.im import IMConfig
+from repro.core.le import LEConfig
+from repro.core.params import ArchitectureParams
+from repro.core.pde import PDEConfig
+from repro.core.plb import PLB, PLBConfig
+
+
+class ConfigurationError(RuntimeError):
+    """Raised when a packed PLB cannot be expressed as a legal configuration."""
+
+
+@dataclass
+class ConfiguredPLB:
+    """One PLB's configuration plus the net <-> pin binding used to build it."""
+
+    plb_name: str
+    config: PLBConfig
+    input_pin_of_net: dict[str, str] = field(default_factory=dict)
+    output_pin_of_net: dict[str, str] = field(default_factory=dict)
+    internal_signal_of_net: dict[str, str] = field(default_factory=dict)
+
+
+def configure_plb(plb: MappedPLB, params: ArchitectureParams) -> ConfiguredPLB:
+    """Build the :class:`PLBConfig` realising one packed PLB."""
+    plb_params = params.plb
+    le_params = plb_params.le
+    reference = PLB(plb_params)
+
+    internal_signal_of_net: dict[str, str] = {}
+    for le_index, le in enumerate(plb.les):
+        for function_index, function in enumerate(le.functions):
+            internal_signal_of_net[function.output_net] = f"le{le_index}_o{function_index}"
+        if le.validity is not None:
+            internal_signal_of_net[le.validity.output_net] = f"le{le_index}_ov"
+    if plb.pde is not None:
+        internal_signal_of_net[plb.pde.output_net] = "pde_out"
+
+    # Allocate PLB input pins for externally produced nets.
+    input_pin_of_net: dict[str, str] = {}
+
+    def input_signal_for(net: str) -> str:
+        if net in internal_signal_of_net:
+            return internal_signal_of_net[net]
+        if net not in input_pin_of_net:
+            index = len(input_pin_of_net)
+            if index >= plb_params.plb_inputs:
+                raise ConfigurationError(
+                    f"PLB {plb.name} needs more than {plb_params.plb_inputs} input pins"
+                )
+            input_pin_of_net[net] = f"in{index}"
+        return input_pin_of_net[net]
+
+    im_routes: dict[str, str] = {}
+    le_configs: list[LEConfig] = []
+
+    for le_index, le in enumerate(plb.les):
+        # Assign logical nets to physical LUT pins.
+        pin_of_net: dict[str, str] = {}
+        for net in le.lut_input_nets:
+            if net not in pin_of_net:
+                pin_index = len(pin_of_net)
+                if pin_index >= le_params.lut_inputs:
+                    raise ConfigurationError(
+                        f"LE {le.name} needs more than {le_params.lut_inputs} LUT inputs"
+                    )
+                pin_of_net[net] = f"i{pin_index}"
+
+        lut_tables = []
+        for function in le.functions:
+            lut_tables.append(function.table.rename(pin_of_net))
+        while len(lut_tables) < le_params.lut_outputs:
+            lut_tables.append(None)
+
+        validity_table = None
+        validity_pin_of_net: dict[str, str] = {}
+        if le.validity is not None:
+            for net in le.validity.input_nets:
+                if net not in validity_pin_of_net:
+                    pin_index = len(validity_pin_of_net)
+                    if pin_index >= le_params.validity_lut_inputs:
+                        raise ConfigurationError(
+                            f"LE {le.name} validity function needs more than "
+                            f"{le_params.validity_lut_inputs} inputs"
+                        )
+                    validity_pin_of_net[net] = f"v{pin_index}"
+            validity_table = le.validity.table.rename(validity_pin_of_net)
+
+        le_configs.append(LEConfig(lut_tables=lut_tables, validity_table=validity_table))
+
+        # IM routes feeding this LE's pins.
+        for net, pin in pin_of_net.items():
+            im_routes[f"le{le_index}_{pin}"] = input_signal_for(net)
+        for net, pin in validity_pin_of_net.items():
+            im_routes[f"le{le_index}_{pin}"] = input_signal_for(net)
+
+    # PDE configuration and feed.
+    pde_config = PDEConfig()
+    if plb.pde is not None:
+        pde = reference.pde
+        try:
+            pde_config = pde.configure_delay(plb.pde.delay_ps)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+        im_routes["pde_in"] = input_signal_for(plb.pde.input_net)
+
+    # PLB outputs: everything produced here may be consumed outside; export in
+    # deterministic order up to the output pin budget.
+    output_pin_of_net: dict[str, str] = {}
+    for net in plb.output_nets:
+        index = len(output_pin_of_net)
+        if index >= plb_params.plb_outputs:
+            break
+        pin = f"out{index}"
+        output_pin_of_net[net] = pin
+        im_routes[pin] = internal_signal_of_net[net]
+
+    config = PLBConfig(le_configs=le_configs, pde_config=pde_config, im_config=IMConfig(routes=im_routes))
+    return ConfiguredPLB(
+        plb_name=plb.name,
+        config=config,
+        input_pin_of_net=input_pin_of_net,
+        output_pin_of_net=output_pin_of_net,
+        internal_signal_of_net=internal_signal_of_net,
+    )
+
+
+def generate_bitstream(
+    design: MappedDesign,
+    placement: Placement,
+    params: ArchitectureParams,
+) -> tuple[Bitstream, dict[str, ConfiguredPLB]]:
+    """Produce the full fabric bitstream for a packed & placed design."""
+    budget = BitstreamBudget.for_architecture(params)
+    bitstream = Bitstream(budget)
+    configured: dict[str, ConfiguredPLB] = {}
+
+    for plb in design.plbs:
+        configured_plb = configure_plb(plb, params)
+        configured[plb.name] = configured_plb
+        x, y = placement.site_of(plb.name)
+
+        # Program a scratch PLB to obtain the exact bit layout.
+        hardware = PLB(params.plb, name=plb.name)
+        hardware.configure(configured_plb.config)
+        bits: list[int] = []
+        for le in hardware.les:
+            bits.extend(le.config_vector())
+        bits.extend(hardware.pde.config_vector())
+        bits.extend(hardware.im.config_vector())
+        bitstream.set_region(f"plb_{x}_{y}", bits)
+
+    return bitstream, configured

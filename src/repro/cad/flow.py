@@ -1,0 +1,184 @@
+"""The end-to-end CAD flow.
+
+:class:`CadFlow` chains every step -- technology mapping, packing, placement,
+routing, timing analysis, metric extraction and bitstream generation -- and
+returns a :class:`FlowResult` that the examples, benchmarks and experiments
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cad.bitgen import ConfiguredPLB, generate_bitstream
+from repro.cad.lemap import MappedDesign
+from repro.cad.metrics import FillingRatioReport, filling_ratio
+from repro.cad.pack import pack_design, packing_summary
+from repro.cad.place import Placement, place_design
+from repro.cad.route import RoutingResult, route_design
+from repro.cad.techmap import generic_map, template_map
+from repro.cad.timing import TimingModel, TimingReport, analyse_timing
+from repro.core.bitstream import Bitstream
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams
+from repro.core.rrgraph import RoutingResourceGraph
+from repro.netlist.netlist import Netlist
+from repro.styles.base import StyledCircuit
+
+
+@dataclass
+class FlowOptions:
+    """Knobs of the flow."""
+
+    use_template_mapping: bool = True
+    run_placement: bool = True
+    run_routing: bool = True
+    generate_bitstream: bool = True
+    placement_seed: int = 1
+    placement_effort: float = 1.0
+    router_max_iterations: int = 30
+    timing_model: TimingModel = field(default_factory=TimingModel)
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced for one circuit."""
+
+    circuit_name: str
+    architecture: ArchitectureParams
+    mapped: MappedDesign
+    placement: Placement | None = None
+    routing: RoutingResult | None = None
+    timing: TimingReport | None = None
+    filling: FillingRatioReport | None = None
+    bitstream: Bitstream | None = None
+    configured_plbs: dict[str, ConfiguredPLB] = field(default_factory=dict)
+    packing: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "circuit": self.circuit_name,
+            "style": self.mapped.style.value if self.mapped.style else None,
+            "les": len(self.mapped.les),
+            "plbs": len(self.mapped.plbs),
+            "pdes": len(self.mapped.pdes),
+        }
+        if self.filling is not None:
+            data["filling_ratio"] = round(self.filling.per_le, 4)
+            data["filling_ratio_per_plb"] = round(self.filling.per_plb, 4)
+        if self.packing:
+            data["le_occupancy"] = round(float(self.packing.get("le_occupancy", 0.0)), 4)
+        if self.placement is not None:
+            data["placement_cost"] = round(self.placement.cost, 2)
+        if self.routing is not None:
+            data["routed_nets"] = len(self.routing.routed)
+            data["total_wirelength"] = self.routing.total_wirelength
+            data["routing_success"] = self.routing.success
+        if self.timing is not None:
+            data.update(self.timing.as_row())
+        if self.bitstream is not None:
+            data["bitstream_bits_set"] = self.bitstream.used_bits()
+            data["bitstream_bits_total"] = self.bitstream.total_bits
+        return data
+
+    def report(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [f"=== CAD flow report: {self.circuit_name} ==="]
+        for key, value in self.summary().items():
+            lines.append(f"  {key:>24}: {value}")
+        if self.filling is not None:
+            lines.append("  per-LE utilisation:")
+            for row in self.filling.details.get("per_le_breakdown", []):
+                lines.append(
+                    f"    {row['le']:>24}: lut {row['lut_inputs_used']}/{row['lut_inputs_total']} in, "
+                    f"{row['lut_outputs_used']}/{row['lut_outputs_total']} out, "
+                    f"validity {row['validity_outputs_used']}/{row['validity_outputs_total']}"
+                )
+        if self.timing is not None and self.timing.notes:
+            lines.append("  timing notes:")
+            for note in self.timing.notes:
+                lines.append(f"    - {note}")
+        return "\n".join(lines)
+
+
+class CadFlow:
+    """Run the complete flow for one architecture instance."""
+
+    def __init__(
+        self,
+        architecture: ArchitectureParams | None = None,
+        options: FlowOptions | None = None,
+    ) -> None:
+        self.architecture = architecture if architecture is not None else ArchitectureParams()
+        self.options = options if options is not None else FlowOptions()
+        self.fabric = Fabric(self.architecture)
+        self._rr_graph: RoutingResourceGraph | None = None
+
+    @property
+    def rr_graph(self) -> RoutingResourceGraph:
+        """The routing-resource graph (built lazily and cached)."""
+        if self._rr_graph is None:
+            self._rr_graph = RoutingResourceGraph(self.fabric)
+        return self._rr_graph
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+    def map(self, circuit: StyledCircuit | Netlist) -> MappedDesign:
+        if isinstance(circuit, StyledCircuit):
+            if self.options.use_template_mapping:
+                return template_map(circuit, self.architecture.plb)
+            return generic_map(circuit.netlist, self.architecture.plb, style=circuit.style)
+        return generic_map(circuit, self.architecture.plb)
+
+    def run(self, circuit: StyledCircuit | Netlist) -> FlowResult:
+        """Execute mapping → packing → placement → routing → analysis."""
+        name = circuit.name if isinstance(circuit, (StyledCircuit, Netlist)) else str(circuit)
+        mapped = self.map(circuit)
+        problems = mapped.validate()
+        if problems:
+            raise RuntimeError(f"mapping of {name!r} is inconsistent: {problems}")
+        pack_design(mapped, self.architecture.plb)
+
+        result = FlowResult(circuit_name=name, architecture=self.architecture, mapped=mapped)
+        result.packing = packing_summary(mapped)
+        result.filling = filling_ratio(mapped)
+
+        if self.options.run_placement:
+            result.placement = place_design(
+                mapped,
+                self.fabric,
+                seed=self.options.placement_seed,
+                effort=self.options.placement_effort,
+            )
+
+        if self.options.run_routing and result.placement is not None:
+            result.routing = route_design(
+                mapped,
+                result.placement,
+                self.rr_graph,
+                max_iterations=self.options.router_max_iterations,
+            )
+
+        result.timing = analyse_timing(
+            mapped,
+            routing=result.routing,
+            graph=self.rr_graph if result.routing is not None else None,
+            model=self.options.timing_model,
+        )
+
+        if self.options.generate_bitstream and result.placement is not None:
+            result.bitstream, result.configured_plbs = generate_bitstream(
+                mapped, result.placement, self.architecture
+            )
+
+        return result
+
+    # ------------------------------------------------------------------
+    # Convenience entry points
+    # ------------------------------------------------------------------
+    def run_all(self, circuits: list[StyledCircuit]) -> dict[str, FlowResult]:
+        return {circuit.name: self.run(circuit) for circuit in circuits}

@@ -1,0 +1,317 @@
+"""The LE-level intermediate representation (IR) of a mapped design.
+
+After technology mapping a design is a collection of:
+
+* :class:`LEFunction` -- one logical LUT output: a truth table over *net
+  names*, possibly including the function's own output net (feedback through
+  the PLB interconnection matrix, i.e. a memory element);
+* :class:`MappedLE` -- up to three LEFunctions sharing one LUT7-3 plus an
+  optional validity function on the LUT2-1;
+* :class:`MappedPDE` -- a matched-delay assignment onto a programmable delay
+  element;
+* :class:`MappedPLB` -- the result of packing (two LEs + optional PDE);
+* :class:`MappedDesign` -- the whole design plus its primary inputs/outputs.
+
+The IR is what the packer, placer, router, bitstream generator, metrics and
+the LE-level simulator all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.params import PLBParams
+from repro.logic.truthtable import TruthTable
+from repro.styles.base import LogicStyle
+
+
+@dataclass
+class LEFunction:
+    """One logical LUT output function.
+
+    ``table`` is expressed over logical net names; if ``output_net`` appears
+    among the table inputs the function is state holding and the mapper must
+    arrange feedback through the interconnection matrix.
+    """
+
+    output_net: str
+    table: TruthTable
+    role: str = "logic"  # "logic", "validity", "ack", "latch", "controller"
+
+    @property
+    def input_nets(self) -> tuple[str, ...]:
+        return self.table.inputs
+
+    @property
+    def arity(self) -> int:
+        return len(self.table.inputs)
+
+    @property
+    def has_feedback(self) -> bool:
+        return self.output_net in self.table.inputs
+
+    @property
+    def external_inputs(self) -> tuple[str, ...]:
+        return tuple(net for net in self.table.inputs if net != self.output_net)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        feedback = "+fb" if self.has_feedback else ""
+        return f"LEFunction({self.output_net!r}, {self.arity} inputs{feedback}, role={self.role})"
+
+
+@dataclass
+class MappedLE:
+    """One Logic Element after mapping."""
+
+    name: str
+    functions: list[LEFunction] = field(default_factory=list)
+    validity: LEFunction | None = None
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def lut_input_nets(self) -> tuple[str, ...]:
+        """Distinct nets needed on the LUT7-3 physical pins (feedback included)."""
+        nets: list[str] = []
+        for function in self.functions:
+            for net in function.input_nets:
+                if net not in nets:
+                    nets.append(net)
+        return tuple(nets)
+
+    @property
+    def validity_input_nets(self) -> tuple[str, ...]:
+        if self.validity is None:
+            return ()
+        return self.validity.input_nets
+
+    @property
+    def output_nets(self) -> tuple[str, ...]:
+        nets = [function.output_net for function in self.functions]
+        if self.validity is not None:
+            nets.append(self.validity.output_net)
+        return tuple(nets)
+
+    @property
+    def external_input_nets(self) -> tuple[str, ...]:
+        """Nets that must arrive from outside this LE (feedback excluded)."""
+        own = set(self.output_nets)
+        nets: list[str] = []
+        for net in self.lut_input_nets + self.validity_input_nets:
+            if net not in own and net not in nets:
+                nets.append(net)
+        return tuple(nets)
+
+    @property
+    def feedback_nets(self) -> tuple[str, ...]:
+        """Own outputs that are also read as inputs (memory-by-looping)."""
+        own = set(self.output_nets)
+        used = set(self.lut_input_nets) | set(self.validity_input_nets)
+        return tuple(sorted(own & used))
+
+    def fits(self, params: PLBParams) -> bool:
+        """Check the LE's physical constraints."""
+        le = params.le
+        if len(self.functions) > le.lut_outputs:
+            return False
+        if len(self.lut_input_nets) > le.lut_inputs:
+            return False
+        if self.validity is not None and self.validity.arity > le.validity_lut_inputs:
+            return False
+        return True
+
+    def utilisation(self, params: PLBParams) -> dict[str, int]:
+        le = params.le
+        return {
+            "lut_inputs_used": len(self.lut_input_nets),
+            "lut_inputs_total": le.lut_inputs,
+            "lut_outputs_used": len(self.functions),
+            "lut_outputs_total": le.lut_outputs,
+            "validity_inputs_used": len(self.validity_input_nets),
+            "validity_inputs_total": le.validity_lut_inputs,
+            "validity_outputs_used": 1 if self.validity is not None else 0,
+            "validity_outputs_total": le.validity_lut_outputs,
+        }
+
+
+@dataclass
+class MappedPDE:
+    """A matched delay mapped onto a programmable delay element."""
+
+    name: str
+    input_net: str
+    output_net: str
+    delay_ps: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MappedPDE({self.input_net!r} -> {self.output_net!r}, {self.delay_ps} ps)"
+
+
+@dataclass
+class MappedPLB:
+    """One packed PLB: up to ``les_per_plb`` LEs plus an optional PDE."""
+
+    name: str
+    les: list[MappedLE] = field(default_factory=list)
+    pde: MappedPDE | None = None
+
+    @property
+    def output_nets(self) -> tuple[str, ...]:
+        nets: list[str] = []
+        for le in self.les:
+            nets.extend(le.output_nets)
+        if self.pde is not None:
+            nets.append(self.pde.output_net)
+        return tuple(nets)
+
+    @property
+    def external_input_nets(self) -> tuple[str, ...]:
+        """Nets that must be routed into this PLB from the fabric."""
+        own = set(self.output_nets)
+        nets: list[str] = []
+        for le in self.les:
+            for net in le.external_input_nets:
+                if net not in own and net not in nets:
+                    nets.append(net)
+        if self.pde is not None and self.pde.input_net not in own:
+            if self.pde.input_net not in nets:
+                nets.append(self.pde.input_net)
+        return tuple(nets)
+
+    def fits(self, params: PLBParams) -> bool:
+        if len(self.les) > params.les_per_plb:
+            return False
+        if any(not le.fits(params) for le in self.les):
+            return False
+        if len(self.external_input_nets) > params.plb_inputs:
+            return False
+        exported = [net for net in self.output_nets]
+        if len(exported) > params.plb_outputs + 0:
+            # Not every internal net must leave the PLB, but the conservative
+            # check keeps packing safely within the output budget.
+            return len(self.externally_visible_outputs(set())) <= params.plb_outputs
+        return True
+
+    def externally_visible_outputs(self, consumed_elsewhere: set[str]) -> tuple[str, ...]:
+        """Outputs read outside this PLB (or that are primary outputs)."""
+        return tuple(net for net in self.output_nets if net in consumed_elsewhere)
+
+
+@dataclass
+class MappedDesign:
+    """A fully mapped (and optionally packed) design."""
+
+    name: str
+    params: PLBParams
+    les: list[MappedLE] = field(default_factory=list)
+    pdes: list[MappedPDE] = field(default_factory=list)
+    plbs: list[MappedPLB] = field(default_factory=list)
+    primary_inputs: list[str] = field(default_factory=list)
+    primary_outputs: list[str] = field(default_factory=list)
+    style: LogicStyle | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Net-level queries
+    # ------------------------------------------------------------------
+    def all_output_nets(self) -> set[str]:
+        nets: set[str] = set()
+        for le in self.les:
+            nets.update(le.output_nets)
+        for pde in self.pdes:
+            nets.add(pde.output_net)
+        return nets
+
+    def net_consumers(self) -> dict[str, list[str]]:
+        """Net name -> list of LE/PDE names reading it."""
+        consumers: dict[str, list[str]] = {}
+        for le in self.les:
+            for net in set(le.external_input_nets):
+                consumers.setdefault(net, []).append(le.name)
+        for pde in self.pdes:
+            consumers.setdefault(pde.input_net, []).append(pde.name)
+        return consumers
+
+    def net_driver(self) -> dict[str, str]:
+        """Net name -> name of the LE/PDE driving it (primary inputs absent)."""
+        drivers: dict[str, str] = {}
+        for le in self.les:
+            for net in le.output_nets:
+                drivers[net] = le.name
+        for pde in self.pdes:
+            drivers[pde.output_net] = pde.name
+        return drivers
+
+    def validate(self) -> list[str]:
+        """Structural sanity checks; returns a list of problem descriptions."""
+        problems: list[str] = []
+        drivers = self.net_driver()
+        seen_outputs: dict[str, str] = {}
+        for le in self.les:
+            if not le.fits(self.params):
+                problems.append(f"LE {le.name} violates the LE constraints")
+            for net in le.output_nets:
+                if net in seen_outputs:
+                    problems.append(f"net {net!r} driven by both {seen_outputs[net]} and {le.name}")
+                seen_outputs[net] = le.name
+        for pde in self.pdes:
+            if pde.output_net in seen_outputs:
+                problems.append(
+                    f"net {pde.output_net!r} driven by both {seen_outputs[pde.output_net]} and {pde.name}"
+                )
+            seen_outputs[pde.output_net] = pde.name
+        available = set(drivers) | set(self.primary_inputs)
+        for le in self.les:
+            for net in le.external_input_nets:
+                if net not in available:
+                    problems.append(f"LE {le.name} reads undriven net {net!r}")
+        for pde in self.pdes:
+            if pde.input_net not in available:
+                problems.append(f"PDE {pde.name} reads undriven net {pde.input_net!r}")
+        for net in self.primary_outputs:
+            if net not in available:
+                problems.append(f"primary output {net!r} is not driven")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "style": self.style.value if self.style is not None else None,
+            "les": len(self.les),
+            "lut_functions": sum(len(le.functions) for le in self.les),
+            "validity_functions": sum(1 for le in self.les if le.validity is not None),
+            "pdes": len(self.pdes),
+            "plbs": len(self.plbs),
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+        }
+
+
+def merge_mapped_designs(name: str, designs: Iterable[MappedDesign]) -> MappedDesign:
+    """Concatenate several mapped designs into one (used by circuit composition).
+
+    Nets with identical names are shared; primary inputs that another part
+    drives become internal nets.
+    """
+    designs = list(designs)
+    if not designs:
+        raise ValueError("merge_mapped_designs needs at least one design")
+    params = designs[0].params
+    merged = MappedDesign(name=name, params=params, style=designs[0].style)
+    for design in designs:
+        merged.les.extend(design.les)
+        merged.pdes.extend(design.pdes)
+    driven = merged.all_output_nets()
+    for design in designs:
+        for net in design.primary_inputs:
+            if net not in driven and net not in merged.primary_inputs:
+                merged.primary_inputs.append(net)
+        for net in design.primary_outputs:
+            if net not in merged.primary_outputs:
+                merged.primary_outputs.append(net)
+    return merged

@@ -1,0 +1,126 @@
+"""Packing: grouping mapped LEs into PLBs.
+
+The packer fills PLBs with up to ``les_per_plb`` LEs each, under the PLB-level
+constraints (number of PLB input pins, one PDE per PLB).  It is
+affinity-driven: LEs that share nets are packed together first, which both
+reduces external routing and mirrors the paper's Figure 3 groupings (the two
+halves of a dual-rail pair, or a datapath latch next to its controller).
+
+Delay elements are attached to the PLB that already hosts a consumer of the
+delayed signal when possible, otherwise to any PLB with a free PDE.
+"""
+
+from __future__ import annotations
+
+from repro.cad.lemap import MappedDesign, MappedLE, MappedPLB
+from repro.core.params import PLBParams
+
+
+class PackingError(RuntimeError):
+    """Raised when a design cannot be packed under the PLB constraints."""
+
+
+def _affinity(a: MappedLE, b: MappedLE) -> int:
+    """Number of nets shared between two LEs (inputs or outputs)."""
+    nets_a = set(a.external_input_nets) | set(a.output_nets)
+    nets_b = set(b.external_input_nets) | set(b.output_nets)
+    return len(nets_a & nets_b)
+
+
+def _try_add(plb: MappedPLB, le: MappedLE, params: PLBParams) -> MappedPLB | None:
+    """A new PLB with *le* added, or ``None`` if the constraints break."""
+    candidate = MappedPLB(name=plb.name, les=plb.les + [le], pde=plb.pde)
+    if len(candidate.les) > params.les_per_plb:
+        return None
+    if len(candidate.external_input_nets) > params.plb_inputs:
+        return None
+    if len(candidate.output_nets) > params.plb_outputs + params.les_per_plb:
+        # Allow a small slack because not every LE output needs to leave the
+        # PLB; the definitive check happens at pin assignment time.
+        return None
+    return candidate
+
+
+def pack_design(design: MappedDesign, params: PLBParams | None = None) -> MappedDesign:
+    """Pack ``design.les`` / ``design.pdes`` into ``design.plbs`` (in place).
+
+    Returns the same design object for chaining.
+    """
+    params = params if params is not None else design.params
+
+    for le in design.les:
+        if not le.fits(params):
+            raise PackingError(
+                f"LE {le.name} does not satisfy the LE constraints "
+                f"({len(le.lut_input_nets)} inputs, {len(le.functions)} functions)"
+            )
+
+    remaining = list(design.les)
+    plbs: list[MappedPLB] = []
+
+    while remaining:
+        seed = remaining.pop(0)
+        plb = MappedPLB(name=f"plb{len(plbs)}", les=[seed])
+        # Greedily add the most-affine LEs that still fit.
+        while len(plb.les) < params.les_per_plb and remaining:
+            best_index = -1
+            best_candidate: MappedPLB | None = None
+            best_score = -1
+            for index, le in enumerate(remaining):
+                candidate = _try_add(plb, le, params)
+                if candidate is None:
+                    continue
+                score = sum(_affinity(le, packed) for packed in plb.les)
+                if score > best_score:
+                    best_score = score
+                    best_index = index
+                    best_candidate = candidate
+            if best_candidate is None:
+                break
+            plb = best_candidate
+            remaining.pop(best_index)
+        plbs.append(plb)
+
+    # Attach delay elements.
+    for pde in design.pdes:
+        consumers = [
+            plb
+            for plb in plbs
+            if pde.output_net in plb.external_input_nets
+            or any(pde.output_net in le.external_input_nets for le in plb.les)
+        ]
+        target = None
+        for plb in consumers:
+            if plb.pde is None:
+                target = plb
+                break
+        if target is None:
+            for plb in plbs:
+                if plb.pde is None:
+                    target = plb
+                    break
+        if target is None:
+            target = MappedPLB(name=f"plb{len(plbs)}")
+            plbs.append(target)
+        target.pde = pde
+
+    design.plbs = plbs
+    return design
+
+
+def packing_summary(design: MappedDesign) -> dict[str, object]:
+    """Counts used by reports and by the filling-ratio experiment."""
+    params = design.params
+    le_slots = len(design.plbs) * params.les_per_plb
+    return {
+        "plbs": len(design.plbs),
+        "les_used": sum(len(plb.les) for plb in design.plbs),
+        "le_slots": le_slots,
+        "pdes_used": sum(1 for plb in design.plbs if plb.pde is not None),
+        "le_occupancy": (
+            sum(len(plb.les) for plb in design.plbs) / le_slots if le_slots else 0.0
+        ),
+        "max_external_inputs": max(
+            (len(plb.external_input_nets) for plb in design.plbs), default=0
+        ),
+    }

@@ -1,0 +1,233 @@
+"""Placement: assigning packed PLBs to fabric sites and primary IOs to pads.
+
+The placer is a classic simulated-annealing engine over the half-perimeter
+wirelength (HPWL) of the inter-block nets.  For the small designs of the paper
+this converges in well under a second; the CAD-scaling benchmark exercises it
+on larger synthetic designs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cad.lemap import MappedDesign
+from repro.core.fabric import Fabric, IOPad
+
+
+class PlacementError(RuntimeError):
+    """Raised when the design does not fit on the fabric."""
+
+
+@dataclass
+class Placement:
+    """The result of placement.
+
+    ``plb_sites`` maps packed-PLB names to ``(x, y)`` tile coordinates;
+    ``io_sites`` maps primary input/output net names to IO pads.
+    """
+
+    plb_sites: dict[str, tuple[int, int]] = field(default_factory=dict)
+    io_sites: dict[str, IOPad] = field(default_factory=dict)
+    cost: float = 0.0
+    iterations: int = 0
+    initial_cost: float = 0.0
+
+    def site_of(self, plb_name: str) -> tuple[int, int]:
+        return self.plb_sites[plb_name]
+
+    def pad_of(self, net: str) -> IOPad:
+        return self.io_sites[net]
+
+
+def _build_net_terminals(design: MappedDesign) -> dict[str, list[str]]:
+    """For every net spanning blocks: the block/terminal names it touches.
+
+    Terminals are packed-PLB names or ``io:<net>`` pseudo-blocks for primary
+    inputs/outputs.
+    """
+    terminals: dict[str, list[str]] = {}
+
+    def add(net: str, terminal: str) -> None:
+        bucket = terminals.setdefault(net, [])
+        if terminal not in bucket:
+            bucket.append(terminal)
+
+    driver_plb: dict[str, str] = {}
+    for plb in design.plbs:
+        for net in plb.output_nets:
+            driver_plb[net] = plb.name
+
+    for plb in design.plbs:
+        for net in plb.external_input_nets:
+            add(net, plb.name)
+            if net in driver_plb:
+                add(net, driver_plb[net])
+    for net in design.primary_inputs:
+        add(net, f"io:{net}")
+    for net in design.primary_outputs:
+        add(net, f"io:{net}")
+        if net in driver_plb:
+            add(net, driver_plb[net])
+    for net in design.primary_inputs:
+        for plb in design.plbs:
+            if net in plb.external_input_nets:
+                add(net, plb.name)
+
+    # Only nets touching at least two distinct terminals matter for placement.
+    return {net: terms for net, terms in terminals.items() if len(terms) >= 2}
+
+
+def _pad_position(pad: IOPad, fabric: Fabric) -> tuple[float, float]:
+    if pad.side == "south":
+        return (pad.position, -1.0)
+    if pad.side == "north":
+        return (pad.position, float(fabric.height))
+    if pad.side == "west":
+        return (-1.0, pad.position)
+    return (float(fabric.width), pad.position)
+
+
+def _hpwl(
+    nets: dict[str, list[str]],
+    plb_sites: dict[str, tuple[int, int]],
+    io_positions: dict[str, tuple[float, float]],
+) -> float:
+    total = 0.0
+    for terminals in nets.values():
+        xs: list[float] = []
+        ys: list[float] = []
+        for terminal in terminals:
+            if terminal.startswith("io:"):
+                position = io_positions.get(terminal[3:])
+                if position is None:
+                    continue
+                xs.append(position[0])
+                ys.append(position[1])
+            else:
+                x, y = plb_sites[terminal]
+                xs.append(float(x))
+                ys.append(float(y))
+        if len(xs) >= 2:
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def place_design(
+    design: MappedDesign,
+    fabric: Fabric,
+    seed: int = 1,
+    effort: float = 1.0,
+) -> Placement:
+    """Place a packed design on *fabric* with simulated annealing.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (placement is deterministic for a given seed).
+    effort:
+        Scales the number of annealing moves (1.0 is the default schedule).
+    """
+    if not design.plbs:
+        raise PlacementError("design has no packed PLBs; run pack_design first")
+
+    rng = random.Random(seed)
+    sites = fabric.plb_sites()
+    if len(design.plbs) > len(sites):
+        raise PlacementError(
+            f"design needs {len(design.plbs)} PLBs but the fabric only has {len(sites)}"
+        )
+
+    io_nets = list(design.primary_inputs) + [
+        net for net in design.primary_outputs if net not in design.primary_inputs
+    ]
+    pads = fabric.io_pads()
+    if len(io_nets) > len(pads):
+        raise PlacementError(
+            f"design needs {len(io_nets)} IO pads but the fabric only has {len(pads)}"
+        )
+
+    # Initial placement: PLBs on the first sites, IOs round-robin over the pads.
+    shuffled_sites = list(sites)
+    rng.shuffle(shuffled_sites)
+    plb_sites = {plb.name: shuffled_sites[index] for index, plb in enumerate(design.plbs)}
+    io_sites = {net: pads[index] for index, net in enumerate(io_nets)}
+    io_positions = {net: _pad_position(pad, fabric) for net, pad in io_sites.items()}
+
+    nets = _build_net_terminals(design)
+    cost = _hpwl(nets, plb_sites, io_positions)
+    initial_cost = cost
+
+    moves = max(200, int(effort * 100 * (len(design.plbs) + len(io_nets)) ** 1.3))
+    temperature = max(1.0, cost * 0.2)
+    plb_names = [plb.name for plb in design.plbs]
+    free_sites = [site for site in sites if site not in plb_sites.values()]
+
+    iterations = 0
+    for move_index in range(moves):
+        iterations += 1
+        temperature *= 0.999
+        if rng.random() < 0.7 and len(plb_names) >= 1:
+            # Move or swap a PLB.
+            name = rng.choice(plb_names)
+            old_site = plb_sites[name]
+            if free_sites and rng.random() < 0.5:
+                new_site = rng.choice(free_sites)
+                plb_sites[name] = new_site
+                new_cost = _hpwl(nets, plb_sites, io_positions)
+                if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
+                    cost = new_cost
+                    free_sites.remove(new_site)
+                    free_sites.append(old_site)
+                else:
+                    plb_sites[name] = old_site
+            else:
+                other = rng.choice(plb_names)
+                if other == name:
+                    continue
+                plb_sites[name], plb_sites[other] = plb_sites[other], plb_sites[name]
+                new_cost = _hpwl(nets, plb_sites, io_positions)
+                if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
+                    cost = new_cost
+                else:
+                    plb_sites[name], plb_sites[other] = plb_sites[other], plb_sites[name]
+        else:
+            # Swap two IO pads (or move one to a free pad).
+            if len(io_nets) < 1:
+                continue
+            net = rng.choice(io_nets)
+            used_pads = set(pad.name for pad in io_sites.values())
+            free_pads = [pad for pad in pads if pad.name not in used_pads]
+            saved = dict(io_sites)
+            if free_pads and rng.random() < 0.6:
+                io_sites[net] = rng.choice(free_pads)
+            else:
+                other = rng.choice(io_nets)
+                if other == net:
+                    continue
+                io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
+            new_positions = {n: _pad_position(p, fabric) for n, p in io_sites.items()}
+            new_cost = _hpwl(nets, plb_sites, new_positions)
+            if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
+                cost = new_cost
+                io_positions = new_positions
+            else:
+                io_sites.clear()
+                io_sites.update(saved)
+
+    return Placement(
+        plb_sites=dict(plb_sites),
+        io_sites=dict(io_sites),
+        cost=cost,
+        iterations=iterations,
+        initial_cost=initial_cost,
+    )
+
+
+def _accept(old_cost: float, new_cost: float, temperature: float, rng: random.Random) -> float:
+    """Metropolis acceptance probability for a worsening move."""
+    if temperature <= 0:
+        return 0.0
+    import math
+
+    return math.exp(-(new_cost - old_cost) / temperature)

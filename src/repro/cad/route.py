@@ -1,0 +1,287 @@
+"""Routing: a negotiated-congestion (PathFinder) router.
+
+Each logical net connecting placed blocks is routed as a tree over the
+routing-resource graph (:mod:`repro.core.rrgraph`): Dijkstra searches grow the
+tree towards every sink, and the classic PathFinder cost update (present +
+historical congestion) resolves overuse across iterations.
+
+Before routing, logical PLB pins are assigned to physical pins: every external
+input net of a packed PLB gets one of the PLB's ``in*`` pins and every
+externally consumed output one of the ``out*`` pins, in deterministic order.
+Primary inputs/outputs use the IO pads chosen by the placer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cad.lemap import MappedDesign
+from repro.cad.place import Placement
+from repro.core.fabric import Fabric
+from repro.core.rrgraph import RoutingResourceGraph, RRNodeType
+
+
+class RoutingError(RuntimeError):
+    """Raised when the router cannot complete (unroutable or pin overflow)."""
+
+
+@dataclass
+class PinAssignment:
+    """Physical pin chosen for one logical net at one placed block."""
+
+    net: str
+    block: str
+    pin: str
+    node_id: int
+    is_driver: bool
+
+
+@dataclass
+class RoutedNet:
+    """The routed tree of one net."""
+
+    net: str
+    source_node: int
+    sink_nodes: list[int]
+    nodes: list[int] = field(default_factory=list)
+
+    @property
+    def wirelength(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class RoutingResult:
+    """Everything the router produced."""
+
+    routed: dict[str, RoutedNet] = field(default_factory=dict)
+    pin_assignments: list[PinAssignment] = field(default_factory=list)
+    iterations: int = 0
+    success: bool = False
+    overused_nodes: int = 0
+
+    @property
+    def total_wirelength(self) -> int:
+        return sum(net.wirelength for net in self.routed.values())
+
+    def channel_occupancy(self, graph: RoutingResourceGraph) -> dict[int, int]:
+        """Usage count per wire node (diagnostics / fabric-exploration bench)."""
+        usage: dict[int, int] = {}
+        for routed in self.routed.values():
+            for node_id in routed.nodes:
+                if graph.node(node_id).node_type is RRNodeType.WIRE:
+                    usage[node_id] = usage.get(node_id, 0) + 1
+        return usage
+
+
+def _collect_net_endpoints(
+    design: MappedDesign,
+    placement: Placement,
+    graph: RoutingResourceGraph,
+) -> tuple[dict[str, int], dict[str, list[int]], list[PinAssignment]]:
+    """Compute, for every net that leaves a block, its source node and sink nodes."""
+    fabric = graph.fabric
+    assignments: list[PinAssignment] = []
+
+    driver_plb: dict[str, str] = {}
+    for plb in design.plbs:
+        for net in plb.output_nets:
+            driver_plb[net] = plb.name
+
+    consumers: dict[str, list[str]] = {}
+    for plb in design.plbs:
+        for net in plb.external_input_nets:
+            consumers.setdefault(net, []).append(plb.name)
+
+    sources: dict[str, int] = {}
+    sinks: dict[str, list[int]] = {}
+
+    # Per-PLB physical pin allocation.
+    input_pin_cursor: dict[str, int] = {plb.name: 0 for plb in design.plbs}
+    output_pin_cursor: dict[str, int] = {plb.name: 0 for plb in design.plbs}
+    input_pins = fabric.plb_input_pins()
+    output_pins = fabric.plb_output_pins()
+
+    def next_input_pin(plb_name: str) -> str:
+        cursor = input_pin_cursor[plb_name]
+        if cursor >= len(input_pins):
+            raise RoutingError(f"PLB {plb_name} needs more than {len(input_pins)} input pins")
+        input_pin_cursor[plb_name] = cursor + 1
+        return input_pins[cursor]
+
+    def next_output_pin(plb_name: str) -> str:
+        cursor = output_pin_cursor[plb_name]
+        if cursor >= len(output_pins):
+            raise RoutingError(f"PLB {plb_name} needs more than {len(output_pins)} output pins")
+        output_pin_cursor[plb_name] = cursor + 1
+        return output_pins[cursor]
+
+    interesting_nets: list[str] = []
+    for net in sorted(set(list(consumers) + design.primary_outputs)):
+        driven_by_plb = net in driver_plb
+        consumed_by_plbs = [
+            name for name in consumers.get(net, []) if name != driver_plb.get(net)
+        ]
+        is_primary_output = net in design.primary_outputs
+        is_primary_input = net in design.primary_inputs
+        needs_routing = (
+            (driven_by_plb and (consumed_by_plbs or is_primary_output))
+            or (is_primary_input and consumers.get(net))
+        )
+        if needs_routing:
+            interesting_nets.append(net)
+
+    for net in interesting_nets:
+        # Source.
+        if net in driver_plb:
+            plb_name = driver_plb[net]
+            x, y = placement.site_of(plb_name)
+            pin = next_output_pin(plb_name)
+            node = graph.opin(x, y, pin)
+            assignments.append(PinAssignment(net, plb_name, pin, node.node_id, True))
+        elif net in design.primary_inputs:
+            pad = placement.pad_of(net)
+            node = graph.io_opin(pad)
+            assignments.append(PinAssignment(net, pad.name, "out", node.node_id, True))
+        else:
+            continue
+        sources[net] = node.node_id
+
+        # Sinks.
+        net_sinks: list[int] = []
+        for plb_name in consumers.get(net, []):
+            if net in driver_plb and plb_name == driver_plb[net]:
+                continue  # internal to the PLB, no routing needed
+            x, y = placement.site_of(plb_name)
+            pin = next_input_pin(plb_name)
+            sink = graph.ipin(x, y, pin)
+            assignments.append(PinAssignment(net, plb_name, pin, sink.node_id, False))
+            net_sinks.append(sink.node_id)
+        if net in design.primary_outputs and net in driver_plb:
+            pad = placement.pad_of(net)
+            sink = graph.io_ipin(pad)
+            assignments.append(PinAssignment(net, pad.name, "in", sink.node_id, False))
+            net_sinks.append(sink.node_id)
+        if net_sinks:
+            sinks[net] = net_sinks
+        else:
+            sources.pop(net, None)
+
+    return sources, sinks, assignments
+
+
+def route_design(
+    design: MappedDesign,
+    placement: Placement,
+    graph: RoutingResourceGraph,
+    max_iterations: int = 30,
+    pres_fac_initial: float = 0.5,
+    pres_fac_mult: float = 1.6,
+    hist_fac: float = 0.4,
+) -> RoutingResult:
+    """PathFinder routing of all inter-block nets of a placed design."""
+    sources, sinks, assignments = _collect_net_endpoints(design, placement, graph)
+
+    result = RoutingResult(pin_assignments=assignments)
+    if not sources:
+        result.success = True
+        return result
+
+    node_count = len(graph)
+    occupancy = [0] * node_count
+    history = [0.0] * node_count
+    routes: dict[str, RoutedNet] = {}
+
+    # Pin nodes belong to exactly one net by construction, so congestion only
+    # develops on wires.
+    pres_fac = pres_fac_initial
+
+    def node_cost(node_id: int, net_usage: set[int]) -> float:
+        node = graph.node(node_id)
+        usage = occupancy[node_id]
+        if node_id in net_usage:
+            usage -= 1
+        over = max(0, usage + 1 - node.capacity)
+        return node.base_cost * (1.0 + pres_fac * over) + hist_fac * history[node_id]
+
+    def route_net(net: str) -> RoutedNet:
+        source = sources[net]
+        targets = set(sinks[net])
+        tree: set[int] = {source}
+        all_nodes: set[int] = {source}
+        remaining = set(targets)
+        while remaining:
+            # Dijkstra from the current tree to the nearest remaining sink.
+            distances = {node_id: 0.0 for node_id in tree}
+            previous: dict[int, int] = {}
+            heap = [(0.0, node_id) for node_id in tree]
+            heapq.heapify(heap)
+            visited: set[int] = set()
+            found: int | None = None
+            while heap:
+                distance, node_id = heapq.heappop(heap)
+                if node_id in visited:
+                    continue
+                visited.add(node_id)
+                if node_id in remaining:
+                    found = node_id
+                    break
+                for neighbour in graph.node(node_id).edges:
+                    if neighbour in visited:
+                        continue
+                    neighbour_node = graph.node(neighbour)
+                    # Do not route through foreign pins.
+                    if neighbour_node.node_type is not RRNodeType.WIRE:
+                        if neighbour not in remaining and neighbour != source:
+                            continue
+                    new_distance = distance + node_cost(neighbour, all_nodes)
+                    if new_distance < distances.get(neighbour, float("inf")):
+                        distances[neighbour] = new_distance
+                        previous[neighbour] = node_id
+                        heapq.heappush(heap, (new_distance, neighbour))
+            if found is None:
+                raise RoutingError(f"net {net!r} is unroutable (no path to a sink)")
+            # Back-trace the path into the tree.
+            cursor = found
+            while cursor not in tree:
+                all_nodes.add(cursor)
+                tree.add(cursor)
+                cursor = previous[cursor]
+            remaining.discard(found)
+        return RoutedNet(net=net, source_node=source, sink_nodes=list(targets), nodes=sorted(all_nodes))
+
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # (Re-)route every net.
+        for net in sorted(sources):
+            if net in routes:
+                for node_id in routes[net].nodes:
+                    occupancy[node_id] -= 1
+            routed = route_net(net)
+            routes[net] = routed
+            for node_id in routed.nodes:
+                occupancy[node_id] += 1
+
+        overused = [
+            node_id
+            for node_id in range(node_count)
+            if occupancy[node_id] > graph.node(node_id).capacity
+        ]
+        if not overused:
+            result.routed = routes
+            result.iterations = iteration
+            result.success = True
+            result.overused_nodes = 0
+            return result
+        for node_id in overused:
+            history[node_id] += occupancy[node_id] - graph.node(node_id).capacity
+        pres_fac *= pres_fac_mult
+
+    result.routed = routes
+    result.iterations = iteration
+    result.success = False
+    result.overused_nodes = sum(
+        1 for node_id in range(node_count) if occupancy[node_id] > graph.node(node_id).capacity
+    )
+    return result

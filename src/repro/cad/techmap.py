@@ -1,0 +1,438 @@
+"""Technology mapping onto the LE-level IR.
+
+Two mappers are provided:
+
+* :func:`template_map` -- *style-aware* mapping.  Because the style generators
+  know the semantics of the circuit they produced (which Boolean function each
+  dual-rail pair computes, where the latch controller sits, which request wire
+  needs a matched delay), the mapper can build the LE functions directly:
+
+  - QDI blocks: one state-holding LUT function per output rail (rise on the
+    rail's ON-set, fall when all inputs are neutral, hold otherwise -- the
+    classic looped-LUT realisation of DIMS logic), a LUT2-1 validity function
+    per output digit, and a C-element LUT for the acknowledge;
+  - micropipeline stages: the output latches absorb their datapath function
+    (one looped LUT per output bit), one looped LUT for the latch controller,
+    and the matched delay maps onto the PLB's programmable delay element.
+
+  This is the mapping the paper's Figure 3 sketches with dashed boxes, and it
+  is what the filling-ratio experiment measures.
+
+* :func:`generic_map` -- a style-oblivious cone-based mapper for arbitrary
+  gate netlists: every sequential cell and every primary output becomes a LUT
+  function; combinational fan-in cones are absorbed greedily while the
+  support stays within the LUT input budget.  It is used for the baselines
+  and for the "naive mapping" ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.asynclogic.channels import Channel
+from repro.cad.lemap import LEFunction, MappedDesign, MappedLE, MappedPDE
+from repro.core.params import PLBParams
+from repro.logic.truthtable import TruthTable
+from repro.netlist.celltypes import STATE_VARIABLE
+from repro.netlist.netlist import Netlist
+from repro.styles.base import LogicStyle, StyledCircuit
+
+
+class MappingError(RuntimeError):
+    """Raised when a circuit cannot be mapped onto the architecture."""
+
+
+# ----------------------------------------------------------------------
+# Template mapping: QDI
+# ----------------------------------------------------------------------
+def _qdi_rail_function(
+    input_channels: list[Channel],
+    output_channel: Channel,
+    rail_wire: str,
+    circuit: StyledCircuit,
+) -> TruthTable:
+    """The looped-LUT next-state function of one QDI output rail.
+
+    The rail rises when every input digit is valid and the reference function
+    asserts this rail; it falls when every input digit is neutral; it holds
+    its value otherwise (partial input code words during transitions).
+    """
+    function = circuit.metadata.get("reference_function")
+    if function is None:
+        raise MappingError(
+            f"circuit {circuit.name!r} carries no reference function; "
+            "template QDI mapping needs it"
+        )
+    input_wires: list[str] = []
+    for channel in input_channels:
+        input_wires.extend(channel.data_wires())
+    table_inputs = tuple(input_wires) + (rail_wire,)
+
+    def next_state(*values: int) -> int:
+        assignment = dict(zip(table_inputs, values))
+        wire_values = {wire: assignment[wire] for wire in input_wires}
+        all_valid = all(
+            channel.is_valid({w: wire_values[w] for w in channel.data_wires()})
+            for channel in input_channels
+        )
+        all_neutral = all(
+            channel.is_neutral({w: wire_values[w] for w in channel.data_wires()})
+            for channel in input_channels
+        )
+        if all_valid:
+            channel_values = {
+                channel.name: channel.decode({w: wire_values[w] for w in channel.data_wires()})
+                for channel in input_channels
+            }
+            outputs = function(channel_values)
+            encoded = output_channel.encode(outputs[output_channel.name])
+            return encoded[rail_wire]
+        if all_neutral:
+            return 0
+        return assignment[rail_wire]
+
+    return TruthTable.from_function(table_inputs, next_state, name=f"rail_{rail_wire}")
+
+
+def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
+    """Template mapping of a DIMS QDI function block."""
+    design = MappedDesign(name=circuit.name, params=params, style=circuit.style)
+    input_channels = list(circuit.input_channels)
+    output_channels = list(circuit.output_channels)
+
+    for channel in input_channels:
+        design.primary_inputs.extend(channel.data_wires())
+    for channel in output_channels:
+        design.primary_outputs.extend(channel.data_wires())
+
+    ack_net = str(circuit.metadata.get("ack_net", "ack"))
+    design.primary_outputs.append(ack_net)
+
+    le_params = params.le
+    rail_functions: list[tuple[Channel, str, LEFunction]] = []
+    for out_channel in output_channels:
+        for rail_wire in out_channel.data_wires():
+            table = _qdi_rail_function(input_channels, out_channel, rail_wire, circuit)
+            if table.arity > le_params.lut_inputs:
+                raise MappingError(
+                    f"rail function for {rail_wire!r} needs {table.arity} LUT inputs but the LE "
+                    f"offers {le_params.lut_inputs}; decompose the block into narrower channels"
+                )
+            rail_functions.append(
+                (out_channel, rail_wire, LEFunction(output_net=rail_wire, table=table, role="logic"))
+            )
+
+    # One LE per rail (the rail functions of one digit cannot share a LUT7-3
+    # because each needs its own feedback pin on top of the shared data rails).
+    validity_assigned: set[str] = set()
+    les: list[MappedLE] = []
+    digit_validity_nets: list[str] = []
+    for out_channel, rail_wire, function in rail_functions:
+        le = MappedLE(name=f"le_{rail_wire}", functions=[function])
+        # Attach the digit's validity function to the first LE of each digit.
+        digit_index = None
+        for index in range(out_channel.digits):
+            if rail_wire in out_channel.digit_wires(index):
+                digit_index = index
+                break
+        digit_key = f"{out_channel.name}:{digit_index}"
+        if digit_key not in validity_assigned and le_params.validity_lut_inputs >= 2:
+            rails = out_channel.digit_wires(digit_index or 0)
+            if len(rails) == 2:
+                validity_net = f"{out_channel.name}_v{digit_index}"
+                validity_table = TruthTable.from_function(
+                    rails, lambda a, b: a or b, name=f"valid_{digit_key}"
+                )
+                le.validity = LEFunction(output_net=validity_net, table=validity_table, role="validity")
+                digit_validity_nets.append(validity_net)
+                validity_assigned.add(digit_key)
+        les.append(le)
+
+    # Wider (1-of-N, N>2) digits get their validity from a dedicated OR LE
+    # function because the LUT2-1 only has two inputs.
+    for out_channel in output_channels:
+        for digit_index in range(out_channel.digits):
+            digit_key = f"{out_channel.name}:{digit_index}"
+            if digit_key in validity_assigned:
+                continue
+            rails = out_channel.digit_wires(digit_index)
+            validity_net = f"{out_channel.name}_v{digit_index}"
+            table = TruthTable.from_function(rails, lambda *r: any(r), name=f"valid_{digit_key}")
+            les.append(
+                MappedLE(
+                    name=f"le_valid_{out_channel.name}_{digit_index}",
+                    functions=[LEFunction(output_net=validity_net, table=table, role="validity")],
+                )
+            )
+            digit_validity_nets.append(validity_net)
+            validity_assigned.add(digit_key)
+
+    # Acknowledge: Muller C-element over the digit validities (looped LUT).
+    ack_inputs = tuple(digit_validity_nets) + (ack_net,)
+    if len(ack_inputs) > le_params.lut_inputs:
+        raise MappingError(
+            f"acknowledge C-element needs {len(ack_inputs)} LUT inputs; the LE offers "
+            f"{le_params.lut_inputs}"
+        )
+
+    def ack_next(*values: int) -> int:
+        data = values[:-1]
+        previous = values[-1]
+        if all(data):
+            return 1
+        if not any(data):
+            return 0
+        return previous
+
+    ack_table = TruthTable.from_function(ack_inputs, ack_next, name="ack")
+    les.append(
+        MappedLE(
+            name=f"le_{ack_net}",
+            functions=[LEFunction(output_net=ack_net, table=ack_table, role="ack")],
+        )
+    )
+
+    design.les = les
+    return design
+
+
+# ----------------------------------------------------------------------
+# Template mapping: micropipeline
+# ----------------------------------------------------------------------
+def _map_micropipeline(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
+    """Template mapping of a bundled-data micropipeline stage."""
+    design = MappedDesign(name=circuit.name, params=params, style=circuit.style)
+    if len(circuit.input_channels) != 1 or len(circuit.output_channels) != 1:
+        raise MappingError("micropipeline template mapping expects one input and one output channel")
+    input_channel = circuit.input_channels[0]
+    output_channel = circuit.output_channels[0]
+
+    datapath_tables = circuit.metadata.get("datapath_tables")
+    if datapath_tables is None:
+        raise MappingError(
+            f"circuit {circuit.name!r} carries no datapath tables; template mapping needs them"
+        )
+    matched_delay = int(circuit.metadata.get("matched_delay", 0)) or 1
+
+    design.primary_inputs.extend(input_channel.data_wires())
+    design.primary_inputs.append(input_channel.req_wire)
+    design.primary_inputs.append(output_channel.ack_wire)
+    design.primary_outputs.extend(output_channel.data_wires())
+    design.primary_outputs.append(input_channel.ack_wire)
+    design.primary_outputs.append(output_channel.req_wire)
+
+    le_params = params.le
+    enable_net = output_channel.req_wire  # enable == out_req == in_ack
+    req_delayed_net = f"{circuit.name}_req_delayed"
+
+    # Output latches, each absorbing its datapath function:
+    #   q' = f(data inputs)        when enable == 0 (transparent)
+    #   q' = q                     when enable == 1 (hold)
+    latch_functions: list[LEFunction] = []
+    for out_wire in output_channel.data_wires():
+        datapath_table: TruthTable = datapath_tables[out_wire]
+        table_inputs = tuple(datapath_table.inputs) + (enable_net, out_wire)
+
+        def latch_next(*values: int, _table: TruthTable = datapath_table, _inputs=table_inputs) -> int:
+            assignment = dict(zip(_inputs, values))
+            if assignment[enable_net]:
+                return assignment[_inputs[-1]]
+            return _table.evaluate({name: assignment[name] for name in _table.inputs})
+
+        table = TruthTable.from_function(table_inputs, latch_next, name=f"latch_{out_wire}")
+        if table.arity > le_params.lut_inputs:
+            raise MappingError(
+                f"latch+datapath function for {out_wire!r} needs {table.arity} LUT inputs "
+                f"(limit {le_params.lut_inputs})"
+            )
+        latch_functions.append(LEFunction(output_net=out_wire, table=table, role="latch"))
+
+    # Pack latch functions into LEs (they share the data inputs and enable).
+    latch_les: list[MappedLE] = []
+    current = MappedLE(name=f"le_{circuit.name}_latch0")
+    for function in latch_functions:
+        candidate = MappedLE(name=current.name, functions=current.functions + [function], validity=current.validity)
+        if candidate.fits(params):
+            current = candidate
+        else:
+            latch_les.append(current)
+            current = MappedLE(name=f"le_{circuit.name}_latch{len(latch_les)}", functions=[function])
+    if current.functions:
+        latch_les.append(current)
+
+    # Latch controller: enable = C(req_delayed, !out_ack), held otherwise.
+    controller_inputs = (req_delayed_net, output_channel.ack_wire, enable_net)
+
+    def controller_next(req_delayed: int, out_ack: int, enable: int) -> int:
+        not_ack = 1 - out_ack
+        if req_delayed and not_ack:
+            return 1
+        if not req_delayed and not not_ack:
+            return 0
+        return enable
+
+    controller_table = TruthTable.from_function(controller_inputs, controller_next, name="latch_controller")
+    controller_le = MappedLE(
+        name=f"le_{circuit.name}_ctrl",
+        functions=[LEFunction(output_net=enable_net, table=controller_table, role="controller")],
+    )
+
+    # The producer-side acknowledge mirrors the enable signal.  It is produced
+    # as a second output of the controller LE (same function, second LUT output).
+    in_ack_table = TruthTable.from_function(
+        controller_inputs, controller_next, name="in_ack"
+    ).rename({enable_net: enable_net})
+    controller_le.functions.append(
+        LEFunction(output_net=input_channel.ack_wire, table=in_ack_table, role="controller")
+    )
+
+    design.les = latch_les + [controller_le]
+    design.pdes = [
+        MappedPDE(
+            name=f"pde_{circuit.name}",
+            input_net=input_channel.req_wire,
+            output_net=req_delayed_net,
+            delay_ps=matched_delay,
+        )
+    ]
+    return design
+
+
+# ----------------------------------------------------------------------
+# Template mapping dispatch
+# ----------------------------------------------------------------------
+def template_map(circuit: StyledCircuit, params: PLBParams | None = None) -> MappedDesign:
+    """Map a styled circuit onto LEs using its style template."""
+    params = params if params is not None else PLBParams()
+    if circuit.style in (LogicStyle.QDI_DUAL_RAIL, LogicStyle.QDI_ONE_OF_FOUR):
+        return _map_qdi(circuit, params)
+    if circuit.style is LogicStyle.MICROPIPELINE:
+        return _map_micropipeline(circuit, params)
+    if circuit.style is LogicStyle.WCHB:
+        # WCHB stages are regular gate structures; the generic mapper handles
+        # them well (each C-element pair becomes a looped LUT).
+        return generic_map(circuit.netlist, params, style=circuit.style)
+    raise MappingError(f"no template mapping for style {circuit.style}")
+
+
+# ----------------------------------------------------------------------
+# Generic cone-based mapping
+# ----------------------------------------------------------------------
+def _cell_output_table(netlist: Netlist, cell_name: str) -> TruthTable:
+    """The truth table of a cell's (single) output over its input *net* names,
+    with the state variable renamed to the output net for sequential cells."""
+    cell = netlist.cell(cell_name)
+    if len(cell.cell_type.outputs) != 1:
+        raise MappingError(f"generic mapping only supports single-output cells ({cell_name})")
+    output_pin = cell.cell_type.outputs[0]
+    output_net = cell.connections[output_pin]
+    table = cell.cell_type.table_for(output_pin)
+    rename = {pin: cell.connections[pin] for pin in cell.cell_type.inputs if pin in table.inputs}
+    if STATE_VARIABLE in table.inputs:
+        rename[STATE_VARIABLE] = output_net
+    return table.rename(rename)
+
+
+def generic_map(
+    netlist: Netlist,
+    params: PLBParams | None = None,
+    style: LogicStyle | None = None,
+    max_lut_inputs: int | None = None,
+) -> MappedDesign:
+    """Cone-based mapping of an arbitrary gate netlist onto LUT functions.
+
+    Every primary output and every sequential-cell output becomes a LUT
+    function; combinational fan-in is collapsed greedily while the support
+    fits the LUT input budget.  Nets that remain on a cone frontier become
+    LUT functions themselves.  The resulting single-function LEs are then
+    combined by the packer.
+    """
+    params = params if params is not None else PLBParams()
+    budget = max_lut_inputs if max_lut_inputs is not None else params.le.lut_inputs
+
+    design = MappedDesign(name=netlist.name, params=params, style=style)
+    design.primary_inputs = list(netlist.primary_inputs)
+    design.primary_outputs = list(netlist.primary_outputs)
+
+    # Delay cells become PDE assignments instead of LUT functions.
+    delay_outputs: dict[str, MappedPDE] = {}
+    for cell in netlist.iter_cells():
+        if cell.type_name == "DELAY":
+            output_net = cell.connections["z"]
+            delay_outputs[output_net] = MappedPDE(
+                name=f"pde_{cell.name}",
+                input_net=cell.connections["a"],
+                output_net=output_net,
+                delay_ps=int(cell.attributes.get("delay", cell.cell_type.delay)),
+            )
+    design.pdes = list(delay_outputs.values())
+
+    sequential_outputs = {
+        cell.connections[cell.cell_type.outputs[0]]
+        for cell in netlist.sequential_cells()
+    }
+
+    required: list[str] = []
+    for net in netlist.primary_outputs:
+        if net not in required:
+            required.append(net)
+    for net in sorted(sequential_outputs):
+        if net not in required:
+            required.append(net)
+    for pde in design.pdes:
+        if pde.input_net not in required and netlist.net(pde.input_net).driver is not None:
+            required.append(pde.input_net)
+
+    mapped: dict[str, LEFunction] = {}
+    queue = list(required)
+    while queue:
+        target = queue.pop(0)
+        if target in mapped or target in design.primary_inputs or target in delay_outputs:
+            continue
+        driver = netlist.driver_of(target)
+        if driver is None:
+            continue  # undriven (will be caught by validation)
+        driver_cell, _pin = driver
+        table = _cell_output_table(netlist, driver_cell.name)
+
+        # Greedy cone absorption.
+        progress = True
+        while progress:
+            progress = False
+            for net in list(table.inputs):
+                if net == target or net in design.primary_inputs:
+                    continue
+                if net in sequential_outputs or net in delay_outputs:
+                    continue
+                inner_driver = netlist.driver_of(net)
+                if inner_driver is None:
+                    continue
+                inner_cell, _ = inner_driver
+                if inner_cell.cell_type.is_sequential:
+                    continue
+                inner_table = _cell_output_table(netlist, inner_cell.name)
+                candidate = table.compose({net: inner_table})
+                if candidate.arity <= budget:
+                    table = candidate
+                    progress = True
+
+        if table.arity > budget:
+            raise MappingError(
+                f"function for net {target!r} needs {table.arity} inputs (limit {budget})"
+            )
+        mapped[target] = LEFunction(output_net=target, table=table, role="logic")
+        for net in table.inputs:
+            if (
+                net not in mapped
+                and net != target
+                and net not in design.primary_inputs
+                and net not in delay_outputs
+                and net not in queue
+            ):
+                queue.append(net)
+
+    design.les = [
+        MappedLE(name=f"le_{output_net}", functions=[function])
+        for output_net, function in mapped.items()
+    ]
+    return design

@@ -1,0 +1,153 @@
+"""Timing analysis of mapped / routed designs.
+
+Asynchronous circuits have no clock, so "timing" means two things here:
+
+* **connection delays** -- how long a signal takes from the output of one LE
+  (or IO pad) to the input of another, through the interconnection matrix and
+  the routed wires;
+* **handshake cycle time** -- an estimate of the time one 4-phase handshake
+  takes, derived from the forward/backward path delays of the mapped design.
+  For bundled-data designs the analysis also checks (and if needed sizes) the
+  matched delay against the worst-case datapath delay -- this is the timing
+  assumption the PLB's programmable delay element implements.
+
+The numbers come from a simple, explicit delay model
+(:class:`TimingModel`); they are architecture-relative, not silicon-accurate,
+which is all the shape-level experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cad.lemap import MappedDesign
+from repro.cad.route import RoutingResult
+from repro.core.rrgraph import RoutingResourceGraph, RRNodeType
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Delay model parameters (picoseconds)."""
+
+    le_delay_ps: int = 250
+    im_delay_ps: int = 50
+    wire_segment_delay_ps: int = 80
+    switch_delay_ps: int = 20
+    cbox_delay_ps: int = 30
+    io_delay_ps: int = 100
+
+    def routed_net_delay(self, graph: RoutingResourceGraph, node_ids: list[int]) -> int:
+        """Delay of one routed tree (conservatively: its total segment count)."""
+        wires = sum(1 for node_id in node_ids if graph.node(node_id).node_type is RRNodeType.WIRE)
+        switches = max(0, wires - 1)
+        return (
+            self.cbox_delay_ps * 2
+            + wires * self.wire_segment_delay_ps
+            + switches * self.switch_delay_ps
+        )
+
+
+@dataclass
+class TimingReport:
+    """Result of :func:`analyse_timing`."""
+
+    net_delays_ps: dict[str, int] = field(default_factory=dict)
+    max_net_delay_ps: int = 0
+    le_levels: int = 0
+    forward_latency_ps: int = 0
+    cycle_time_ps: int = 0
+    matched_delays: dict[str, dict[str, int]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "max_net_delay_ps": self.max_net_delay_ps,
+            "le_levels": self.le_levels,
+            "forward_latency_ps": self.forward_latency_ps,
+            "cycle_time_ps": self.cycle_time_ps,
+        }
+
+
+def _logic_depth(design: MappedDesign) -> int:
+    """Longest acyclic LE-to-LE chain (feedback edges ignored)."""
+    drivers = design.net_driver()
+    le_by_name = {le.name: le for le in design.les}
+
+    depth_cache: dict[str, int] = {}
+    in_progress: set[str] = set()
+
+    def depth_of(le_name: str) -> int:
+        if le_name in depth_cache:
+            return depth_cache[le_name]
+        if le_name in in_progress:
+            return 0  # feedback loop; treat as a cut
+        in_progress.add(le_name)
+        le = le_by_name.get(le_name)
+        best = 0
+        if le is not None:
+            for net in le.external_input_nets:
+                driver = drivers.get(net)
+                if driver is not None and driver in le_by_name:
+                    best = max(best, depth_of(driver))
+        in_progress.discard(le_name)
+        depth_cache[le_name] = best + 1
+        return best + 1
+
+    return max((depth_of(le.name) for le in design.les), default=0)
+
+
+def analyse_timing(
+    design: MappedDesign,
+    routing: RoutingResult | None = None,
+    graph: RoutingResourceGraph | None = None,
+    model: TimingModel | None = None,
+) -> TimingReport:
+    """Estimate connection delays and the handshake cycle time.
+
+    Without routing information every inter-LE connection is charged one
+    average wire delay; with a routing result the actual routed tree lengths
+    are used.
+    """
+    model = model if model is not None else TimingModel()
+    report = TimingReport()
+
+    if routing is not None and graph is not None:
+        for net, routed in routing.routed.items():
+            report.net_delays_ps[net] = model.routed_net_delay(graph, routed.nodes)
+    else:
+        for le in design.les:
+            for net in le.external_input_nets:
+                report.net_delays_ps.setdefault(net, model.wire_segment_delay_ps + model.cbox_delay_ps)
+
+    report.max_net_delay_ps = max(report.net_delays_ps.values(), default=0)
+    report.le_levels = _logic_depth(design)
+
+    average_net = (
+        sum(report.net_delays_ps.values()) / len(report.net_delays_ps)
+        if report.net_delays_ps
+        else model.wire_segment_delay_ps
+    )
+    per_level = model.le_delay_ps + model.im_delay_ps + average_net
+    report.forward_latency_ps = int(report.le_levels * per_level)
+
+    # One 4-phase handshake needs a forward (set) traversal, an acknowledge,
+    # a return-to-zero traversal and an acknowledge release: approximately
+    # four traversals of the forward path for function blocks.
+    report.cycle_time_ps = int(4 * report.forward_latency_ps) if report.le_levels else 0
+
+    # Matched-delay adequacy for bundled-data designs.
+    for pde in design.pdes:
+        datapath_delay = int((report.le_levels or 1) * (model.le_delay_ps + model.im_delay_ps))
+        adequate = pde.delay_ps >= datapath_delay
+        report.matched_delays[pde.name] = {
+            "configured_ps": pde.delay_ps,
+            "required_ps": datapath_delay,
+            "adequate": int(adequate),
+        }
+        if not adequate:
+            report.notes.append(
+                f"matched delay {pde.name} ({pde.delay_ps} ps) is below the estimated "
+                f"datapath delay ({datapath_delay} ps)"
+            )
+
+    return report

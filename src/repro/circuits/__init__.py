@@ -1,0 +1,45 @@
+"""Benchmark circuits.
+
+This package packages the paper's example (the 1-bit full adder in QDI and
+micropipeline styles, Section 4 / Figure 3) and the larger workloads used by
+the extension experiments:
+
+* :mod:`~repro.circuits.fulladder` -- the two full adders of Figure 3 plus a
+  single-rail reference netlist.
+* :mod:`~repro.circuits.adders` -- N-bit ripple-carry adders in QDI dual-rail,
+  QDI 1-of-4 and micropipeline styles (composed bit by bit at the mapped-LE
+  level, the way a macro-based flow would).
+* :mod:`~repro.circuits.multiplier` -- small QDI array multipliers.
+* :mod:`~repro.circuits.fifo` -- WCHB FIFOs and rings for the throughput
+  experiments.
+* :mod:`~repro.circuits.registry` -- a name -> factory registry used by the
+  benchmark harness.
+"""
+
+from repro.circuits.fulladder import (
+    full_adder_reference_netlist,
+    micropipeline_full_adder,
+    qdi_full_adder,
+)
+from repro.circuits.adders import (
+    BenchmarkCircuit,
+    micropipeline_ripple_adder,
+    qdi_ripple_adder,
+)
+from repro.circuits.multiplier import qdi_multiplier
+from repro.circuits.fifo import wchb_fifo, wchb_ring
+from repro.circuits.registry import circuit_registry, build_circuit
+
+__all__ = [
+    "qdi_full_adder",
+    "micropipeline_full_adder",
+    "full_adder_reference_netlist",
+    "BenchmarkCircuit",
+    "qdi_ripple_adder",
+    "micropipeline_ripple_adder",
+    "qdi_multiplier",
+    "wchb_fifo",
+    "wchb_ring",
+    "circuit_registry",
+    "build_circuit",
+]

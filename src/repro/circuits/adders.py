@@ -1,0 +1,282 @@
+"""N-bit ripple-carry adders in the supported logic styles.
+
+The multi-bit adders are built the way a macro-based asynchronous flow builds
+them: bit slices are instantiated and stitched at the *mapped-LE* level, so
+the resulting :class:`~repro.cad.lemap.MappedDesign` can go straight into the
+packer, placer and router and into the filling-ratio / scaling experiments
+(EXP-EXT1).  The QDI slices reuse the Figure 3b template; the micropipeline
+adder is one bundled-data stage whose ripple-carry datapath is expressed as
+one latch-LUT per output bit plus internal carry LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import BundledDataEncoding, DualRailEncoding, OneOfNEncoding
+from repro.cad.lemap import LEFunction, MappedDesign, MappedLE, MappedPDE, merge_mapped_designs
+from repro.cad.techmap import template_map
+from repro.core.params import PLBParams
+from repro.logic.truthtable import TruthTable
+from repro.styles.base import LogicStyle, StyledCircuit
+from repro.styles.micropipeline import DEFAULT_MATCHED_DELAY
+from repro.styles.qdi import dims_function_block
+
+
+@dataclass
+class BenchmarkCircuit:
+    """A benchmark workload: its mapped design plus optional gate-level view."""
+
+    name: str
+    style: LogicStyle
+    mapped: MappedDesign
+    gate_circuit: StyledCircuit | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, object]:
+        data = {"name": self.name, "style": self.style.value}
+        data.update(self.mapped.summary())
+        return data
+
+
+# ----------------------------------------------------------------------
+# QDI ripple adders (dual-rail and 1-of-4)
+# ----------------------------------------------------------------------
+def _qdi_full_adder_slice(bit: int, encoding: str) -> StyledCircuit:
+    """One full-adder bit slice with per-bit channel names."""
+    if encoding == "dual-rail":
+        enc = DualRailEncoding()
+        channels_in = [
+            Channel(f"a{bit}", 1, enc),
+            Channel(f"b{bit}", 1, enc),
+            Channel(f"c{bit}", 1, enc),
+        ]
+    elif encoding == "1-of-4":
+        channels_in = [
+            Channel(f"ab{bit}", 2, OneOfNEncoding(4)),
+            Channel(f"c{bit}", 1, DualRailEncoding()),
+        ]
+    else:
+        raise ValueError(f"unsupported QDI encoding {encoding!r}")
+
+    channels_out = [
+        Channel(f"s{bit}", 1, DualRailEncoding()),
+        Channel(f"c{bit + 1}", 1, DualRailEncoding()),
+    ]
+
+    def slice_function(values: Mapping[str, int]) -> Mapping[str, int]:
+        if encoding == "dual-rail":
+            total = values[f"a{bit}"] + values[f"b{bit}"] + values[f"c{bit}"]
+        else:
+            operands = values[f"ab{bit}"]
+            total = (operands & 1) + ((operands >> 1) & 1) + values[f"c{bit}"]
+        return {f"s{bit}": total & 1, f"c{bit + 1}": (total >> 1) & 1}
+
+    return dims_function_block(
+        f"qdi_fa_slice{bit}",
+        input_channels=channels_in,
+        output_channels=channels_out,
+        function=slice_function,
+        style=LogicStyle.QDI_DUAL_RAIL if encoding == "dual-rail" else LogicStyle.QDI_ONE_OF_FOUR,
+        ack_net=f"ack{bit}",
+    )
+
+
+def qdi_ripple_adder(
+    bits: int,
+    encoding: str = "dual-rail",
+    params: PLBParams | None = None,
+    name: str | None = None,
+) -> BenchmarkCircuit:
+    """An N-bit QDI ripple-carry adder composed of Figure 3b bit slices.
+
+    Per-bit acknowledge outputs are combined by a Muller C-element tree into a
+    single ``ack`` output, so the adder presents the same interface as the
+    1-bit block.
+    """
+    if bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    params = params if params is not None else PLBParams()
+    name = name or f"qdi_ripple_adder{bits}_{encoding}"
+
+    slices = [_qdi_full_adder_slice(bit, encoding) for bit in range(bits)]
+    mapped_slices = [template_map(circuit, params) for circuit in slices]
+    mapped = merge_mapped_designs(name, mapped_slices)
+    mapped.style = slices[0].style
+
+    # Combine the per-bit acknowledges with C-element LUTs (binary tree).
+    ack_nets = [f"ack{bit}" for bit in range(bits)]
+    level = 0
+    while len(ack_nets) > 1:
+        next_level: list[str] = []
+        for index in range(0, len(ack_nets) - 1, 2):
+            output = "ack" if len(ack_nets) == 2 else f"ack_l{level}_{index // 2}"
+            inputs = (ack_nets[index], ack_nets[index + 1], output)
+
+            def c_next(a: int, b: int, y: int) -> int:
+                if a and b:
+                    return 1
+                if not a and not b:
+                    return 0
+                return y
+
+            table = TruthTable.from_function(inputs, c_next, name=f"ack_tree_{output}")
+            mapped.les.append(
+                MappedLE(name=f"le_{output}", functions=[LEFunction(output_net=output, table=table, role="ack")])
+            )
+            next_level.append(output)
+        if len(ack_nets) % 2:
+            next_level.append(ack_nets[-1])
+        ack_nets = next_level
+        level += 1
+
+    # Interface bookkeeping: carries between slices are internal.
+    driven = mapped.all_output_nets()
+    mapped.primary_inputs = [net for net in mapped.primary_inputs if net not in driven]
+    outputs: list[str] = []
+    for bit in range(bits):
+        sum_channel = Channel(f"s{bit}", 1, DualRailEncoding())
+        outputs.extend(sum_channel.data_wires())
+    outputs.extend(Channel(f"c{bits}", 1, DualRailEncoding()).data_wires())
+    outputs.append(ack_nets[0] if bits > 1 else "ack0")
+    mapped.primary_outputs = outputs
+
+    return BenchmarkCircuit(
+        name=name,
+        style=mapped.style,
+        mapped=mapped,
+        gate_circuit=None,
+        metadata={"bits": bits, "encoding": encoding, "ack_net": outputs[-1]},
+    )
+
+
+# ----------------------------------------------------------------------
+# Micropipeline ripple adder
+# ----------------------------------------------------------------------
+def micropipeline_ripple_adder(
+    bits: int,
+    matched_delay: int | None = None,
+    params: PLBParams | None = None,
+    name: str | None = None,
+) -> BenchmarkCircuit:
+    """An N-bit bundled-data ripple adder as a single micropipeline stage.
+
+    The datapath is one latch-absorbed LUT per sum bit plus one LUT per
+    internal carry; the request path uses one programmable delay element whose
+    delay scales with the carry-chain length (the timing assumption the PDE
+    exists to implement).
+    """
+    if bits < 1:
+        raise ValueError("the adder needs at least one bit")
+    params = params if params is not None else PLBParams()
+    name = name or f"micropipeline_ripple_adder{bits}"
+    matched = matched_delay if matched_delay is not None else DEFAULT_MATCHED_DELAY + 150 * bits
+
+    encoding = BundledDataEncoding()
+    input_channel = Channel("ops", 2 * bits + 1, encoding)   # a bits, b bits, cin
+    output_channel = Channel("res", bits + 1, encoding)      # sum bits, cout
+    in_wires = input_channel.data_wires()
+    out_wires = output_channel.data_wires()
+
+    a_wires = in_wires[0:bits]
+    b_wires = in_wires[bits : 2 * bits]
+    cin_wire = in_wires[2 * bits]
+    sum_wires = out_wires[0:bits]
+    cout_wire = out_wires[bits]
+
+    design = MappedDesign(name=name, params=params, style=LogicStyle.MICROPIPELINE)
+    design.primary_inputs = list(in_wires) + [input_channel.req_wire, output_channel.ack_wire]
+    design.primary_outputs = list(out_wires) + [input_channel.ack_wire, output_channel.req_wire]
+
+    enable_net = output_channel.req_wire
+    req_delayed = f"{name}_req_delayed"
+    carry_nets = [cin_wire] + [f"{name}_carry{bit}" for bit in range(1, bits)] + [cout_wire]
+
+    les: list[MappedLE] = []
+    for bit in range(bits):
+        a, b, c = a_wires[bit], b_wires[bit], carry_nets[bit]
+
+        # Sum bit: transparent latch absorbing the XOR3 datapath.
+        sum_net = sum_wires[bit]
+        sum_inputs = (a, b, c, enable_net, sum_net)
+
+        def sum_next(av: int, bv: int, cv: int, en: int, y: int) -> int:
+            return y if en else (av ^ bv ^ cv)
+
+        sum_table = TruthTable.from_function(sum_inputs, sum_next, name=f"sum{bit}")
+        sum_function = LEFunction(output_net=sum_net, table=sum_table, role="latch")
+
+        # Carry out of this bit (combinational for internal carries, latched
+        # for the final carry so the output channel stays stable).
+        carry_net = carry_nets[bit + 1]
+        if bit == bits - 1:
+            carry_inputs = (a, b, c, enable_net, carry_net)
+
+            def carry_next(av: int, bv: int, cv: int, en: int, y: int) -> int:
+                return y if en else (1 if av + bv + cv >= 2 else 0)
+
+            carry_table = TruthTable.from_function(carry_inputs, carry_next, name=f"carry{bit}")
+            carry_role = "latch"
+        else:
+            carry_inputs = (a, b, c)
+            carry_table = TruthTable.from_function(
+                carry_inputs, lambda av, bv, cv: 1 if av + bv + cv >= 2 else 0, name=f"carry{bit}"
+            )
+            carry_role = "logic"
+        carry_function = LEFunction(output_net=carry_net, table=carry_table, role=carry_role)
+
+        le = MappedLE(name=f"le_{name}_bit{bit}", functions=[sum_function, carry_function])
+        if not le.fits(params):
+            # Fall back to one function per LE if the shared LE does not fit.
+            les.append(MappedLE(name=f"le_{name}_sum{bit}", functions=[sum_function]))
+            les.append(MappedLE(name=f"le_{name}_carry{bit}", functions=[carry_function]))
+        else:
+            les.append(le)
+
+    # Latch controller (same structure as the 1-bit stage).
+    controller_inputs = (req_delayed, output_channel.ack_wire, enable_net)
+
+    def controller_next(req: int, out_ack: int, enable: int) -> int:
+        not_ack = 1 - out_ack
+        if req and not_ack:
+            return 1
+        if not req and not not_ack:
+            return 0
+        return enable
+
+    controller_table = TruthTable.from_function(controller_inputs, controller_next, name="controller")
+    in_ack_table = TruthTable.from_function(controller_inputs, controller_next, name="in_ack")
+    les.append(
+        MappedLE(
+            name=f"le_{name}_ctrl",
+            functions=[
+                LEFunction(output_net=enable_net, table=controller_table, role="controller"),
+                LEFunction(output_net=input_channel.ack_wire, table=in_ack_table, role="controller"),
+            ],
+        )
+    )
+
+    design.les = les
+    design.pdes = [
+        MappedPDE(
+            name=f"pde_{name}",
+            input_net=input_channel.req_wire,
+            output_net=req_delayed,
+            delay_ps=matched,
+        )
+    ]
+
+    return BenchmarkCircuit(
+        name=name,
+        style=LogicStyle.MICROPIPELINE,
+        mapped=design,
+        gate_circuit=None,
+        metadata={
+            "bits": bits,
+            "matched_delay": matched,
+            "input_channel": input_channel,
+            "output_channel": output_channel,
+        },
+    )

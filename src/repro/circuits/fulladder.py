@@ -1,0 +1,53 @@
+"""The paper's example circuit: the 1-bit full adder (Section 4, Figure 3).
+
+Three views are provided:
+
+* :func:`qdi_full_adder` -- the QDI dual-rail (or 1-of-4) implementation of
+  Figure 3b;
+* :func:`micropipeline_full_adder` -- the bundled-data implementation of
+  Figure 3a with its matched delay;
+* :func:`full_adder_reference_netlist` -- a plain single-rail synchronous-style
+  netlist (XOR3 + MAJ3), used as the functional reference and by the
+  synchronous-FPGA baseline.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.styles.base import StyledCircuit
+from repro.styles.micropipeline import DEFAULT_MATCHED_DELAY, micropipeline_full_adder_stage
+from repro.styles.qdi import qdi_full_adder_block
+
+
+def qdi_full_adder(encoding: str = "dual-rail", name: str = "qdi_full_adder") -> StyledCircuit:
+    """The QDI full adder of Figure 3b.
+
+    ``encoding`` selects ``"dual-rail"`` (the paper's demonstration) or
+    ``"1-of-4"`` (operands grouped into one multi-rail digit, exercising the
+    LE's auxiliary outputs).
+    """
+    return qdi_full_adder_block(name=name, encoding=encoding)
+
+
+def micropipeline_full_adder(
+    matched_delay: int = DEFAULT_MATCHED_DELAY, name: str = "micropipeline_full_adder"
+) -> StyledCircuit:
+    """The micropipeline (bundled-data) full adder of Figure 3a."""
+    return micropipeline_full_adder_stage(name=name, matched_delay=matched_delay)
+
+
+def full_adder_reference_netlist(name: str = "full_adder_ref") -> Netlist:
+    """A single-rail combinational full adder (sum = XOR3, carry = MAJ3)."""
+    builder = NetlistBuilder(name)
+    a, b, cin = builder.inputs("a", "b", "cin")
+    builder.xor3(a, b, cin, out="sum")
+    builder.maj3(a, b, cin, out="cout")
+    builder.outputs("sum", "cout")
+    return builder.build()
+
+
+def reference_sum_carry(a: int, b: int, cin: int) -> tuple[int, int]:
+    """Golden full-adder function used throughout the tests."""
+    total = a + b + cin
+    return total & 1, (total >> 1) & 1

@@ -1,0 +1,74 @@
+"""Small QDI multipliers.
+
+A compact multiplier is a convenient second "real" workload for the filling
+and scaling experiments: it is wider than the full adder (two multi-bit
+operands), its outputs need more than one digit, and its DIMS expansion
+exercises the 1-of-N support of the LE.
+
+For small operand widths the multiplier is generated as a single DIMS
+function block (the product function over the operand channels); for larger
+widths the benchmarks compose adders instead, so this module intentionally
+caps the direct expansion at 3x3 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import DualRailEncoding, OneOfNEncoding
+from repro.styles.base import LogicStyle, StyledCircuit
+from repro.styles.qdi import dims_function_block
+
+#: Direct DIMS expansion is quadratic in code words; keep it to tiny operands.
+MAX_DIRECT_BITS = 3
+
+
+def qdi_multiplier(
+    bits: int = 2,
+    encoding: str = "dual-rail",
+    name: str | None = None,
+) -> StyledCircuit:
+    """An ``bits x bits`` QDI multiplier as one DIMS function block.
+
+    The result channel is ``2 * bits`` wide.  Raises ``ValueError`` for operand
+    widths above :data:`MAX_DIRECT_BITS` (compose adders instead).
+    """
+    if bits < 1:
+        raise ValueError("operand width must be at least 1 bit")
+    if bits > MAX_DIRECT_BITS:
+        raise ValueError(
+            f"direct DIMS expansion capped at {MAX_DIRECT_BITS}x{MAX_DIRECT_BITS} bits; "
+            "build wider multipliers from adder slices"
+        )
+    name = name or f"qdi_multiplier{bits}x{bits}_{encoding}"
+
+    if encoding == "dual-rail":
+        enc = DualRailEncoding()
+        style = LogicStyle.QDI_DUAL_RAIL
+    elif encoding == "1-of-4":
+        enc = OneOfNEncoding(4)
+        style = LogicStyle.QDI_ONE_OF_FOUR
+    else:
+        raise ValueError(f"unsupported encoding {encoding!r}")
+
+    a = Channel("a", bits, enc)
+    b = Channel("b", bits, enc)
+    product_bits = 2 * bits
+    # The product is emitted one dual-rail bit per output channel so each
+    # output digit's rail functions stay within the LUT7-3 input budget after
+    # template mapping of per-bit slices is not required here (the DIMS gate
+    # netlist is what the area/baseline experiments consume).
+    outputs = [Channel(f"p{index}", 1, DualRailEncoding()) for index in range(product_bits)]
+
+    def product(values: Mapping[str, int]) -> Mapping[str, int]:
+        result = values["a"] * values["b"]
+        return {f"p{index}": (result >> index) & 1 for index in range(product_bits)}
+
+    return dims_function_block(
+        name,
+        input_channels=[a, b],
+        output_channels=outputs,
+        function=product,
+        style=style,
+    )

@@ -1,0 +1,43 @@
+"""A small registry of benchmark circuits.
+
+The benchmark harness and the examples look circuits up by name so sweeps can
+be written as plain lists of strings.  Every factory takes no arguments (the
+parameterised variants encode their parameters in the registered name).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
+from repro.circuits.fifo import wchb_fifo
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
+from repro.circuits.multiplier import qdi_multiplier
+
+
+def circuit_registry() -> dict[str, Callable[[], object]]:
+    """All registered benchmark circuits, keyed by name."""
+    registry: dict[str, Callable[[], object]] = {
+        "qdi_full_adder": lambda: qdi_full_adder(),
+        "qdi_full_adder_1of4": lambda: qdi_full_adder(encoding="1-of-4"),
+        "micropipeline_full_adder": lambda: micropipeline_full_adder(),
+        "qdi_multiplier_2x2": lambda: qdi_multiplier(2),
+        "wchb_fifo_4": lambda: wchb_fifo(4),
+        "wchb_fifo_8": lambda: wchb_fifo(8),
+    }
+    for bits in (2, 4, 8, 16):
+        registry[f"qdi_ripple_adder_{bits}"] = (
+            lambda bits=bits: qdi_ripple_adder(bits)
+        )
+        registry[f"micropipeline_ripple_adder_{bits}"] = (
+            lambda bits=bits: micropipeline_ripple_adder(bits)
+        )
+    return registry
+
+
+def build_circuit(name: str):
+    """Instantiate a registered circuit by name."""
+    registry = circuit_registry()
+    if name not in registry:
+        raise KeyError(f"unknown benchmark circuit {name!r}; known: {sorted(registry)}")
+    return registry[name]()

@@ -1,0 +1,174 @@
+"""Configuration bitstream model.
+
+The bitstream is organised in named *regions*, one per configurable resource:
+
+* one region per PLB tile (LUT truth tables, validity-LUT selectors, PDE tap,
+  IM routing), laid out exactly as the corresponding ``config_vector``
+  methods produce them;
+* one region per connection-box pin (one bit per connectable track);
+* one region per switch-box corner (one bit per track pair the box can join).
+
+:class:`BitstreamBudget` computes the size of every region from the
+architecture parameters alone (this is the "config-bit area" metric of the
+architecture experiments), and :class:`Bitstream` holds actual bit values with
+serialisation and round-trip support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams
+
+
+@dataclass(frozen=True)
+class BitstreamRegion:
+    """One named, fixed-size region of the bitstream."""
+
+    name: str
+    bits: int
+    kind: str  # "plb", "cbox", "sbox", "io"
+
+
+@dataclass
+class BitstreamBudget:
+    """The complete configuration-bit budget of a fabric."""
+
+    params: ArchitectureParams
+    regions: list[BitstreamRegion] = field(default_factory=list)
+
+    @classmethod
+    def for_architecture(cls, params: ArchitectureParams) -> "BitstreamBudget":
+        fabric = Fabric(params)
+        routing = params.routing
+        regions: list[BitstreamRegion] = []
+
+        plb_bits = params.plb.config_bits
+        for x, y in fabric.plb_sites():
+            regions.append(BitstreamRegion(name=f"plb_{x}_{y}", bits=plb_bits, kind="plb"))
+
+        # Connection boxes: one bit per (pin, connectable track).
+        fc_in_tracks = routing.tracks_per_pin(routing.fc_in)
+        fc_out_tracks = routing.tracks_per_pin(routing.fc_out)
+        cb_bits_per_plb = (
+            params.plb.plb_inputs * fc_in_tracks + params.plb.plb_outputs * fc_out_tracks
+        )
+        for x, y in fabric.plb_sites():
+            regions.append(BitstreamRegion(name=f"cbox_{x}_{y}", bits=cb_bits_per_plb, kind="cbox"))
+
+        # Switch boxes: a disjoint box can join each incident segment pair per track.
+        for corner_x, corner_y in fabric.switchbox_corners():
+            incident = len(fabric.corner_incident_channels(corner_x, corner_y))
+            pairs = incident * (incident - 1) // 2
+            regions.append(
+                BitstreamRegion(
+                    name=f"sbox_{corner_x}_{corner_y}",
+                    bits=pairs * routing.channel_width,
+                    kind="sbox",
+                )
+            )
+
+        # IO pads: one enable + one direction bit each.
+        for pad in fabric.io_pads():
+            regions.append(BitstreamRegion(name=f"io_{pad.name}", bits=2, kind="io"))
+
+        return cls(params=params, regions=regions)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        return sum(region.bits for region in self.regions)
+
+    def bits_by_kind(self) -> dict[str, int]:
+        result: dict[str, int] = {}
+        for region in self.regions:
+            result[region.kind] = result.get(region.kind, 0) + region.bits
+        return dict(sorted(result.items()))
+
+    def region(self, name: str) -> BitstreamRegion:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"unknown bitstream region {name!r}")
+
+
+class Bitstream:
+    """Actual configuration data for one fabric instance."""
+
+    def __init__(self, budget: BitstreamBudget) -> None:
+        self.budget = budget
+        self._data: dict[str, list[int]] = {
+            region.name: [0] * region.bits for region in budget.regions
+        }
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def set_region(self, name: str, bits: tuple[int, ...] | list[int]) -> None:
+        region = self.budget.region(name)
+        bits = list(bits)
+        if len(bits) > region.bits:
+            raise ValueError(
+                f"region {name!r} holds {region.bits} bits; got {len(bits)}"
+            )
+        padded = bits + [0] * (region.bits - len(bits))
+        self._data[name] = [1 if bit else 0 for bit in padded]
+
+    def set_bit(self, name: str, index: int, value: int) -> None:
+        region = self.budget.region(name)
+        if not 0 <= index < region.bits:
+            raise IndexError(f"bit {index} out of range for region {name!r} ({region.bits} bits)")
+        self._data[name][index] = 1 if value else 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def region_bits(self, name: str) -> tuple[int, ...]:
+        return tuple(self._data[name])
+
+    def used_bits(self) -> int:
+        return sum(sum(bits) for bits in self._data.values())
+
+    @property
+    def total_bits(self) -> int:
+        return self.budget.total_bits
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Concatenate all regions (budget order) into a byte string, LSB first."""
+        all_bits: list[int] = []
+        for region in self.budget.regions:
+            all_bits.extend(self._data[region.name])
+        out = bytearray((len(all_bits) + 7) // 8)
+        for index, bit in enumerate(all_bits):
+            if bit:
+                out[index // 8] |= 1 << (index % 8)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, budget: BitstreamBudget, data: bytes) -> "Bitstream":
+        bitstream = cls(budget)
+        total = budget.total_bits
+        if len(data) * 8 < total:
+            raise ValueError(f"bitstream data too short: {len(data) * 8} bits < {total}")
+        cursor = 0
+        for region in budget.regions:
+            bits = []
+            for _ in range(region.bits):
+                bits.append((data[cursor // 8] >> (cursor % 8)) & 1)
+                cursor += 1
+            bitstream.set_region(region.name, bits)
+        return bitstream
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bitstream({self.total_bits} bits, {self.used_bits()} set)"

@@ -1,0 +1,155 @@
+"""Configurable LUT models.
+
+A :class:`LUT` is a single-output look-up table with a fixed number of
+physical input pins; a :class:`MultiOutputLUT` is the paper's LUT7-3: several
+output functions sharing one set of physical input pins, with the internal
+signals "made externally available" so that 1-of-N encoded functions can be
+packed efficiently (Section 3).
+
+Both wrap :class:`~repro.logic.truthtable.TruthTable` configurations, adding
+the notion of *physical pin positions* (``i0`` ... ``i(k-1)``) so that the
+CAD flow can reason about pin usage (the filling-ratio metric) and the
+bitstream generator can lay the truth-table bits out deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.logic.truthtable import TruthTable
+
+
+def pin_names(count: int, prefix: str = "i") -> tuple[str, ...]:
+    """Physical pin names ``i0 .. i<count-1>``."""
+    return tuple(f"{prefix}{index}" for index in range(count))
+
+
+@dataclass
+class LUT:
+    """A single-output LUT with *k* physical input pins."""
+
+    k: int
+    table: TruthTable | None = None
+    name: str = "lut"
+    pin_prefix: str = "i"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("a LUT needs at least one input pin")
+        if self.table is not None:
+            self.configure(self.table)
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        return pin_names(self.k, prefix=self.pin_prefix)
+
+    @property
+    def config_bits(self) -> int:
+        return 1 << self.k
+
+    @property
+    def configured(self) -> bool:
+        return self.table is not None
+
+    def configure(self, table: TruthTable) -> None:
+        """Load a function; it must fit the physical pin count.
+
+        The table's inputs must be a subset of the physical pin names (the
+        mapper assigns logical nets to pins before configuring).
+        """
+        unknown = [pin for pin in table.inputs if pin not in self.pins]
+        if unknown:
+            raise ValueError(
+                f"LUT{self.k} cannot host a function over pins {unknown}; legal pins: {self.pins}"
+            )
+        self.table = table
+
+    def clear(self) -> None:
+        self.table = None
+
+    def evaluate(self, pin_values: Mapping[str, int]) -> int:
+        """Evaluate the configured function; unconfigured LUTs output 0."""
+        if self.table is None:
+            return 0
+        return self.table.evaluate({pin: pin_values.get(pin, 0) for pin in self.table.inputs})
+
+    def used_pins(self) -> tuple[str, ...]:
+        """Pins the configured function actually depends on."""
+        if self.table is None:
+            return ()
+        return tuple(pin for pin in self.table.inputs if self.table.depends_on(pin))
+
+    def config_vector(self) -> tuple[int, ...]:
+        """The raw configuration bits (all zeros when unconfigured)."""
+        if self.table is None:
+            return tuple([0] * self.config_bits)
+        expanded = self.table.extend_inputs(self.pins)
+        return expanded.bits
+
+
+@dataclass
+class MultiOutputLUT:
+    """A multi-output LUT: *m* functions over *k* shared physical input pins.
+
+    This models the paper's LUT7-3 (k=7, m=3): the auxiliary outputs expose
+    internal signals so one LE can produce several rails of a 1-of-N code.
+    """
+
+    k: int = 7
+    m: int = 3
+    name: str = "lut7_3"
+    outputs: list[LUT] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.m < 1:
+            raise ValueError("MultiOutputLUT needs positive k and m")
+        if not self.outputs:
+            self.outputs = [LUT(self.k, name=f"{self.name}.o{index}") for index in range(self.m)]
+        if len(self.outputs) != self.m:
+            raise ValueError(f"expected {self.m} output LUTs, got {len(self.outputs)}")
+
+    @property
+    def pins(self) -> tuple[str, ...]:
+        return pin_names(self.k)
+
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(f"o{index}" for index in range(self.m))
+
+    @property
+    def config_bits(self) -> int:
+        return self.m * (1 << self.k)
+
+    def configure_output(self, index: int, table: TruthTable) -> None:
+        if not 0 <= index < self.m:
+            raise IndexError(f"output index {index} out of range (m={self.m})")
+        self.outputs[index].configure(table)
+
+    def configure(self, tables: Sequence[TruthTable | None]) -> None:
+        """Configure all outputs at once (``None`` leaves an output unused)."""
+        if len(tables) > self.m:
+            raise ValueError(f"cannot configure {len(tables)} outputs on a LUT{self.k}-{self.m}")
+        for index, table in enumerate(tables):
+            if table is not None:
+                self.configure_output(index, table)
+
+    def evaluate(self, pin_values: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(lut.evaluate(pin_values) for lut in self.outputs)
+
+    def used_outputs(self) -> int:
+        return sum(1 for lut in self.outputs if lut.configured)
+
+    def used_pins(self) -> tuple[str, ...]:
+        used: list[str] = []
+        for lut in self.outputs:
+            for pin in lut.used_pins():
+                if pin not in used:
+                    used.append(pin)
+        return tuple(sorted(used, key=lambda pin: int(pin[1:])))
+
+    def config_vector(self) -> tuple[int, ...]:
+        bits: list[int] = []
+        for lut in self.outputs:
+            bits.extend(lut.config_vector())
+        return tuple(bits)

@@ -1,0 +1,201 @@
+"""The Programmable Logic Block (Figure 1 of the paper).
+
+A PLB contains:
+
+* an Interconnection Matrix (IM) -- a crossbar joining the PLB inputs, the
+  LE inputs/outputs and the PDE;
+* two Logic Elements (LEs), each a LUT7-3 plus a LUT2-1;
+* one Programmable Delay Element (PDE).
+
+Memory elements (Muller gates, latches) are built by routing an LE output
+back to one of its own inputs through the IM; the behavioural evaluation in
+:meth:`PLB.evaluate` therefore iterates to a fixed point while honouring the
+previous internal state, which is exactly the semantics the event-driven
+fabric simulator uses.
+
+Signal naming inside the PLB:
+
+* PLB inputs: ``in0 .. in<N-1>``; PLB outputs: ``out0 .. out<M-1>``.
+* LE *j* LUT inputs ``le<j>_i0..i6``; validity-LUT inputs ``le<j>_v0/v1``;
+  LUT outputs ``le<j>_o0..o2``; validity output ``le<j>_ov``.
+* PDE input ``pde_in`` and output ``pde_out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.im import IMConfig, InterconnectionMatrix
+from repro.core.le import LEConfig, LogicElement
+from repro.core.params import PLBParams
+from repro.core.pde import PDEConfig, ProgrammableDelayElement
+
+
+@dataclass
+class PLBConfig:
+    """Complete configuration of one PLB."""
+
+    le_configs: list[LEConfig] = field(default_factory=list)
+    pde_config: PDEConfig = field(default_factory=PDEConfig)
+    im_config: IMConfig = field(default_factory=IMConfig)
+
+    def used(self) -> bool:
+        return any(config.used() for config in self.le_configs) or self.pde_config.used
+
+
+class PLB:
+    """A behavioural PLB instance."""
+
+    def __init__(self, params: PLBParams | None = None, name: str = "plb") -> None:
+        self.params = params if params is not None else PLBParams()
+        self.name = name
+        self.les = [
+            LogicElement(self.params.le, name=f"{name}.le{index}")
+            for index in range(self.params.les_per_plb)
+        ]
+        self.pde = ProgrammableDelayElement(
+            self.params.pde_taps, self.params.pde_step_ps, name=f"{name}.pde"
+        )
+        self.im = InterconnectionMatrix(
+            sources=self.im_source_names(),
+            destinations=self.im_destination_names(),
+            name=f"{name}.im",
+        )
+
+    # ------------------------------------------------------------------
+    # Signal naming
+    # ------------------------------------------------------------------
+    def input_names(self) -> tuple[str, ...]:
+        return tuple(f"in{index}" for index in range(self.params.plb_inputs))
+
+    def output_names(self) -> tuple[str, ...]:
+        return tuple(f"out{index}" for index in range(self.params.plb_outputs))
+
+    def le_output_signals(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for le_index, le in enumerate(self.les):
+            for output in le.output_names:
+                names.append(f"le{le_index}_{output}")
+        return tuple(names)
+
+    def le_input_signals(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for le_index, le in enumerate(self.les):
+            for pin in le.input_pins:
+                names.append(f"le{le_index}_{pin}")
+            for pin in le.validity_pins:
+                names.append(f"le{le_index}_{pin}")
+        return tuple(names)
+
+    def im_source_names(self) -> tuple[str, ...]:
+        return tuple(list(self.input_names()) + list(self.le_output_signals()) + ["pde_out"])
+
+    def im_destination_names(self) -> tuple[str, ...]:
+        return tuple(list(self.le_input_signals()) + ["pde_in"] + list(self.output_names()))
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, config: PLBConfig) -> None:
+        if len(config.le_configs) > len(self.les):
+            raise ValueError(
+                f"{len(config.le_configs)} LE configurations for a PLB with {len(self.les)} LEs"
+            )
+        for le, le_config in zip(self.les, config.le_configs):
+            le.configure(le_config)
+        self.pde.configure(config.pde_config)
+        self.im.clear()
+        self.im.load(config.im_config)
+
+    @property
+    def config_bits(self) -> int:
+        """Total configuration bits of the PLB."""
+        return sum(le.config_bits for le in self.les) + self.pde.config_bits + self.im.config_bits
+
+    def config_bit_breakdown(self) -> dict[str, int]:
+        return {
+            "le_lut_bits": sum(le.lut.config_bits for le in self.les),
+            "le_validity_bits": sum(le.validity_lut.config_bits for le in self.les),
+            "le_selector_bits": sum(
+                le.config_bits - le.lut.config_bits - le.validity_lut.config_bits for le in self.les
+            ),
+            "pde_bits": self.pde.config_bits,
+            "im_bits": self.im.config_bits,
+            "total": self.config_bits,
+        }
+
+    # ------------------------------------------------------------------
+    # Behavioural evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: Mapping[str, int],
+        state: Mapping[str, int] | None = None,
+        max_iterations: int = 16,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Evaluate the PLB for one set of input values.
+
+        Parameters
+        ----------
+        inputs:
+            Values of the PLB input pins (``in0`` ...); missing pins read 0.
+        state:
+            Previous values of the internal LE/PDE output signals, needed for
+            feedback loops (memory elements).  Missing signals start at 0.
+        max_iterations:
+            Fixed-point iteration limit; oscillation raises ``RuntimeError``.
+
+        Returns
+        -------
+        (outputs, new_state):
+            ``outputs`` maps PLB output pins to values; ``new_state`` holds
+            the settled internal signal values to pass to the next call.
+        """
+        source_values: dict[str, int] = {name: 0 for name in self.im.sources}
+        for name in self.input_names():
+            source_values[name] = int(inputs.get(name, 0))
+        if state:
+            for name, value in state.items():
+                if name in source_values:
+                    source_values[name] = int(value)
+
+        for _ in range(max_iterations):
+            destination_values = self.im.propagate(source_values)
+
+            new_values = dict(source_values)
+            for le_index, le in enumerate(self.les):
+                le_inputs: dict[str, int] = {}
+                for pin in list(le.input_pins) + list(le.validity_pins):
+                    le_inputs[pin] = destination_values[f"le{le_index}_{pin}"]
+                outputs = le.evaluate(le_inputs)
+                for output_name, value in outputs.items():
+                    new_values[f"le{le_index}_{output_name}"] = value
+            # The PDE is a pure delay: behaviourally its output follows its input.
+            new_values["pde_out"] = destination_values["pde_in"]
+
+            if new_values == source_values:
+                break
+            source_values = new_values
+        else:
+            raise RuntimeError(f"PLB {self.name} did not reach a fixed point (oscillation)")
+
+        destination_values = self.im.propagate(source_values)
+        outputs = {name: destination_values[name] for name in self.output_names()}
+        new_state = {
+            name: source_values[name]
+            for name in list(self.le_output_signals()) + ["pde_out"]
+        }
+        return outputs, new_state
+
+    # ------------------------------------------------------------------
+    # Utilisation
+    # ------------------------------------------------------------------
+    def utilisation(self) -> dict[str, object]:
+        per_le = [le.utilisation() for le in self.les]
+        return {
+            "les": per_le,
+            "pde_used": self.pde.config.used,
+            "im_destinations_used": self.im.used_destinations(),
+            "im_destinations_total": len(self.im.destinations),
+        }

@@ -1,0 +1,76 @@
+"""Fabric-level statistics.
+
+These numbers back the architecture experiments (EXP-F1, EXP-F2 and the
+fabric-exploration extension): how large each block is in configuration bits,
+how many wires and pins the routing network has, and how the totals scale
+with the architecture parameters.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitstream import BitstreamBudget
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams
+from repro.core.plb import PLB
+
+
+def le_statistics(params: ArchitectureParams) -> dict[str, int]:
+    """Figure 2 numbers: the LE's resources and configuration cost."""
+    le = params.plb.le
+    return {
+        "lut_inputs": le.lut_inputs,
+        "lut_outputs": le.lut_outputs,
+        "validity_lut_inputs": le.validity_lut_inputs,
+        "validity_lut_outputs": le.validity_lut_outputs,
+        "lut_config_bits": le.lut_config_bits,
+        "validity_lut_config_bits": le.validity_lut_config_bits,
+        "total_inputs": le.total_inputs,
+        "total_outputs": le.total_outputs,
+    }
+
+
+def plb_statistics(params: ArchitectureParams) -> dict[str, int]:
+    """Figure 1 numbers: the PLB's structure and configuration cost."""
+    plb = PLB(params.plb)
+    breakdown = plb.config_bit_breakdown()
+    return {
+        "les_per_plb": params.plb.les_per_plb,
+        "plb_inputs": params.plb.plb_inputs,
+        "plb_outputs": params.plb.plb_outputs,
+        "pde_taps": params.plb.pde_taps,
+        "pde_step_ps": params.plb.pde_step_ps,
+        "im_sources": len(plb.im.sources),
+        "im_destinations": len(plb.im.destinations),
+        "im_crosspoints": plb.im.crosspoints,
+        "im_config_bits": plb.im.config_bits,
+        "le_config_bits": sum(le.config_bits for le in plb.les),
+        "pde_config_bits": plb.pde.config_bits,
+        "plb_config_bits": plb.config_bits,
+        **{f"breakdown_{key}": value for key, value in breakdown.items()},
+    }
+
+
+def fabric_statistics(params: ArchitectureParams | None = None) -> dict[str, object]:
+    """Complete fabric inventory for one architecture instance."""
+    params = params if params is not None else ArchitectureParams()
+    fabric = Fabric(params)
+    budget = BitstreamBudget.for_architecture(params)
+    by_kind = budget.bits_by_kind()
+    return {
+        "name": params.name,
+        "grid": f"{params.width}x{params.height}",
+        "plb_count": params.plb_count,
+        "le_count": params.le_count,
+        "io_pad_count": len(fabric.io_pads()),
+        "channel_width": params.routing.channel_width,
+        "channel_segments": fabric.channel_segment_count(),
+        "routing_wires": fabric.wire_count(),
+        "switchbox_corners": (params.width + 1) * (params.height + 1),
+        "config_bits_total": budget.total_bits,
+        "config_bits_plb": by_kind.get("plb", 0),
+        "config_bits_cbox": by_kind.get("cbox", 0),
+        "config_bits_sbox": by_kind.get("sbox", 0),
+        "config_bits_io": by_kind.get("io", 0),
+        "le": le_statistics(params),
+        "plb": plb_statistics(params),
+    }

@@ -1,0 +1,73 @@
+"""Boolean-logic substrate.
+
+This package provides the small amount of Boolean machinery the rest of the
+reproduction relies on:
+
+* :class:`~repro.logic.truthtable.TruthTable` -- an immutable truth table over
+  a named, ordered list of input variables.  LUT configurations in the fabric
+  model (:mod:`repro.core`) are truth tables, and the technology mapper
+  (:mod:`repro.cad.techmap`) manipulates them when it collapses gate cones
+  into LUT7-3 functions.
+* :mod:`~repro.logic.boolexpr` -- a tiny Boolean-expression AST with a parser,
+  used by tests, examples and the style generators to describe functions
+  symbolically.
+* :mod:`~repro.logic.functions` -- a library of standard functions (AND, OR,
+  XOR, majority, mux, Muller C-element next-state functions, ...).
+* :mod:`~repro.logic.minimise` -- a small cube-based single-output two-level
+  minimiser used for reporting and for hazard analysis (it exposes the prime
+  implicants of a function).
+"""
+
+from repro.logic.truthtable import TruthTable
+from repro.logic.boolexpr import (
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    Xor,
+    parse_expr,
+)
+from repro.logic.functions import (
+    and_table,
+    c_element_table,
+    generalized_c_table,
+    latch_table,
+    majority_table,
+    mux_table,
+    nand_table,
+    nor_table,
+    not_table,
+    or_table,
+    xnor_table,
+    xor_table,
+)
+from repro.logic.minimise import Cube, prime_implicants, minimise_sop
+
+__all__ = [
+    "TruthTable",
+    "Expr",
+    "Var",
+    "Const",
+    "And",
+    "Or",
+    "Not",
+    "Xor",
+    "parse_expr",
+    "and_table",
+    "or_table",
+    "not_table",
+    "nand_table",
+    "nor_table",
+    "xor_table",
+    "xnor_table",
+    "majority_table",
+    "mux_table",
+    "latch_table",
+    "c_element_table",
+    "generalized_c_table",
+    "Cube",
+    "prime_implicants",
+    "minimise_sop",
+]

@@ -1,0 +1,261 @@
+"""A small Boolean-expression AST with a recursive-descent parser.
+
+Expressions are used by tests, examples and the style generators to specify
+functions symbolically; they can be lowered to
+:class:`~repro.logic.truthtable.TruthTable` objects with
+:meth:`Expr.to_truth_table`.
+
+Grammar accepted by :func:`parse_expr` (usual precedence, ``!`` strongest)::
+
+    expr    := xorterm ( ("|" | "+") xorterm )*
+    xorterm := term ( "^" term )*
+    term    := factor ( ("&" | "*") factor )*
+    factor  := "!" factor | "(" expr ")" | "0" | "1" | identifier
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.logic.truthtable import TruthTable
+
+
+class Expr:
+    """Base class of all Boolean expression nodes."""
+
+    def variables(self) -> tuple[str, ...]:
+        """All variable names appearing in the expression, in first-seen order."""
+        seen: list[str] = []
+        self._collect(seen)
+        return tuple(seen)
+
+    def _collect(self, seen: list[str]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def to_truth_table(self, inputs: Sequence[str] | None = None, name: str = "") -> TruthTable:
+        """Lower the expression to a truth table.
+
+        When *inputs* is omitted the variables of the expression (in first-seen
+        order) are used.
+        """
+        names = tuple(inputs) if inputs is not None else self.variables()
+        missing = [v for v in self.variables() if v not in names]
+        if missing:
+            raise ValueError(f"inputs {names!r} missing expression variables {missing!r}")
+        return TruthTable.from_function(
+            names, lambda *values: self.evaluate(dict(zip(names, values))), name=name
+        )
+
+    # Operator sugar -----------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named Boolean variable."""
+
+    name: str
+
+    def _collect(self, seen: list[str]) -> None:
+        if self.name not in seen:
+            seen.append(self.name)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 if assignment[self.name] else 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant 0 or 1."""
+
+    value: int
+
+    def _collect(self, seen: list[str]) -> None:
+        return None
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 if self.value else 0
+
+    def __str__(self) -> str:
+        return str(1 if self.value else 0)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def _collect(self, seen: list[str]) -> None:
+        self.operand._collect(seen)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        return 1 - self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"!{self.operand}"
+
+
+class _NaryExpr(Expr):
+    """Shared implementation of associative n-ary operators."""
+
+    symbol = "?"
+
+    def __init__(self, *operands: Expr) -> None:
+        if len(operands) < 2:
+            raise ValueError(f"{type(self).__name__} needs at least two operands")
+        self.operands = tuple(operands)
+
+    def _collect(self, seen: list[str]) -> None:
+        for operand in self.operands:
+            operand._collect(seen)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.operands == other.operands  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __str__(self) -> str:
+        return "(" + f" {self.symbol} ".join(str(op) for op in self.operands) + ")"
+
+
+class And(_NaryExpr):
+    symbol = "&"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        for operand in self.operands:
+            if not operand.evaluate(assignment):
+                return 0
+        return 1
+
+
+class Or(_NaryExpr):
+    symbol = "|"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        for operand in self.operands:
+            if operand.evaluate(assignment):
+                return 1
+        return 0
+
+
+class Xor(_NaryExpr):
+    symbol = "^"
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        result = 0
+        for operand in self.operands:
+            result ^= operand.evaluate(assignment)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Tokenizer:
+    """Tokenise a Boolean expression string."""
+
+    symbols = {"(", ")", "!", "&", "*", "|", "+", "^"}
+
+    def __init__(self, text: str) -> None:
+        self.tokens = list(self._scan(text))
+        self.position = 0
+
+    def _scan(self, text: str) -> Iterator[str]:
+        index = 0
+        while index < len(text):
+            char = text[index]
+            if char.isspace():
+                index += 1
+                continue
+            if char in self.symbols:
+                yield char
+                index += 1
+                continue
+            if char.isalnum() or char == "_":
+                start = index
+                while index < len(text) and (text[index].isalnum() or text[index] in "_.[]"):
+                    index += 1
+                yield text[start:index]
+                continue
+            raise ValueError(f"unexpected character {char!r} in expression {text!r}")
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def pop(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of expression")
+        self.position += 1
+        return token
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a Boolean expression string into an :class:`Expr` tree."""
+    tokenizer = _Tokenizer(text)
+    expr = _parse_or(tokenizer)
+    if tokenizer.peek() is not None:
+        raise ValueError(f"trailing tokens after expression: {tokenizer.tokens[tokenizer.position:]}")
+    return expr
+
+
+def _parse_or(tok: _Tokenizer) -> Expr:
+    operands = [_parse_xor(tok)]
+    while tok.peek() in ("|", "+"):
+        tok.pop()
+        operands.append(_parse_xor(tok))
+    return operands[0] if len(operands) == 1 else Or(*operands)
+
+
+def _parse_xor(tok: _Tokenizer) -> Expr:
+    operands = [_parse_and(tok)]
+    while tok.peek() == "^":
+        tok.pop()
+        operands.append(_parse_and(tok))
+    return operands[0] if len(operands) == 1 else Xor(*operands)
+
+
+def _parse_and(tok: _Tokenizer) -> Expr:
+    operands = [_parse_factor(tok)]
+    while tok.peek() in ("&", "*"):
+        tok.pop()
+        operands.append(_parse_factor(tok))
+    return operands[0] if len(operands) == 1 else And(*operands)
+
+
+def _parse_factor(tok: _Tokenizer) -> Expr:
+    token = tok.pop()
+    if token == "!":
+        return Not(_parse_factor(tok))
+    if token == "(":
+        inner = _parse_or(tok)
+        closing = tok.pop()
+        if closing != ")":
+            raise ValueError(f"expected ')', got {closing!r}")
+        return inner
+    if token == "0":
+        return Const(0)
+    if token == "1":
+        return Const(1)
+    if token in _Tokenizer.symbols:
+        raise ValueError(f"unexpected token {token!r}")
+    return Var(token)

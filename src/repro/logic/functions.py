@@ -1,0 +1,167 @@
+"""Library of standard Boolean functions as truth tables.
+
+These helpers are used everywhere a LUT configuration or a gate behaviour is
+needed: the gate library (:mod:`repro.netlist.celltypes`), the style
+generators (:mod:`repro.styles`) and the technology mapper.
+
+State-holding elements (Muller C-element, transparent latch) are expressed as
+*next-state* functions: the current output appears as an explicit input
+(conventionally called ``y``), which is exactly how the paper's architecture
+realises them -- by looping a combinational LUT output back through the PLB's
+interconnection matrix (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.logic.truthtable import TruthTable
+
+
+def _names(prefix: str, count: int) -> tuple[str, ...]:
+    return tuple(f"{prefix}{index}" for index in range(count))
+
+
+def and_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input AND."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: all(v), name=f"and{len(names)}")
+
+
+def or_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input OR."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: any(v), name=f"or{len(names)}")
+
+
+def nand_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input NAND."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: not all(v), name=f"nand{len(names)}")
+
+
+def nor_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input NOR."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: not any(v), name=f"nor{len(names)}")
+
+
+def xor_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input XOR (odd parity)."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: sum(v) % 2, name=f"xor{len(names)}")
+
+
+def xnor_table(arity: int = 2, inputs: Sequence[str] | None = None) -> TruthTable:
+    """N-input XNOR (even parity)."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    return TruthTable.from_function(names, lambda *v: (sum(v) + 1) % 2, name=f"xnor{len(names)}")
+
+
+def not_table(input_name: str = "a") -> TruthTable:
+    """Inverter."""
+    return TruthTable.from_function((input_name,), lambda a: 1 - a, name="not")
+
+
+def buf_table(input_name: str = "a") -> TruthTable:
+    """Non-inverting buffer."""
+    return TruthTable.from_function((input_name,), lambda a: a, name="buf")
+
+
+def majority_table(arity: int = 3, inputs: Sequence[str] | None = None) -> TruthTable:
+    """Majority function (used for the full-adder carry)."""
+    names = tuple(inputs) if inputs is not None else _names("a", arity)
+    threshold = len(names) // 2 + 1
+    return TruthTable.from_function(
+        names, lambda *v: sum(v) >= threshold, name=f"maj{len(names)}"
+    )
+
+
+def mux_table(select: str = "s", zero: str = "d0", one: str = "d1") -> TruthTable:
+    """2:1 multiplexer: output = d1 when s else d0."""
+    return TruthTable.from_function(
+        (select, zero, one), lambda s, d0, d1: d1 if s else d0, name="mux2"
+    )
+
+
+def c_element_table(
+    inputs: Sequence[str] = ("a", "b"), state: str = "y"
+) -> TruthTable:
+    """Muller C-element next-state function.
+
+    The output goes high when *all* inputs are high, goes low when all inputs
+    are low, and otherwise holds its previous value (the *state* input).
+    This is the canonical asynchronous memory element (Sparsø & Furber,
+    "Principles of Asynchronous Circuit Design").
+    """
+    names = tuple(inputs) + (state,)
+
+    def next_state(*values: int) -> int:
+        data = values[:-1]
+        previous = values[-1]
+        if all(data):
+            return 1
+        if not any(data):
+            return 0
+        return previous
+
+    return TruthTable.from_function(names, next_state, name=f"c{len(inputs)}")
+
+
+def generalized_c_table(
+    plus_inputs: Sequence[str],
+    minus_inputs: Sequence[str],
+    state: str = "y",
+) -> TruthTable:
+    """Asymmetric (generalised) C-element next-state function.
+
+    The output rises when all ``plus`` inputs are 1 and falls when all
+    ``minus`` inputs are 0; it holds otherwise.  Inputs listed in both groups
+    behave like regular (symmetric) C-element inputs.
+    """
+    plus = tuple(plus_inputs)
+    minus = tuple(minus_inputs)
+    names: list[str] = []
+    for name in plus + minus:
+        if name not in names:
+            names.append(name)
+    names.append(state)
+
+    def next_state(*values: int) -> int:
+        assignment = dict(zip(names, values))
+        previous = assignment[state]
+        if all(assignment[name] for name in plus):
+            return 1
+        if not any(assignment[name] for name in minus):
+            return 0
+        return previous
+
+    return TruthTable.from_function(tuple(names), next_state, name="gc")
+
+
+def latch_table(data: str = "d", enable: str = "en", state: str = "y") -> TruthTable:
+    """Transparent latch next-state function (transparent when *enable* = 1)."""
+    return TruthTable.from_function(
+        (data, enable, state),
+        lambda d, en, y: d if en else y,
+        name="latch",
+    )
+
+
+def sr_latch_table(set_name: str = "s", reset_name: str = "r", state: str = "y") -> TruthTable:
+    """Set/reset latch next-state function (set dominant)."""
+    return TruthTable.from_function(
+        (set_name, reset_name, state),
+        lambda s, r, y: 1 if s else (0 if r else y),
+        name="sr_latch",
+    )
+
+
+def full_adder_sum_table(inputs: Sequence[str] = ("a", "b", "cin")) -> TruthTable:
+    """Single-rail full-adder sum (3-input XOR)."""
+    return xor_table(inputs=inputs)
+
+
+def full_adder_carry_table(inputs: Sequence[str] = ("a", "b", "cin")) -> TruthTable:
+    """Single-rail full-adder carry (3-input majority)."""
+    return majority_table(inputs=inputs)

@@ -1,0 +1,159 @@
+"""A small cube-based two-level minimiser (Quine–McCluskey style).
+
+The minimiser is intentionally simple -- the LUTs of the target architecture
+are configured directly from truth tables so minimisation is never required
+for correctness.  It is used by:
+
+* the hazard analyser (:mod:`repro.sim.hazards`), which needs the prime
+  implicants of a function to check for static-1 hazard cover, and
+* the reporting code, which prints compact sum-of-products expressions for
+  mapped LUT functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over n variables.
+
+    ``care`` has a 1 for every variable that appears in the term and ``value``
+    gives the required polarity for those variables (bits of ``value`` outside
+    ``care`` must be 0).
+    """
+
+    care: int
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.value & ~self.care:
+            raise ValueError("cube value has bits outside its care set")
+
+    def covers(self, minterm: int) -> bool:
+        """True if the cube contains the given minterm index."""
+        return (minterm & self.care) == self.value
+
+    def literal_count(self) -> int:
+        return bin(self.care).count("1")
+
+    def try_merge(self, other: "Cube") -> "Cube | None":
+        """Combine two cubes differing in exactly one cared literal."""
+        if self.width != other.width or self.care != other.care:
+            return None
+        difference = self.value ^ other.value
+        if bin(difference).count("1") != 1:
+            return None
+        new_care = self.care & ~difference
+        return Cube(care=new_care, value=self.value & new_care, width=self.width)
+
+    def to_expression(self, inputs: Sequence[str]) -> str:
+        """Render the cube as a product of literals over *inputs* (LSB first)."""
+        literals = []
+        for position, name in enumerate(inputs):
+            mask = 1 << position
+            if not self.care & mask:
+                continue
+            literals.append(name if self.value & mask else f"!{name}")
+        return " & ".join(literals) if literals else "1"
+
+
+def _initial_cubes(minterms: Iterable[int], width: int) -> list[Cube]:
+    full_care = (1 << width) - 1
+    return [Cube(care=full_care, value=minterm, width=width) for minterm in sorted(set(minterms))]
+
+
+def prime_implicants(table: TruthTable) -> list[Cube]:
+    """Compute all prime implicants of *table* (classic QM merging)."""
+    width = table.arity
+    current = _initial_cubes(table.minterms(), width)
+    primes: list[Cube] = []
+    while current:
+        merged_flags = [False] * len(current)
+        next_level: list[Cube] = []
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                merged = current[i].try_merge(current[j])
+                if merged is None:
+                    continue
+                merged_flags[i] = True
+                merged_flags[j] = True
+                if merged not in next_level:
+                    next_level.append(merged)
+        for flag, cube in zip(merged_flags, current):
+            if not flag and cube not in primes:
+                primes.append(cube)
+        current = next_level
+    return primes
+
+
+def minimise_sop(table: TruthTable) -> list[Cube]:
+    """Greedy prime-implicant cover of the ON-set of *table*.
+
+    Essential primes are selected first, then remaining minterms are covered
+    greedily by the prime covering the most uncovered minterms.  The result is
+    a valid (not necessarily globally minimal) cover.
+    """
+    minterms = set(table.minterms())
+    if not minterms:
+        return []
+    primes = prime_implicants(table)
+
+    cover_map = {prime: {m for m in minterms if prime.covers(m)} for prime in primes}
+
+    chosen: list[Cube] = []
+    uncovered = set(minterms)
+
+    # Essential primes: minterms covered by exactly one prime.
+    for minterm in sorted(minterms):
+        covering = [prime for prime in primes if prime.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            uncovered -= cover_map[covering[0]]
+
+    # Greedy cover of the remainder.
+    while uncovered:
+        best = max(primes, key=lambda prime: (len(cover_map[prime] & uncovered), -prime.literal_count()))
+        gained = cover_map[best] & uncovered
+        if not gained:
+            # Should not happen: every minterm is covered by at least one prime.
+            raise RuntimeError("internal error: uncoverable minterm in minimise_sop")
+        chosen.append(best)
+        uncovered -= gained
+
+    return chosen
+
+
+def sop_expression(table: TruthTable) -> str:
+    """A compact sum-of-products string for *table* (for reports)."""
+    cubes = minimise_sop(table)
+    if not cubes:
+        return "0"
+    if any(cube.care == 0 for cube in cubes):
+        return "1"
+    return " | ".join(f"({cube.to_expression(table.inputs)})" for cube in cubes)
+
+
+def cover_is_hazard_free(table: TruthTable, cover: Sequence[Cube]) -> bool:
+    """Check the static-1 hazard condition for a SOP cover.
+
+    A single-input-change transition between two adjacent ON-set minterms is
+    free of static-1 hazards iff some product term of the cover contains both
+    endpoints.  This is the classic condition used when synthesising
+    hazard-free asynchronous logic.
+    """
+    minterms = set(table.minterms())
+    width = table.arity
+    for minterm in minterms:
+        for position in range(width):
+            neighbour = minterm ^ (1 << position)
+            if neighbour not in minterms or neighbour < minterm:
+                continue
+            if not any(cube.covers(minterm) and cube.covers(neighbour) for cube in cover):
+                return False
+    return True

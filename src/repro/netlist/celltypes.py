@@ -1,0 +1,217 @@
+"""The primitive cell library.
+
+Every :class:`CellType` describes one primitive: its input pins, its output
+pins, one truth table per output, and whether it is *state holding*.  For
+state-holding cells the truth table of the stateful output includes the output
+itself among its inputs (the conventional ``y`` feedback variable); the
+simulator and the technology mapper treat that variable specially.
+
+The default :func:`standard_library` contains everything the style generators
+in :mod:`repro.styles` emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.logic.functions import (
+    and_table,
+    buf_table,
+    c_element_table,
+    latch_table,
+    majority_table,
+    mux_table,
+    nand_table,
+    nor_table,
+    not_table,
+    or_table,
+    sr_latch_table,
+    xnor_table,
+    xor_table,
+)
+from repro.logic.truthtable import TruthTable
+
+#: Name used for the implicit feedback/state variable of sequential cells.
+STATE_VARIABLE = "y"
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A primitive cell.
+
+    Parameters
+    ----------
+    name:
+        Library name, e.g. ``"AND2"`` or ``"C2"``.
+    inputs:
+        Ordered input pin names.
+    outputs:
+        Ordered output pin names.
+    tables:
+        One truth table per output pin.  For state-holding outputs the table
+        may reference :data:`STATE_VARIABLE`, which resolves to that output's
+        previous value.
+    delay:
+        Nominal propagation delay in picoseconds, used by the gate-level
+        simulator and the timing model.
+    is_sequential:
+        True when at least one output table references the state variable.
+    area:
+        Abstract area cost (arbitrary units) used by the baselines' area model.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    tables: Mapping[str, TruthTable]
+    delay: int = 100
+    is_sequential: bool = False
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        missing = [pin for pin in self.outputs if pin not in self.tables]
+        if missing:
+            raise ValueError(f"cell {self.name}: outputs without truth tables: {missing}")
+        for pin, table in self.tables.items():
+            if pin not in self.outputs:
+                raise ValueError(f"cell {self.name}: table for unknown output {pin!r}")
+            allowed = set(self.inputs) | {STATE_VARIABLE}
+            unknown = [name for name in table.inputs if name not in allowed]
+            if unknown:
+                raise ValueError(
+                    f"cell {self.name}: table of {pin!r} uses unknown inputs {unknown}"
+                )
+
+    @property
+    def fanin(self) -> int:
+        return len(self.inputs)
+
+    def table_for(self, output: str) -> TruthTable:
+        return self.tables[output]
+
+    def uses_state(self, output: str) -> bool:
+        """True when *output* is state holding (its table reads ``y``)."""
+        return STATE_VARIABLE in self.tables[output].inputs
+
+
+@dataclass
+class Library:
+    """A named collection of :class:`CellType` objects."""
+
+    name: str
+    cells: dict[str, CellType] = field(default_factory=dict)
+
+    def add(self, cell: CellType) -> CellType:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell type {cell.name!r} in library {self.name!r}")
+        self.cells[cell.name] = cell
+        return cell
+
+    def get(self, name: str) -> CellType:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(f"unknown cell type {name!r} in library {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    def sequential_cells(self) -> list[CellType]:
+        return [cell for cell in self.cells.values() if cell.is_sequential]
+
+
+def _combinational(
+    name: str, table: TruthTable, delay: int = 100, area: float = 1.0
+) -> CellType:
+    return CellType(
+        name=name,
+        inputs=table.inputs,
+        outputs=("z",),
+        tables={"z": table},
+        delay=delay,
+        is_sequential=False,
+        area=area,
+    )
+
+
+def _sequential(
+    name: str, table: TruthTable, delay: int = 120, area: float = 2.0
+) -> CellType:
+    data_inputs = tuple(pin for pin in table.inputs if pin != STATE_VARIABLE)
+    return CellType(
+        name=name,
+        inputs=data_inputs,
+        outputs=("z",),
+        tables={"z": table.rename({STATE_VARIABLE: STATE_VARIABLE})},
+        delay=delay,
+        is_sequential=True,
+        area=area,
+    )
+
+
+def standard_library() -> Library:
+    """Build the default gate library used throughout the reproduction.
+
+    The library contains:
+
+    * inverters/buffers, 2- and 3-input AND/OR/NAND/NOR, 2/3-input XOR/XNOR,
+      a 3-input majority gate, and a 2:1 mux;
+    * Muller C-elements with 2 and 3 inputs (``C2``, ``C3``) plus
+      reset-dominant variants (``C2R``);
+    * transparent latch (``LATCH``) and set/reset latch (``SRLATCH``) used by
+      the micropipeline style.
+    """
+    library = Library(name="repro-std")
+
+    library.add(_combinational("BUF", buf_table("a"), delay=60, area=0.5))
+    library.add(_combinational("INV", not_table("a"), delay=50, area=0.5))
+
+    for arity in (2, 3, 4):
+        names = tuple(f"a{i}" for i in range(arity))
+        library.add(_combinational(f"AND{arity}", and_table(inputs=names), area=arity * 0.75))
+        library.add(_combinational(f"OR{arity}", or_table(inputs=names), area=arity * 0.75))
+        library.add(_combinational(f"NAND{arity}", nand_table(inputs=names), area=arity * 0.5))
+        library.add(_combinational(f"NOR{arity}", nor_table(inputs=names), area=arity * 0.5))
+
+    for arity in (2, 3):
+        names = tuple(f"a{i}" for i in range(arity))
+        library.add(_combinational(f"XOR{arity}", xor_table(inputs=names), delay=140, area=arity * 1.5))
+        library.add(_combinational(f"XNOR{arity}", xnor_table(inputs=names), delay=140, area=arity * 1.5))
+
+    library.add(_combinational("MAJ3", majority_table(inputs=("a0", "a1", "a2")), area=2.5))
+    library.add(_combinational("MUX2", mux_table("s", "d0", "d1"), area=2.0))
+
+    # Matched delay element (behaviourally a buffer with a large delay).  On
+    # the target architecture this maps to the PLB's programmable delay
+    # element; instances can override the delay via the ``delay`` attribute.
+    library.add(_combinational("DELAY", buf_table("a"), delay=400, area=1.0))
+
+    # Asynchronous primitives -------------------------------------------
+    library.add(
+        _sequential("C2", c_element_table(("a0", "a1")), delay=150, area=3.0)
+    )
+    library.add(
+        _sequential("C3", c_element_table(("a0", "a1", "a2")), delay=170, area=4.0)
+    )
+
+    # Reset-dominant two-input C-element: extra input r forces the output low.
+    base_c2 = c_element_table(("a0", "a1"))
+    reset_c2 = TruthTable.from_function(
+        ("a0", "a1", "r", STATE_VARIABLE),
+        lambda a0, a1, r, y: 0 if r else base_c2.evaluate({"a0": a0, "a1": a1, STATE_VARIABLE: y}),
+        name="c2r",
+    )
+    library.add(_sequential("C2R", reset_c2, delay=160, area=3.5))
+
+    library.add(_sequential("LATCH", latch_table("d", "en"), delay=130, area=2.5))
+    library.add(_sequential("SRLATCH", sr_latch_table("s", "r"), delay=130, area=2.5))
+
+    return library
+
+
+#: Module-level singleton used as the default everywhere.
+STANDARD_LIBRARY = standard_library()

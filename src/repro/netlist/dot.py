@@ -1,0 +1,55 @@
+"""Graphviz (DOT) export of netlists.
+
+Used by the examples to visualise the generated circuits (e.g. the Figure 3
+full adders).  The output is plain DOT text; rendering is left to the user.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+
+_STYLE_BY_PREFIX = {
+    "C": ("box", "lightsalmon"),
+    "LATCH": ("box", "lightyellow"),
+    "SRLATCH": ("box", "lightyellow"),
+}
+
+
+def _node_style(type_name: str) -> tuple[str, str]:
+    for prefix, style in _STYLE_BY_PREFIX.items():
+        if type_name.startswith(prefix):
+            return style
+    return ("ellipse", "lightblue")
+
+
+def to_dot(netlist: Netlist, include_net_labels: bool = True) -> str:
+    """Render *netlist* as a DOT digraph (cells as nodes, nets as edges)."""
+    lines = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+
+    for name in netlist.primary_inputs:
+        lines.append(f'  "pi_{name}" [label="{name}", shape=triangle, style=filled, fillcolor=palegreen];')
+    for name in netlist.primary_outputs:
+        lines.append(f'  "po_{name}" [label="{name}", shape=invtriangle, style=filled, fillcolor=khaki];')
+
+    for cell in netlist.iter_cells():
+        shape, colour = _node_style(cell.type_name)
+        lines.append(
+            f'  "{cell.name}" [label="{cell.name}\\n{cell.type_name}", shape={shape}, '
+            f"style=filled, fillcolor={colour}];"
+        )
+
+    for net in netlist.iter_nets():
+        label = f' [label="{net.name}"]' if include_net_labels else ""
+        if net.driver is None:
+            source = f"pi_{net.name}" if net.is_primary_input else None
+        else:
+            source = net.driver[0]
+        if source is None:
+            continue
+        for sink_cell, _pin in sorted(net.sinks):
+            lines.append(f'  "{source}" -> "{sink_cell}"{label};')
+        if net.is_primary_output:
+            lines.append(f'  "{source}" -> "po_{net.name}"{label};')
+
+    lines.append("}")
+    return "\n".join(lines)

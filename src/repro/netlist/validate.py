@@ -1,0 +1,114 @@
+"""Structural lint checks on netlists.
+
+The checks here catch the mistakes that matter for the rest of the flow:
+undriven nets feeding logic, dangling outputs, combinational loops that do not
+go through a state-holding cell (those are almost always bugs -- intentional
+memory-by-looping is expressed with the sequential library cells or, after
+mapping, with explicit LE feedback), and unknown cell types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistIssue:
+    """One lint finding."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate_netlist(netlist: Netlist, allow_dangling_outputs: bool = True) -> list[NetlistIssue]:
+    """Run all structural checks and return the list of findings.
+
+    Errors indicate the netlist cannot be meaningfully simulated or mapped;
+    warnings are suspicious but tolerated constructs.
+    """
+    issues: list[NetlistIssue] = []
+
+    issues.extend(_check_drivers(netlist))
+    issues.extend(_check_dangling(netlist, allow_dangling_outputs))
+    issues.extend(_check_ports(netlist))
+    issues.extend(_check_combinational_loops(netlist))
+
+    return issues
+
+
+def has_errors(issues: list[NetlistIssue]) -> bool:
+    return any(issue.severity == "error" for issue in issues)
+
+
+def _check_drivers(netlist: Netlist) -> list[NetlistIssue]:
+    issues = []
+    for net in netlist.iter_nets():
+        if net.driver is None and not net.is_primary_input and net.sinks:
+            issues.append(
+                NetlistIssue(
+                    severity="error",
+                    code="undriven-net",
+                    message=f"net {net.name!r} has sinks but no driver and is not a primary input",
+                )
+            )
+    return issues
+
+
+def _check_dangling(netlist: Netlist, allow_dangling_outputs: bool) -> list[NetlistIssue]:
+    issues = []
+    for net in netlist.iter_nets():
+        if net.driver is not None and not net.sinks and not net.is_primary_output:
+            severity = "warning" if allow_dangling_outputs else "error"
+            issues.append(
+                NetlistIssue(
+                    severity=severity,
+                    code="dangling-net",
+                    message=f"net {net.name!r} is driven but read by nothing",
+                )
+            )
+    return issues
+
+
+def _check_ports(netlist: Netlist) -> list[NetlistIssue]:
+    issues = []
+    for name in netlist.primary_outputs:
+        net = netlist.net(name)
+        if net.driver is None and not net.is_primary_input:
+            issues.append(
+                NetlistIssue(
+                    severity="error",
+                    code="undriven-output",
+                    message=f"primary output {name!r} is not driven",
+                )
+            )
+    for name in netlist.primary_inputs:
+        net = netlist.net(name)
+        if not net.sinks and not net.is_primary_output:
+            issues.append(
+                NetlistIssue(
+                    severity="warning",
+                    code="unused-input",
+                    message=f"primary input {name!r} is not read",
+                )
+            )
+    return issues
+
+
+def _check_combinational_loops(netlist: Netlist) -> list[NetlistIssue]:
+    try:
+        netlist.topological_order(ignore_sequential_feedback=True)
+    except ValueError as exc:
+        return [
+            NetlistIssue(
+                severity="error",
+                code="combinational-loop",
+                message=str(exc),
+            )
+        ]
+    return []

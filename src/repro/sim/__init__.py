@@ -1,0 +1,56 @@
+"""Event-driven simulation.
+
+The simulators here validate designs at three levels of abstraction:
+
+* :mod:`~repro.sim.netsim` -- gate-level simulation of
+  :class:`~repro.netlist.netlist.Netlist` objects with per-cell delays
+  (including the state-holding Muller C-elements and latches).
+* :mod:`~repro.sim.lesim` -- simulation of LE-level mapped netlists
+  (:class:`repro.cad.lemap.MappedDesign`), evaluating LUT7-3 / LUT2-1
+  configurations with feedback through the PLB interconnection matrix.
+* :mod:`~repro.sim.fabricsim` -- simulation of a fully placed-and-routed
+  design on the fabric, adding routed wire delays.
+
+Support modules:
+
+* :mod:`~repro.sim.scheduler` -- the shared event-queue kernel.
+* :mod:`~repro.sim.handshake` -- 4-phase / 2-phase producers and consumers
+  that push tokens through simulated circuits over
+  :class:`~repro.asynclogic.channels.Channel` specifications.
+* :mod:`~repro.sim.hazards` -- glitch/monotonicity analysis of signal traces.
+* :mod:`~repro.sim.checkers` -- protocol checkers (dual-rail legality,
+  4-phase alternation).
+* :mod:`~repro.sim.vcd` -- a minimal VCD dump writer.
+"""
+
+from repro.sim.scheduler import Event, EventScheduler
+from repro.sim.netsim import GateLevelSimulator
+from repro.sim.handshake import (
+    FourPhaseBundledConsumer,
+    FourPhaseBundledProducer,
+    FourPhaseDualRailConsumer,
+    FourPhaseDualRailProducer,
+    HandshakeHarness,
+    PassiveDualRailConsumer,
+)
+from repro.sim.hazards import TransitionTrace, count_glitches, is_monotonic_transition
+from repro.sim.checkers import DualRailChecker, FourPhaseChecker
+from repro.sim.vcd import VcdWriter
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "GateLevelSimulator",
+    "HandshakeHarness",
+    "FourPhaseDualRailProducer",
+    "FourPhaseDualRailConsumer",
+    "FourPhaseBundledProducer",
+    "FourPhaseBundledConsumer",
+    "PassiveDualRailConsumer",
+    "TransitionTrace",
+    "count_glitches",
+    "is_monotonic_transition",
+    "DualRailChecker",
+    "FourPhaseChecker",
+    "VcdWriter",
+]

@@ -1,0 +1,114 @@
+"""Protocol checkers.
+
+The checkers observe sequences of channel states (sampled after each settling
+run of a simulator) and verify the invariants of the encoding and of the
+handshake protocol:
+
+* :class:`DualRailChecker` -- a dual-rail / 1-of-N digit never has more than
+  one rail high, and the channel alternates between neutral and valid code
+  words (4-phase discipline).
+* :class:`FourPhaseChecker` -- request/acknowledge edges alternate in the
+  canonical 4-phase order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import EncodingError
+
+
+class ProtocolViolation(AssertionError):
+    """Raised (or recorded) when an observed sequence breaks the protocol."""
+
+
+@dataclass
+class DualRailChecker:
+    """Checks code-word legality and 4-phase alternation on a DI channel."""
+
+    channel: Channel
+    strict: bool = True
+    violations: list[str] = field(default_factory=list)
+    _expect_valid: bool = field(default=True, init=False)
+    observed_values: list[int] = field(default_factory=list)
+
+    def observe(self, wire_values: dict[str, int]) -> None:
+        """Feed one settled snapshot of the channel's data wires."""
+        try:
+            value = self.channel.decode(wire_values)
+        except EncodingError as exc:
+            self._report(f"illegal code word on {self.channel.name}: {exc}")
+            return
+
+        if value is None and self.channel.is_neutral(wire_values):
+            if self._expect_valid:
+                # A neutral phase while expecting data is fine (still waiting);
+                # only valid->valid without an intervening spacer is an error.
+                return
+            self._expect_valid = True
+            return
+
+        if value is not None:
+            if not self._expect_valid:
+                self._report(
+                    f"channel {self.channel.name}: two valid code words without a spacer"
+                )
+            self.observed_values.append(value)
+            self._expect_valid = False
+            return
+
+        # Partially valid (some digits valid, some neutral): legal transiently,
+        # but a settled snapshot should never stay there under 4-phase rules.
+        self._report(
+            f"channel {self.channel.name}: settled in a partially-valid state {wire_values}"
+        )
+
+    def _report(self, message: str) -> None:
+        if self.strict:
+            raise ProtocolViolation(message)
+        self.violations.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FourPhaseChecker:
+    """Checks the req/ack edge ordering of a 4-phase handshake.
+
+    Feed alternating observations of ``(req, ack)`` (sampled when settled);
+    the checker verifies the canonical cycle
+    ``(0,0) -> (1,0) -> (1,1) -> (0,1) -> (0,0)``.
+    """
+
+    name: str = "channel"
+    strict: bool = True
+    violations: list[str] = field(default_factory=list)
+    _state: tuple[int, int] = field(default=(0, 0), init=False)
+    handshakes_completed: int = field(default=0, init=False)
+
+    _LEGAL_NEXT = {
+        (0, 0): {(0, 0), (1, 0)},
+        (1, 0): {(1, 0), (1, 1)},
+        (1, 1): {(1, 1), (0, 1)},
+        (0, 1): {(0, 1), (0, 0)},
+    }
+
+    def observe(self, req: int, ack: int) -> None:
+        new_state = (1 if req else 0, 1 if ack else 0)
+        if new_state not in self._LEGAL_NEXT[self._state]:
+            message = (
+                f"{self.name}: illegal 4-phase transition {self._state} -> {new_state}"
+            )
+            if self.strict:
+                raise ProtocolViolation(message)
+            self.violations.append(message)
+        if self._state == (0, 1) and new_state == (0, 0):
+            self.handshakes_completed += 1
+        self._state = new_state
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations

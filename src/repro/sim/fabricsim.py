@@ -1,0 +1,53 @@
+"""Fabric-level simulation of a placed-and-routed design.
+
+The fabric simulator reuses the LE-level lowering of
+:mod:`repro.sim.lesim` and annotates every routed net with the delay the
+timing model derives from its routed tree, so the simulated behaviour reflects
+the implementation on the fabric (LE delays + interconnection-matrix delay +
+routed wire delays + programmed PDE delays).
+
+Because asynchronous circuits are delay-insensitive (QDI) or protected by
+matched delays (micropipeline), the functional results must not change with
+routing -- a property the integration tests verify by running the same token
+sequences at both levels.
+"""
+
+from __future__ import annotations
+
+from repro.cad.flow import FlowResult
+from repro.cad.timing import TimingModel
+from repro.sim.lesim import simulate_mapped_design
+from repro.sim.netsim import GateLevelSimulator
+
+
+def routed_net_delays(result: FlowResult, model: TimingModel | None = None) -> dict[str, int]:
+    """Per-net routed delay (ps) from a flow result that includes routing."""
+    if result.routing is None:
+        return {}
+    model = model if model is not None else TimingModel()
+    graph = None
+    delays: dict[str, int] = {}
+    # The flow owns the RR graph; rebuild lazily only if needed.
+    from repro.core.rrgraph import RoutingResourceGraph
+    from repro.core.fabric import Fabric
+
+    graph = RoutingResourceGraph(Fabric(result.architecture))
+    for net, routed in result.routing.routed.items():
+        delays[net] = model.routed_net_delay(graph, routed.nodes)
+    return delays
+
+
+def simulate_on_fabric(
+    result: FlowResult,
+    model: TimingModel | None = None,
+    trace_all: bool = False,
+) -> GateLevelSimulator:
+    """A simulator of the mapped design with routed wire delays applied."""
+    model = model if model is not None else TimingModel()
+    delays = routed_net_delays(result, model)
+    return simulate_mapped_design(
+        result.mapped,
+        le_delay_ps=model.le_delay_ps + model.im_delay_ps,
+        extra_net_delays=delays,
+        trace_all=trace_all,
+    )

@@ -1,0 +1,273 @@
+"""Handshake test benches.
+
+The classes here model the *environment* of an asynchronous circuit: producers
+that push tokens into input channels and consumers that accept tokens from
+output channels, following the 4-phase protocol used throughout the paper's
+example (Section 4).
+
+The test bench is rule-based: between two settling runs of the event-driven
+simulator each agent looks at the circuit's handshake outputs and decides
+whether to change the inputs it drives.  This mirrors how a speed-independent
+environment behaves and avoids any timing assumption on the environment side.
+
+Port-name conventions (matching :mod:`repro.styles`):
+
+* QDI function blocks expose their input-completion / acknowledge output as a
+  single net (conventionally ``ack`` or ``<channel>_ack``); data inputs are
+  the channel's rail wires.
+* Micropipeline stages expose ``<in>_req`` / ``<in>_ack`` for the input side
+  and ``<out>_req`` / ``<out>_ack`` for the output side, with single-rail data
+  wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.tokens import Token
+from repro.sim.netsim import GateLevelSimulator
+
+
+class HandshakeDeadlock(RuntimeError):
+    """Raised when neither the circuit nor the environment can make progress."""
+
+
+class EnvironmentAgent:
+    """Base class of producers/consumers plugged into a :class:`HandshakeHarness`."""
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        """Inspect the circuit and possibly drive inputs.
+
+        Returns True when at least one primary input was changed.
+        """
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        """True once the agent has no more work to do."""
+        raise NotImplementedError
+
+
+@dataclass
+class FourPhaseDualRailProducer(EnvironmentAgent):
+    """Drives a DI-encoded channel with a list of values using 4-phase RTZ.
+
+    The *ack_net* is the circuit output acknowledging the data (for the
+    paper's QDI full adder this is the completion-detection output).
+    """
+
+    channel: Channel
+    values: Sequence[int]
+    ack_net: str
+    tokens: list[Token] = field(default_factory=list)
+    _index: int = 0
+    _state: str = "idle"  # idle -> valid -> rtz -> idle
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        ack = simulator.value(self.ack_net)
+        if self._state == "idle":
+            if self._index >= len(self.values) or ack != 0:
+                return False
+            value = self.values[self._index]
+            token = Token(value=value, issued_at=simulator.now)
+            self.tokens.append(token)
+            simulator.set_inputs(self.channel.encode(value))
+            self._state = "valid"
+            return True
+        if self._state == "valid":
+            if ack != 1:
+                return False
+            self.tokens[-1].accepted_at = simulator.now
+            simulator.set_inputs(self.channel.neutral())
+            self._state = "rtz"
+            return True
+        if self._state == "rtz":
+            if ack != 0:
+                return False
+            self.tokens[-1].completed_at = simulator.now
+            self._index += 1
+            self._state = "idle"
+            # Immediately try to launch the next token.
+            return self.act(simulator)
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.values) and self._state == "idle"
+
+
+@dataclass
+class FourPhaseBundledProducer(EnvironmentAgent):
+    """Drives a bundled-data channel (single-rail data + request) in 4-phase."""
+
+    channel: Channel
+    values: Sequence[int]
+    ack_net: str
+    reset_data_on_rtz: bool = False
+    tokens: list[Token] = field(default_factory=list)
+    _index: int = 0
+    _state: str = "idle"
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        ack = simulator.value(self.ack_net)
+        if self._state == "idle":
+            if self._index >= len(self.values) or ack != 0:
+                return False
+            value = self.values[self._index]
+            token = Token(value=value, issued_at=simulator.now)
+            self.tokens.append(token)
+            simulator.set_inputs(self.channel.encode(value))
+            simulator.set_input(self.channel.req_wire, 1, delay=1)
+            self._state = "valid"
+            return True
+        if self._state == "valid":
+            if ack != 1:
+                return False
+            self.tokens[-1].accepted_at = simulator.now
+            simulator.set_input(self.channel.req_wire, 0)
+            if self.reset_data_on_rtz:
+                simulator.set_inputs(self.channel.neutral())
+            self._state = "rtz"
+            return True
+        if self._state == "rtz":
+            if ack != 0:
+                return False
+            self.tokens[-1].completed_at = simulator.now
+            self._index += 1
+            self._state = "idle"
+            return self.act(simulator)
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return self._index >= len(self.values) and self._state == "idle"
+
+
+@dataclass
+class PassiveDualRailConsumer(EnvironmentAgent):
+    """Records values appearing on a DI output channel.
+
+    It drives nothing; it simply samples the output rails whenever the
+    *valid_net* (output completion) makes a 0→1 transition.  Suitable for
+    function blocks whose outputs are acknowledged by the producer-side
+    handshake (the paper's QDI full adder).
+    """
+
+    channel: Channel
+    valid_net: str
+    received: list[int] = field(default_factory=list)
+    _last_valid: int = 0
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        valid = simulator.value(self.valid_net)
+        if valid == 1 and self._last_valid == 0:
+            value = self.channel.decode(simulator.values_of(self.channel.data_wires()))
+            if value is not None:
+                self.received.append(value)
+        self._last_valid = valid
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return True
+
+
+@dataclass
+class FourPhaseDualRailConsumer(EnvironmentAgent):
+    """Accepts tokens from a DI output channel by driving its acknowledge wire.
+
+    Used for pipeline stages (WCHB buffers) whose output channel has an
+    explicit acknowledge input.
+    """
+
+    channel: Channel
+    ack_net: str
+    received: list[int] = field(default_factory=list)
+    accept_times: list[int] = field(default_factory=list)
+    _ack_value: int = 0
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        wire_values = simulator.values_of(self.channel.data_wires())
+        if self.channel.is_valid(wire_values) and self._ack_value == 0:
+            value = self.channel.decode(wire_values)
+            if value is not None:
+                self.received.append(value)
+                self.accept_times.append(simulator.now)
+            simulator.set_input(self.ack_net, 1)
+            self._ack_value = 1
+            return True
+        if self.channel.is_neutral(wire_values) and self._ack_value == 1:
+            simulator.set_input(self.ack_net, 0)
+            self._ack_value = 0
+            return True
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return self._ack_value == 0
+
+
+@dataclass
+class FourPhaseBundledConsumer(EnvironmentAgent):
+    """Accepts tokens from a bundled-data output channel by toggling its ack."""
+
+    channel: Channel
+    req_net: str
+    ack_net: str
+    received: list[int] = field(default_factory=list)
+    accept_times: list[int] = field(default_factory=list)
+    _ack_value: int = 0
+
+    def act(self, simulator: GateLevelSimulator) -> bool:
+        req = simulator.value(self.req_net)
+        if req == 1 and self._ack_value == 0:
+            value = self.channel.decode(simulator.values_of(self.channel.data_wires()))
+            if value is not None:
+                self.received.append(value)
+                self.accept_times.append(simulator.now)
+            simulator.set_input(self.ack_net, 1)
+            self._ack_value = 1
+            return True
+        if req == 0 and self._ack_value == 1:
+            simulator.set_input(self.ack_net, 0)
+            self._ack_value = 0
+            return True
+        return False
+
+    @property
+    def finished(self) -> bool:
+        return self._ack_value == 0
+
+
+class HandshakeHarness:
+    """Coordinates environment agents around an event-driven simulation."""
+
+    def __init__(self, simulator: GateLevelSimulator, agents: Sequence[EnvironmentAgent]) -> None:
+        self.simulator = simulator
+        self.agents = list(agents)
+
+    def run(self, max_iterations: int = 10_000, max_events_per_step: int = 200_000) -> int:
+        """Run until every agent is finished; returns the final simulation time.
+
+        Raises :class:`HandshakeDeadlock` when the circuit is stable, no agent
+        can act, and at least one agent still has work to do.
+        """
+        self.simulator.initialise()
+        self.simulator.run(max_events=max_events_per_step)
+        for _ in range(max_iterations):
+            progress = False
+            for agent in self.agents:
+                if agent.act(self.simulator):
+                    progress = True
+            result = self.simulator.run(max_events=max_events_per_step)
+            if all(agent.finished for agent in self.agents):
+                return self.simulator.now
+            if not progress and result.events == 0:
+                pending = [agent for agent in self.agents if not agent.finished]
+                raise HandshakeDeadlock(
+                    f"deadlock at t={self.simulator.now}: {len(pending)} agent(s) stuck "
+                    f"({[type(agent).__name__ for agent in pending]})"
+                )
+        raise RuntimeError(f"handshake harness did not converge in {max_iterations} iterations")

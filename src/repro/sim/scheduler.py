@@ -1,0 +1,96 @@
+"""The event-queue kernel shared by all simulators.
+
+The kernel is a straightforward discrete-event scheduler: events are
+``(time, sequence, payload)`` triples kept in a heap; ties in time are broken
+by insertion order so simulation is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled value change (or generic callback payload)."""
+
+    time: int
+    sequence: int
+    target: Any = field(compare=False)
+    value: Any = field(compare=False, default=None)
+
+
+class EventScheduler:
+    """A deterministic discrete-event queue."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self.now: int = 0
+        self.processed: int = 0
+
+    def schedule(self, delay: int, target: Any, value: Any = None) -> Event:
+        """Schedule an event *delay* time units after the current time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(time=self.now + delay, sequence=next(self._sequence), target=target, value=value)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: int, target: Any, value: Any = None) -> Event:
+        """Schedule an event at an absolute time (not before the current time)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past (now={self.now}, requested={time})")
+        event = Event(time=time, sequence=next(self._sequence), target=target, value=value)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def empty(self) -> bool:
+        return not self._queue
+
+    def peek_time(self) -> int | None:
+        return self._queue[0].time if self._queue else None
+
+    def pop(self) -> Event:
+        if not self._queue:
+            raise RuntimeError("event queue is empty")
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self.processed += 1
+        return event
+
+    def pop_simultaneous(self) -> list[Event]:
+        """Pop every event scheduled for the next time point."""
+        if not self._queue:
+            raise RuntimeError("event queue is empty")
+        first = self.pop()
+        events = [first]
+        while self._queue and self._queue[0].time == first.time:
+            events.append(heapq.heappop(self._queue))
+            self.processed += 1
+        return events
+
+    def drain(self, handler: Callable[[Event], None], max_events: int = 1_000_000, until: int | None = None) -> int:
+        """Process events until the queue is empty, a limit or a horizon is hit.
+
+        Returns the number of events processed in this call.
+        """
+        count = 0
+        while self._queue and count < max_events:
+            if until is not None and self._queue[0].time > until:
+                break
+            handler(self.pop())
+            count += 1
+        if count >= max_events:
+            raise RuntimeError(
+                f"event limit of {max_events} reached at time {self.now}; "
+                "the circuit probably oscillates"
+            )
+        return count
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - convenience
+        while self._queue:
+            yield self.pop()

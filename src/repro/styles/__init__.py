@@ -1,0 +1,37 @@
+"""Logic-style circuit generators.
+
+The whole point of the paper's architecture is to host *multiple* asynchronous
+logic styles.  This package generates gate-level netlists for a Boolean
+function in each supported style, all sharing the channel conventions of
+:mod:`repro.asynclogic`:
+
+* :mod:`~repro.styles.qdi` -- quasi-delay-insensitive blocks using DIMS
+  (DI minterm synthesis): dual-rail or 1-of-N encoded data, 4-phase protocol,
+  completion detection for acknowledge generation.
+* :mod:`~repro.styles.micropipeline` -- bundled-data stages: single-rail
+  datapath, matched delay (mapped onto the PLB's programmable delay element),
+  C-element latch controller and transparent output latches.
+* :mod:`~repro.styles.wchb` -- weak-conditioned half-buffer pipeline stages
+  used for FIFO/ring throughput experiments.
+* :mod:`~repro.styles.base` -- the :class:`LogicStyle` enumeration,
+  :class:`StyledCircuit` (the common result type) and the style registry.
+"""
+
+from repro.styles.base import LogicStyle, StyleInfo, StyledCircuit, style_info, available_styles
+from repro.styles.qdi import dims_function_block, qdi_full_adder_block
+from repro.styles.micropipeline import micropipeline_stage, micropipeline_full_adder_stage
+from repro.styles.wchb import wchb_buffer_stage, wchb_pipeline
+
+__all__ = [
+    "LogicStyle",
+    "StyleInfo",
+    "StyledCircuit",
+    "style_info",
+    "available_styles",
+    "dims_function_block",
+    "qdi_full_adder_block",
+    "micropipeline_stage",
+    "micropipeline_full_adder_stage",
+    "wchb_buffer_stage",
+    "wchb_pipeline",
+]

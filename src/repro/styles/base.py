@@ -1,0 +1,174 @@
+"""Common definitions shared by all style generators.
+
+:class:`StyledCircuit` is the value every generator returns: the gate-level
+netlist plus everything the CAD flow and the test benches need to know about
+its interface (channels, acknowledge nets, style, whether a programmable
+delay element is required).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import (
+    BundledDataEncoding,
+    DataEncoding,
+    DualRailEncoding,
+    OneOfNEncoding,
+)
+from repro.asynclogic.protocols import FourPhaseProtocol, Protocol, TimingClass
+from repro.netlist.netlist import Netlist
+
+
+class LogicStyle(enum.Enum):
+    """The asynchronous logic styles supported by the reproduction."""
+
+    QDI_DUAL_RAIL = "qdi-dual-rail"
+    QDI_ONE_OF_FOUR = "qdi-1-of-4"
+    MICROPIPELINE = "micropipeline"
+    WCHB = "wchb"
+
+    @classmethod
+    def from_name(cls, name: str) -> "LogicStyle":
+        lowered = name.lower().replace("_", "-")
+        aliases = {
+            "qdi": cls.QDI_DUAL_RAIL,
+            "qdi-dual-rail": cls.QDI_DUAL_RAIL,
+            "dual-rail": cls.QDI_DUAL_RAIL,
+            "qdi-1-of-4": cls.QDI_ONE_OF_FOUR,
+            "1-of-4": cls.QDI_ONE_OF_FOUR,
+            "micropipeline": cls.MICROPIPELINE,
+            "bundled-data": cls.MICROPIPELINE,
+            "bundled": cls.MICROPIPELINE,
+            "wchb": cls.WCHB,
+        }
+        if lowered in aliases:
+            return aliases[lowered]
+        raise KeyError(f"unknown logic style {name!r}")
+
+
+@dataclass(frozen=True)
+class StyleInfo:
+    """Static properties of a logic style."""
+
+    style: LogicStyle
+    timing_class: TimingClass
+    protocol: Protocol
+    default_encoding: DataEncoding
+    uses_delay_element: bool
+    description: str
+
+
+_STYLE_INFO: dict[LogicStyle, StyleInfo] = {
+    LogicStyle.QDI_DUAL_RAIL: StyleInfo(
+        style=LogicStyle.QDI_DUAL_RAIL,
+        timing_class=TimingClass.QDI,
+        protocol=FourPhaseProtocol,
+        default_encoding=DualRailEncoding(),
+        uses_delay_element=False,
+        description="Quasi-delay-insensitive logic, dual-rail (1-of-2) data, 4-phase protocol",
+    ),
+    LogicStyle.QDI_ONE_OF_FOUR: StyleInfo(
+        style=LogicStyle.QDI_ONE_OF_FOUR,
+        timing_class=TimingClass.QDI,
+        protocol=FourPhaseProtocol,
+        default_encoding=OneOfNEncoding(4),
+        uses_delay_element=False,
+        description="Quasi-delay-insensitive logic, 1-of-4 (multi-rail) data, 4-phase protocol",
+    ),
+    LogicStyle.MICROPIPELINE: StyleInfo(
+        style=LogicStyle.MICROPIPELINE,
+        timing_class=TimingClass.BUNDLED,
+        protocol=FourPhaseProtocol,
+        default_encoding=BundledDataEncoding(),
+        uses_delay_element=True,
+        description="Micropipeline / bundled-data logic with matched delays, 4-phase protocol",
+    ),
+    LogicStyle.WCHB: StyleInfo(
+        style=LogicStyle.WCHB,
+        timing_class=TimingClass.QDI,
+        protocol=FourPhaseProtocol,
+        default_encoding=DualRailEncoding(),
+        uses_delay_element=False,
+        description="Weak-conditioned half-buffer QDI pipeline stages",
+    ),
+}
+
+
+def style_info(style: LogicStyle | str) -> StyleInfo:
+    """Look up the static properties of a style."""
+    if isinstance(style, str):
+        style = LogicStyle.from_name(style)
+    return _STYLE_INFO[style]
+
+
+def available_styles() -> list[StyleInfo]:
+    """All supported styles, in declaration order."""
+    return [_STYLE_INFO[style] for style in LogicStyle]
+
+
+@dataclass
+class StyledCircuit:
+    """A gate-level circuit generated in a particular logic style.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (also the netlist name).
+    style:
+        The logic style it was generated in.
+    netlist:
+        The gate-level netlist.
+    input_channels / output_channels:
+        Channel specifications of the data interface.
+    ack_nets:
+        Mapping from channel name to the net carrying its acknowledge /
+        completion signal (circuit output for input channels, circuit input
+        for output channels of pipeline stages).
+    req_nets:
+        Mapping from channel name to its request net, for bundled-data
+        channels only.
+    uses_delay_element:
+        True when the circuit instantiates matched-delay (``DELAY``) cells
+        that must map onto programmable delay elements.
+    metadata:
+        Free-form extra information used by reports (e.g. the reference
+        function evaluated by the block).
+    """
+
+    name: str
+    style: LogicStyle
+    netlist: Netlist
+    input_channels: list[Channel] = field(default_factory=list)
+    output_channels: list[Channel] = field(default_factory=list)
+    ack_nets: dict[str, str] = field(default_factory=dict)
+    req_nets: dict[str, str] = field(default_factory=dict)
+    uses_delay_element: bool = False
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def info(self) -> StyleInfo:
+        return style_info(self.style)
+
+    def channel(self, name: str) -> Channel:
+        for channel in self.input_channels + self.output_channels:
+            if channel.name == name:
+                return channel
+        raise KeyError(f"no channel named {name!r} in circuit {self.name!r}")
+
+    def summary(self) -> dict[str, object]:
+        stats = self.netlist.stats()
+        return {
+            "name": self.name,
+            "style": self.style.value,
+            "cells": stats["cells"],
+            "nets": stats["nets"],
+            "c_elements": sum(
+                count for type_name, count in stats["histogram"].items() if type_name.startswith("C")
+            ),
+            "latches": stats["histogram"].get("LATCH", 0),
+            "delay_elements": stats["histogram"].get("DELAY", 0),
+            "uses_delay_element": self.uses_delay_element,
+        }

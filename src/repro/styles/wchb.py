@@ -1,0 +1,141 @@
+"""Weak-conditioned half-buffer (WCHB) pipeline stages.
+
+WCHB is the canonical QDI pipeline template: each stage stores one data token
+(or one spacer) in a pair of Muller C-elements per bit.  The stages here are
+used by the throughput-extension experiments (rings and FIFOs pushed through
+the CAD flow and simulated on the fabric model).
+
+Stage structure for one dual-rail bit::
+
+    en     = INV(ack_from_next)
+    out_t  = C2(in_t, en)
+    out_f  = C2(in_f, en)
+    ack_to_prev = OR(out_t, out_f)
+
+The output C-elements rise only when the next stage is empty (``en`` high) and
+fall only once the predecessor has removed its data *and* the successor has
+acknowledged -- exactly the weak conditions of the template.
+"""
+
+from __future__ import annotations
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import DualRailEncoding
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.styles.base import LogicStyle, StyledCircuit
+
+
+def wchb_buffer_stage(
+    name: str,
+    input_channel: Channel,
+    output_channel: Channel,
+) -> StyledCircuit:
+    """One WCHB buffer stage copying *input_channel* to *output_channel*.
+
+    Both channels must be dual-rail and have the same width.  The stage's
+    interface nets follow the channel conventions: the acknowledge it produces
+    for the predecessor is ``<input>_ack`` and the acknowledge it consumes
+    from the successor is ``<output>_ack``.
+    """
+    if input_channel.width_bits != output_channel.width_bits:
+        raise ValueError("WCHB stage input and output widths must match")
+    for channel in (input_channel, output_channel):
+        if not isinstance(channel.encoding, DualRailEncoding):
+            raise ValueError("WCHB stages are generated for dual-rail channels")
+
+    builder = NetlistBuilder(name)
+
+    in_wires = input_channel.data_wires()
+    out_wires = output_channel.data_wires()
+    for wire in in_wires:
+        builder.input(wire)
+    out_ack = builder.input(output_channel.ack_wire)
+    for wire in out_wires:
+        builder.output(wire)
+    in_ack = builder.output(input_channel.ack_wire)
+
+    enable = builder.inv(out_ack, out="en")
+
+    for in_wire, out_wire in zip(in_wires, out_wires):
+        builder.c2(in_wire, enable, out=out_wire, name=f"c_{out_wire}")
+
+    # Completion of the stored token acknowledges the predecessor.
+    per_bit_valid = []
+    for digit_index in range(output_channel.digits):
+        rails = output_channel.digit_wires(digit_index)
+        per_bit_valid.append(builder.or2(rails[0], rails[1], out=f"v{digit_index}"))
+    if len(per_bit_valid) == 1:
+        builder.buf(per_bit_valid[0], out=in_ack)
+    else:
+        builder.c_tree(per_bit_valid, out=in_ack)
+
+    netlist = builder.build()
+    return StyledCircuit(
+        name=name,
+        style=LogicStyle.WCHB,
+        netlist=netlist,
+        input_channels=[input_channel],
+        output_channels=[output_channel],
+        ack_nets={input_channel.name: in_ack, output_channel.name: output_channel.ack_wire},
+        uses_delay_element=False,
+        metadata={"template": "WCHB"},
+    )
+
+
+def wchb_pipeline(
+    name: str,
+    stages: int,
+    width_bits: int = 1,
+) -> StyledCircuit:
+    """A linear FIFO of *stages* WCHB buffers, ``width_bits`` wide.
+
+    The pipeline's external interface is the first stage's input channel
+    (named ``in``) and the last stage's output channel (named ``out``); the
+    internal channels are named ``s0``, ``s1``, ...
+    """
+    if stages < 1:
+        raise ValueError("a WCHB pipeline needs at least one stage")
+
+    encoding = DualRailEncoding()
+    channels = [Channel("in", width_bits, encoding)]
+    for index in range(stages - 1):
+        channels.append(Channel(f"s{index}", width_bits, encoding))
+    channels.append(Channel("out", width_bits, encoding))
+
+    merged = Netlist(name)
+    for wire in channels[0].data_wires():
+        merged.add_port(wire, PortDirection.INPUT)
+    merged.add_port(channels[-1].ack_wire, PortDirection.INPUT)
+    for wire in channels[-1].data_wires():
+        merged.add_port(wire, PortDirection.OUTPUT)
+    merged.add_port(channels[0].ack_wire, PortDirection.OUTPUT)
+
+    for index in range(stages):
+        stage = wchb_buffer_stage(f"{name}_st{index}", channels[index], channels[index + 1])
+        interface = set(channels[index].data_wires()) | set(channels[index + 1].data_wires())
+        interface.add(channels[index].ack_wire)
+        interface.add(channels[index + 1].ack_wire)
+        rename = {
+            net_name: f"st{index}.{net_name}"
+            for net_name in stage.netlist.nets
+            if net_name not in interface
+        }
+        for cell in stage.netlist.iter_cells():
+            connections = {
+                pin: rename.get(net_name, net_name) for pin, net_name in cell.connections.items()
+            }
+            merged.add_cell(
+                f"st{index}.{cell.name}", cell.cell_type, connections, **dict(cell.attributes)
+            )
+
+    return StyledCircuit(
+        name=name,
+        style=LogicStyle.WCHB,
+        netlist=merged,
+        input_channels=[channels[0]],
+        output_channels=[channels[-1]],
+        ack_nets={channels[0].name: channels[0].ack_wire, channels[-1].name: channels[-1].ack_wire},
+        uses_delay_element=False,
+        metadata={"stages": stages, "template": "WCHB"},
+    )

@@ -1,0 +1,194 @@
+"""Tests for channels, C-element models, completion detection and tokens."""
+
+import pytest
+
+from repro.asynclogic.celements import AsymmetricCElement, CElement, c_element_lut_config
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.completion import (
+    completion_cost,
+    completion_detector,
+    completion_tree_depth,
+    dual_rail_validity,
+    one_of_n_validity,
+)
+from repro.asynclogic.encodings import BundledDataEncoding, DualRailEncoding, OneOfNEncoding
+from repro.asynclogic.tokens import Token, average_latency, throughput
+from repro.netlist.builder import NetlistBuilder
+from repro.sim.netsim import evaluate_combinational
+
+
+# ----------------------------------------------------------------------
+# Channels
+# ----------------------------------------------------------------------
+def test_dual_rail_channel_wires():
+    channel = Channel("a", 1, DualRailEncoding())
+    assert channel.data_wires() == ("a_f", "a_t")
+    assert channel.ack_wire == "a_ack"
+    assert not channel.has_request_wire
+    assert channel.wire_count == 3
+
+
+def test_multibit_channel_wires_and_codec():
+    channel = Channel("d", 3, DualRailEncoding())
+    assert channel.digits == 3
+    assert len(channel.data_wires()) == 6
+    encoded = channel.encode(5)
+    assert channel.decode(encoded) == 5
+    assert channel.is_valid(encoded)
+    assert channel.is_neutral(channel.neutral())
+    assert channel.decode(channel.neutral()) is None
+
+
+def test_bundled_channel_has_request():
+    channel = Channel("d", 4, BundledDataEncoding())
+    assert channel.has_request_wire
+    assert channel.req_wire == "d_req"
+    assert len(channel.data_wires()) == 4
+    assert channel.wire_count == 6  # 4 data + req + ack
+
+
+def test_one_of_four_channel():
+    channel = Channel("x", 4, OneOfNEncoding(4))
+    assert channel.digits == 2
+    assert len(channel.data_wires()) == 8
+    assert channel.decode(channel.encode(11)) == 11
+
+
+def test_channel_digit_wires_bounds():
+    channel = Channel("x", 2, DualRailEncoding())
+    assert channel.digit_wires(0) == ("x0_f", "x0_t")
+    with pytest.raises(IndexError):
+        channel.digit_wires(5)
+
+
+def test_channel_with_name():
+    channel = Channel("x", 2, DualRailEncoding())
+    renamed = channel.with_name("y")
+    assert renamed.name == "y" and renamed.width_bits == 2
+    assert renamed.encoding is channel.encoding
+
+
+def test_channel_requires_positive_width():
+    with pytest.raises(ValueError):
+        Channel("x", 0)
+
+
+# ----------------------------------------------------------------------
+# C-elements
+# ----------------------------------------------------------------------
+def test_c_element_behaviour():
+    ce = CElement(arity=2)
+    assert ce.step([1, 0]) == 0
+    assert ce.step([1, 1]) == 1
+    assert ce.step([0, 1]) == 1   # hold
+    assert ce.step([0, 0]) == 0
+    ce.reset(1)
+    assert ce.output == 1
+
+
+def test_c_element_requires_two_inputs():
+    with pytest.raises(ValueError):
+        CElement(arity=1)
+    with pytest.raises(ValueError):
+        CElement(arity=2).step([1])
+
+
+def test_c_element_table_matches_model():
+    ce = CElement(arity=3)
+    table = ce.next_state_table()
+    for row in range(1 << 4):
+        a0, a1, a2, y = (row >> 0) & 1, (row >> 1) & 1, (row >> 2) & 1, (row >> 3) & 1
+        model = CElement(arity=3, output=y)
+        expected = model.step([a0, a1, a2])
+        assert table.evaluate({"a0": a0, "a1": a1, "a2": a2, "y": y}) == expected
+
+
+def test_asymmetric_c_element():
+    ace = AsymmetricCElement(plus=("a", "b"), minus=("a",))
+    assert ace.step(a=1, b=1) == 1
+    assert ace.step(a=1, b=0) == 1   # hold: minus input still high
+    assert ace.step(a=0, b=0) == 0
+    assert ace.input_names == ("a", "b")
+    table = ace.next_state_table()
+    assert table.evaluate({"a": 1, "b": 1, "y": 0}) == 1
+
+
+def test_asymmetric_c_element_needs_inputs():
+    with pytest.raises(ValueError):
+        AsymmetricCElement(plus=(), minus=())
+    with pytest.raises(ValueError):
+        AsymmetricCElement(plus=("a",), minus=("b",)).step(a=1)
+
+
+def test_c_element_lut_config_has_feedback_input():
+    table = c_element_lut_config(2)
+    assert "y" in table.inputs
+    assert table.arity == 3
+
+
+# ----------------------------------------------------------------------
+# Completion detection
+# ----------------------------------------------------------------------
+def test_validity_functions():
+    dr = dual_rail_validity("d_f", "d_t")
+    assert dr.evaluate({"d_f": 0, "d_t": 1}) == 1
+    assert dr.evaluate({"d_f": 0, "d_t": 0}) == 0
+    oon = one_of_n_validity(("r0", "r1", "r2", "r3"))
+    assert oon.evaluate({"r0": 0, "r1": 0, "r2": 1, "r3": 0}) == 1
+    with pytest.raises(ValueError):
+        one_of_n_validity(("only",))
+
+
+def test_completion_detector_netlist_behaviour():
+    channel = Channel("d", 2, DualRailEncoding())
+    builder = NetlistBuilder("cd")
+    for wire in channel.data_wires():
+        builder.input(wire)
+    completion_detector(builder, channel, out="done")
+    builder.output("done")
+    netlist = builder.build()
+
+    valid = channel.encode(2)
+    assert evaluate_combinational(netlist, valid)["done"] == 1
+    assert evaluate_combinational(netlist, channel.neutral())["done"] == 0
+    # Partially valid word: only one digit asserted -> not complete.
+    partial = dict(channel.neutral())
+    partial["d0_t"] = 1
+    assert evaluate_combinational(netlist, partial)["done"] == 0
+
+
+def test_completion_detector_rejects_bundled_data():
+    channel = Channel("d", 2, BundledDataEncoding())
+    builder = NetlistBuilder("cd")
+    for wire in channel.data_wires():
+        builder.input(wire)
+    with pytest.raises(ValueError):
+        completion_detector(builder, channel)
+
+
+def test_completion_tree_depth_and_cost():
+    assert completion_tree_depth(1) == 0
+    assert completion_tree_depth(2) == 1
+    assert completion_tree_depth(8) == 3
+    with pytest.raises(ValueError):
+        completion_tree_depth(0)
+    cost = completion_cost(Channel("d", 4, DualRailEncoding()))
+    assert cost["or_gates"] == 4
+    assert cost["c_elements"] == 3
+
+
+# ----------------------------------------------------------------------
+# Tokens
+# ----------------------------------------------------------------------
+def test_token_latency_and_stats():
+    tokens = [
+        Token(value=1, issued_at=0, completed_at=100),
+        Token(value=2, issued_at=50, completed_at=200),
+        Token(value=3),
+    ]
+    assert tokens[0].latency == 100
+    assert tokens[2].latency is None
+    assert average_latency(tokens) == pytest.approx(125.0)
+    assert throughput(tokens) == pytest.approx(1 / 100)
+    assert throughput([tokens[0]]) is None
+    assert average_latency([tokens[2]]) is None

@@ -1,0 +1,159 @@
+"""Tests for handshake protocols and data encodings."""
+
+import pytest
+
+from repro.asynclogic.encodings import (
+    BundledDataEncoding,
+    DualRailEncoding,
+    EncodingError,
+    OneOfNEncoding,
+    encoding_by_name,
+)
+from repro.asynclogic.protocols import (
+    FourPhaseProtocol,
+    Phase,
+    TimingClass,
+    TwoPhaseProtocol,
+    protocol_by_name,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocols
+# ----------------------------------------------------------------------
+def test_four_phase_properties():
+    assert FourPhaseProtocol.phases_per_cycle == 4
+    assert FourPhaseProtocol.return_to_zero
+    sequence = FourPhaseProtocol.handshake_sequence()
+    assert sequence[0] is Phase.DATA_VALID
+    assert Phase.RETURN_TO_ZERO in sequence
+    assert FourPhaseProtocol.cycles_for_tokens(3) == 12
+
+
+def test_two_phase_properties():
+    assert TwoPhaseProtocol.phases_per_cycle == 2
+    assert not TwoPhaseProtocol.return_to_zero
+    assert Phase.RETURN_TO_ZERO not in TwoPhaseProtocol.handshake_sequence()
+
+
+def test_protocol_lookup_aliases():
+    assert protocol_by_name("four-phase") is FourPhaseProtocol
+    assert protocol_by_name("4ph") is FourPhaseProtocol
+    assert protocol_by_name("2-PHASE") is TwoPhaseProtocol
+    with pytest.raises(KeyError):
+        protocol_by_name("three-phase")
+
+
+def test_timing_classes():
+    assert TimingClass.BUNDLED.requires_matched_delay
+    assert not TimingClass.QDI.requires_matched_delay
+    assert TimingClass.QDI.requires_isochronic_forks
+    assert not TimingClass.DI.requires_isochronic_forks
+
+
+# ----------------------------------------------------------------------
+# Dual-rail
+# ----------------------------------------------------------------------
+def test_dual_rail_encode_decode_digit():
+    enc = DualRailEncoding()
+    assert enc.encode_digit(0) == (1, 0)
+    assert enc.encode_digit(1) == (0, 1)
+    assert enc.decode_digit((1, 0)) == 0
+    assert enc.decode_digit((0, 1)) == 1
+    assert enc.decode_digit((0, 0)) is None
+    with pytest.raises(EncodingError):
+        enc.decode_digit((1, 1))
+
+
+def test_dual_rail_word_roundtrip():
+    enc = DualRailEncoding()
+    for width in (1, 3, 5):
+        for value in range(1 << width):
+            rails = enc.encode_word(value, width)
+            assert len(rails) == 2 * width
+            assert enc.decode_word(rails, width) == value
+            assert enc.word_is_valid(rails, width)
+    assert enc.decode_word(enc.neutral_word(3), 3) is None
+
+
+def test_dual_rail_rail_names():
+    enc = DualRailEncoding()
+    assert enc.rail_names("x") == ("x_f", "x_t")
+
+
+def test_dual_rail_validity_and_neutral():
+    enc = DualRailEncoding()
+    assert enc.digit_is_valid((0, 1))
+    assert not enc.digit_is_valid((0, 0))
+    assert enc.digit_is_neutral((0, 0))
+    assert not enc.digit_is_neutral((1, 0))
+
+
+# ----------------------------------------------------------------------
+# 1-of-N
+# ----------------------------------------------------------------------
+def test_one_of_four_encoding():
+    enc = OneOfNEncoding(4)
+    assert enc.rails_per_digit == 4
+    assert enc.bits_per_digit == 2
+    assert enc.encode_digit(2) == (0, 0, 1, 0)
+    assert enc.decode_digit((0, 0, 1, 0)) == 2
+    assert enc.decode_digit((0, 0, 0, 0)) is None
+    with pytest.raises(EncodingError):
+        enc.decode_digit((1, 1, 0, 0))
+    with pytest.raises(EncodingError):
+        enc.encode_digit(4)
+
+
+def test_one_of_four_word_roundtrip():
+    enc = OneOfNEncoding(4)
+    for value in range(16):
+        rails = enc.encode_word(value, 4)
+        assert len(rails) == 8  # two digits of four rails
+        assert enc.decode_word(rails, 4) == value
+
+
+def test_one_of_n_requires_two_rails():
+    with pytest.raises(ValueError):
+        OneOfNEncoding(1)
+
+
+def test_encode_word_range_check():
+    enc = DualRailEncoding()
+    with pytest.raises(EncodingError):
+        enc.encode_word(4, 2)
+    with pytest.raises(EncodingError):
+        enc.encode_word(-1, 2)
+
+
+def test_decode_word_length_check():
+    enc = DualRailEncoding()
+    with pytest.raises(EncodingError):
+        enc.decode_word((0, 1), 2)
+
+
+# ----------------------------------------------------------------------
+# Bundled data
+# ----------------------------------------------------------------------
+def test_bundled_data_properties():
+    enc = BundledDataEncoding()
+    assert not enc.is_delay_insensitive
+    assert enc.rails_per_digit == 1
+    assert enc.encode_word(5, 3) == (1, 0, 1)
+    assert enc.decode_word((1, 0, 1), 3) == 5
+    assert enc.digit_is_valid((0,))  # validity comes from the request wire
+    assert enc.rail_names("d") == ("d",)
+    with pytest.raises(EncodingError):
+        enc.encode_digit(2)
+
+
+# ----------------------------------------------------------------------
+# Lookup
+# ----------------------------------------------------------------------
+def test_encoding_by_name():
+    assert isinstance(encoding_by_name("dual-rail"), DualRailEncoding)
+    assert isinstance(encoding_by_name("bundled-data"), BundledDataEncoding)
+    one_of_8 = encoding_by_name("1-of-8")
+    assert isinstance(one_of_8, OneOfNEncoding) and one_of_8.n == 8
+    with pytest.raises(KeyError):
+        encoding_by_name("morse")

@@ -1,0 +1,266 @@
+"""Tests for placement, routing, timing, configuration generation and the
+end-to-end CAD flow."""
+
+import pytest
+
+from repro.cad.bitgen import ConfigurationError, configure_plb, generate_bitstream
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.lemap import LEFunction, MappedDesign, MappedLE, MappedPDE, MappedPLB
+from repro.cad.pack import pack_design
+from repro.cad.place import Placement, PlacementError, place_design
+from repro.cad.route import RoutingError, route_design
+from repro.cad.techmap import template_map
+from repro.cad.timing import TimingModel, analyse_timing
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, PLBParams
+from repro.core.plb import PLB
+from repro.core.rrgraph import RoutingResourceGraph, RRNodeType
+from repro.logic.functions import and_table, c_element_table, or_table
+
+
+def _packed_qdi():
+    design = template_map(qdi_full_adder())
+    pack_design(design)
+    return design
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def test_place_design_assigns_all_blocks_and_ios():
+    design = _packed_qdi()
+    fabric = Fabric(ArchitectureParams(width=4, height=4))
+    placement = place_design(design, fabric, seed=3)
+    assert len(placement.plb_sites) == len(design.plbs)
+    assert len(set(placement.plb_sites.values())) == len(design.plbs)  # no overlap
+    io_nets = set(design.primary_inputs) | set(design.primary_outputs)
+    assert set(placement.io_sites) == io_nets
+    pad_names = [pad.name for pad in placement.io_sites.values()]
+    assert len(set(pad_names)) == len(pad_names)  # one pad per IO
+    assert placement.cost <= placement.initial_cost or placement.cost >= 0
+
+
+def test_place_design_deterministic_for_seed():
+    design = _packed_qdi()
+    fabric = Fabric(ArchitectureParams(width=4, height=4))
+    first = place_design(design, fabric, seed=7)
+    second = place_design(design, fabric, seed=7)
+    assert first.plb_sites == second.plb_sites
+    assert {net: pad.name for net, pad in first.io_sites.items()} == {
+        net: pad.name for net, pad in second.io_sites.items()
+    }
+
+
+def test_place_design_requires_packing_and_capacity():
+    fabric = Fabric(ArchitectureParams(width=1, height=1))
+    unpacked = template_map(qdi_full_adder())
+    with pytest.raises(PlacementError):
+        place_design(unpacked, fabric)
+    packed = _packed_qdi()
+    with pytest.raises(PlacementError):
+        place_design(packed, fabric)  # 3 PLBs cannot fit a 1x1 fabric
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+def test_route_design_success_and_capacity_respected():
+    design = _packed_qdi()
+    params = ArchitectureParams(width=4, height=4)
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=5)
+    result = route_design(design, placement, graph)
+    assert result.success
+    assert result.routed  # at least the ack / rail nets between PLBs
+    occupancy = result.channel_occupancy(graph)
+    assert all(count <= 1 for count in occupancy.values())
+    assert result.total_wirelength > 0
+    # every routed net reaches all of its sinks
+    for routed in result.routed.values():
+        assert set(routed.sink_nodes).issubset(set(routed.nodes))
+        assert routed.source_node in routed.nodes
+
+
+def test_route_design_narrow_channels_may_fail_gracefully():
+    from repro.core.params import RoutingParams
+
+    design = _packed_qdi()
+    params = ArchitectureParams(width=2, height=2, routing=RoutingParams(channel_width=2, io_pads_per_side=6))
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=1)
+    # With only two tracks and a disjoint switch box (which never changes the
+    # track index) some pin pairs are genuinely unreachable, so the router may
+    # legitimately raise; otherwise it must either succeed or report overuse.
+    try:
+        result = route_design(design, placement, graph, max_iterations=3)
+    except RoutingError:
+        return
+    if not result.success:
+        assert result.overused_nodes > 0
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def test_analyse_timing_unrouted_and_routed():
+    design = _packed_qdi()
+    unrouted = analyse_timing(design)
+    assert unrouted.le_levels >= 2
+    assert unrouted.forward_latency_ps > 0
+    assert unrouted.cycle_time_ps >= 4 * unrouted.forward_latency_ps - 4  # rounding slack
+
+    params = ArchitectureParams(width=4, height=4)
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=2)
+    routing = route_design(design, placement, graph)
+    routed = analyse_timing(design, routing=routing, graph=graph)
+    assert routed.max_net_delay_ps > 0
+    assert set(routed.net_delays_ps) == set(routing.routed)
+
+
+def test_timing_matched_delay_adequacy():
+    design = template_map(micropipeline_full_adder())
+    pack_design(design)
+    report = analyse_timing(design)
+    assert design.pdes[0].name in report.matched_delays
+    entry = report.matched_delays[design.pdes[0].name]
+    assert entry["configured_ps"] == design.pdes[0].delay_ps
+    # With the default matched delay and this tiny datapath the assumption holds.
+    assert entry["adequate"] == 1
+
+    short = MappedDesign(name="short", params=design.params, style=design.style)
+    short.les = design.les
+    short.pdes = [MappedPDE(name="pde", input_net="req", output_net="req_d", delay_ps=1)]
+    short.primary_inputs = design.primary_inputs
+    short.primary_outputs = design.primary_outputs
+    bad = analyse_timing(short)
+    assert bad.matched_delays["pde"]["adequate"] == 0
+    assert bad.notes
+
+
+def test_timing_model_routed_net_delay():
+    params = ArchitectureParams(width=2, height=2)
+    graph = RoutingResourceGraph(Fabric(params))
+    model = TimingModel()
+    wire_ids = [node.node_id for node in graph.nodes if node.node_type is RRNodeType.WIRE][:3]
+    delay = model.routed_net_delay(graph, wire_ids)
+    assert delay == model.cbox_delay_ps * 2 + 3 * model.wire_segment_delay_ps + 2 * model.switch_delay_ps
+
+
+# ----------------------------------------------------------------------
+# Configuration generation
+# ----------------------------------------------------------------------
+def test_configure_plb_realises_c_element():
+    params = ArchitectureParams()
+    table = c_element_table(("a", "b"), state="z").rename({"a": "a", "b": "b"})
+    # Build the looped-LUT function explicitly over net names.
+    from repro.logic.truthtable import TruthTable
+
+    table = TruthTable.from_function(
+        ("a", "b", "z"), lambda a, b, z: 1 if (a and b) else (0 if (not a and not b) else z)
+    )
+    plb = MappedPLB(
+        name="plb0",
+        les=[MappedLE("le_c", functions=[LEFunction("z", table)])],
+    )
+    configured = configure_plb(plb, params)
+    hardware = PLB(params.plb)
+    hardware.configure(configured.config)
+    # replicate C-element behaviour through the configured hardware
+    state: dict = {}
+    pin_a = configured.input_pin_of_net["a"]
+    pin_b = configured.input_pin_of_net["b"]
+    out_pin = configured.output_pin_of_net["z"]
+    outputs, state = hardware.evaluate({pin_a: 1, pin_b: 1}, state)
+    assert outputs[out_pin] == 1
+    outputs, state = hardware.evaluate({pin_a: 0, pin_b: 1}, state)
+    assert outputs[out_pin] == 1
+    outputs, state = hardware.evaluate({pin_a: 0, pin_b: 0}, state)
+    assert outputs[out_pin] == 0
+
+
+def test_configure_plb_rejects_overflow():
+    params = ArchitectureParams()
+    wide_nets = tuple(f"n{i}" for i in range(params.plb.plb_inputs + 3))
+    les = [
+        MappedLE(
+            f"le{i}",
+            functions=[LEFunction(f"o{i}", or_table(inputs=wide_nets[i * 7 : i * 7 + 7]))],
+        )
+        for i in range(2)
+    ]
+    plb = MappedPLB(name="too_many_inputs", les=les)
+    if len(plb.external_input_nets) > params.plb.plb_inputs:
+        with pytest.raises(ConfigurationError):
+            configure_plb(plb, params)
+
+
+def test_configure_plb_pde_range_check():
+    params = ArchitectureParams()
+    plb = MappedPLB(
+        name="plb0",
+        les=[],
+        pde=MappedPDE(name="pde", input_net="req", output_net="req_d", delay_ps=10 ** 6),
+    )
+    with pytest.raises(ConfigurationError):
+        configure_plb(plb, params)
+
+
+def test_generate_bitstream_covers_all_plbs():
+    design = _packed_qdi()
+    params = ArchitectureParams(width=4, height=4)
+    fabric = Fabric(params)
+    placement = place_design(design, fabric, seed=2)
+    bitstream, configured = generate_bitstream(design, placement, params)
+    assert set(configured) == {plb.name for plb in design.plbs}
+    assert bitstream.used_bits() > 0
+    # configured regions correspond to the placed tiles
+    for plb in design.plbs:
+        x, y = placement.site_of(plb.name)
+        assert sum(bitstream.region_bits(f"plb_{x}_{y}")) > 0
+
+
+# ----------------------------------------------------------------------
+# Full flow
+# ----------------------------------------------------------------------
+def test_cad_flow_end_to_end_qdi():
+    flow = CadFlow(ArchitectureParams(width=5, height=5))
+    result = flow.run(qdi_full_adder())
+    summary = result.summary()
+    assert summary["routing_success"] is True
+    assert summary["plbs"] == 3
+    assert summary["filling_ratio"] > 0.5
+    assert result.bitstream is not None and result.bitstream.used_bits() > 0
+    assert "CAD flow report" in result.report()
+
+
+def test_cad_flow_options_allow_mapping_only():
+    flow = CadFlow(options=FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False))
+    result = flow.run(micropipeline_full_adder())
+    assert result.placement is None and result.routing is None and result.bitstream is None
+    assert result.filling is not None
+    assert result.timing is not None
+
+
+def test_cad_flow_generic_mapping_option():
+    flow = CadFlow(
+        ArchitectureParams(width=8, height=8),
+        FlowOptions(use_template_mapping=False, run_placement=False, run_routing=False,
+                    generate_bitstream=False),
+    )
+    result = flow.run(qdi_full_adder())
+    # The naive gate-level mapping needs far more LEs than the template mapping.
+    assert len(result.mapped.les) > 10
+
+
+def test_cad_flow_accepts_plain_netlists():
+    from repro.circuits.fulladder import full_adder_reference_netlist
+
+    flow = CadFlow(options=FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False))
+    result = flow.run(full_adder_reference_netlist())
+    assert len(result.mapped.les) >= 1
+    assert result.filling is not None

@@ -1,0 +1,266 @@
+"""Tests for benchmark circuits, baselines, analysis helpers and the API."""
+
+import pytest
+
+from repro import api
+from repro.analysis.area import design_area_report, fabric_area_report, plb_area_estimate
+from repro.analysis.figures import render_fabric_floorplan, render_figure1_plb, render_figure2_le
+from repro.analysis.tables import format_table
+from repro.baselines.compare import compare_with_sync_baseline, prior_art_table
+from repro.baselines.priorart import prior_art_fpgas, style_support_matrix, styles_supported_count
+from repro.baselines.sync_fpga import SyncFPGAParams, map_to_sync_fpga
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.metrics import filling_ratio
+from repro.cad.pack import pack_design
+from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
+from repro.circuits.fifo import wchb_fifo, wchb_ring
+from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
+from repro.circuits.multiplier import qdi_multiplier
+from repro.circuits.registry import build_circuit, circuit_registry
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams
+from repro.sim import FourPhaseDualRailProducer, FourPhaseDualRailConsumer, GateLevelSimulator, HandshakeHarness
+from repro.styles.base import LogicStyle
+
+
+# ----------------------------------------------------------------------
+# Adders
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bits", [1, 2, 4])
+def test_qdi_ripple_adder_structure(bits):
+    adder = qdi_ripple_adder(bits)
+    assert adder.style is LogicStyle.QDI_DUAL_RAIL
+    assert adder.mapped.validate() == []
+    # 5 LEs per slice plus an acknowledge tree of (bits - 1) C-element LEs.
+    assert len(adder.mapped.les) == 5 * bits + max(0, bits - 1)
+    pack_design(adder.mapped)
+    report = filling_ratio(adder.mapped)
+    assert report.per_le > 0.5
+
+
+def test_qdi_ripple_adder_functional_via_lesim():
+    from repro.asynclogic.channels import Channel
+    from repro.asynclogic.encodings import DualRailEncoding
+    from repro.sim.lesim import simulate_mapped_design
+    from repro.sim.handshake import PassiveDualRailConsumer
+
+    bits = 2
+    adder = qdi_ripple_adder(bits)
+    ack_net = adder.metadata["ack_net"]
+    simulator = simulate_mapped_design(adder.mapped)
+    vectors = [(1, 2, 0), (3, 3, 1), (0, 0, 0), (2, 1, 1)]
+    producers = []
+    for index, channel_prefix in enumerate(("a", "b")):
+        for bit in range(bits):
+            channel = Channel(f"{channel_prefix}{bit}", 1, DualRailEncoding())
+            values = [(vector[index] >> bit) & 1 for vector in vectors]
+            producers.append(FourPhaseDualRailProducer(channel, values, ack_net))
+    cin = Channel("c0", 1, DualRailEncoding())
+    producers.append(FourPhaseDualRailProducer(cin, [v[2] for v in vectors], ack_net))
+    sum_consumers = [
+        PassiveDualRailConsumer(Channel(f"s{bit}", 1, DualRailEncoding()), ack_net) for bit in range(bits)
+    ]
+    cout_consumer = PassiveDualRailConsumer(Channel(f"c{bits}", 1, DualRailEncoding()), ack_net)
+    HandshakeHarness(simulator, producers + sum_consumers + [cout_consumer]).run()
+    for vector_index, (a, b, c) in enumerate(vectors):
+        total = a + b + c
+        for bit in range(bits):
+            assert sum_consumers[bit].received[vector_index] == (total >> bit) & 1
+        assert cout_consumer.received[vector_index] == (total >> bits) & 1
+
+
+@pytest.mark.parametrize("bits", [1, 2, 4, 8])
+def test_micropipeline_ripple_adder_structure(bits):
+    adder = micropipeline_ripple_adder(bits)
+    assert adder.mapped.validate() == []
+    assert len(adder.mapped.pdes) == 1
+    assert adder.mapped.pdes[0].delay_ps >= 150 * bits
+    pack_design(adder.mapped)
+    report = filling_ratio(adder.mapped)
+    assert 0.3 < report.per_le < 0.8
+
+
+def test_micropipeline_ripple_adder_functional():
+    from repro.sim.lesim import simulate_mapped_design
+    from repro.sim import FourPhaseBundledProducer, FourPhaseBundledConsumer
+
+    bits = 3
+    adder = micropipeline_ripple_adder(bits)
+    input_channel = adder.metadata["input_channel"]
+    output_channel = adder.metadata["output_channel"]
+    simulator = simulate_mapped_design(adder.mapped)
+    vectors = [(5, 2, 1), (7, 7, 1), (0, 0, 0), (3, 4, 0)]
+    encoded = [a | (b << bits) | (c << (2 * bits)) for a, b, c in vectors]
+    producer = FourPhaseBundledProducer(input_channel, encoded, input_channel.ack_wire)
+    consumer = FourPhaseBundledConsumer(output_channel, output_channel.req_wire, output_channel.ack_wire)
+    HandshakeHarness(simulator, [producer, consumer]).run()
+    assert consumer.received == [a + b + c for a, b, c in vectors]
+
+
+def test_adder_argument_validation():
+    with pytest.raises(ValueError):
+        qdi_ripple_adder(0)
+    with pytest.raises(ValueError):
+        micropipeline_ripple_adder(0)
+    with pytest.raises(ValueError):
+        qdi_ripple_adder(2, encoding="9-rail")
+
+
+# ----------------------------------------------------------------------
+# Multiplier / FIFO / ring
+# ----------------------------------------------------------------------
+def test_qdi_multiplier_functional():
+    circuit = qdi_multiplier(2)
+    from repro.sim.handshake import PassiveDualRailConsumer
+
+    simulator = GateLevelSimulator(circuit.netlist)
+    vectors = [(3, 2), (1, 3), (0, 2), (3, 3)]
+    producers = [
+        FourPhaseDualRailProducer(circuit.channel("a"), [a for a, _ in vectors], "ack"),
+        FourPhaseDualRailProducer(circuit.channel("b"), [b for _, b in vectors], "ack"),
+    ]
+    bit_consumers = [PassiveDualRailConsumer(circuit.channel(f"p{i}"), "ack") for i in range(4)]
+    HandshakeHarness(simulator, producers + bit_consumers).run()
+    for index, (a, b) in enumerate(vectors):
+        product = a * b
+        value = sum(bit_consumers[i].received[index] << i for i in range(4))
+        assert value == product
+
+
+def test_qdi_multiplier_limits():
+    with pytest.raises(ValueError):
+        qdi_multiplier(4)
+    with pytest.raises(ValueError):
+        qdi_multiplier(0)
+    with pytest.raises(ValueError):
+        qdi_multiplier(2, encoding="gray")
+
+
+def test_wchb_fifo_and_ring_structure():
+    fifo = wchb_fifo(5, width_bits=2)
+    assert fifo.metadata["stages"] == 5
+    ring = wchb_ring(4)
+    assert ring.metadata["ring"] is True
+    assert ring.netlist.cell_count("C2") >= 4
+    with pytest.raises(ValueError):
+        wchb_ring(2)
+
+
+def test_circuit_registry():
+    registry = circuit_registry()
+    assert "qdi_full_adder" in registry
+    assert "qdi_ripple_adder_4" in registry
+    circuit = build_circuit("micropipeline_full_adder")
+    assert circuit.style is LogicStyle.MICROPIPELINE
+    with pytest.raises(KeyError):
+        build_circuit("does_not_exist")
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def test_sync_baseline_mapping_shows_overhead():
+    qdi = qdi_full_adder()
+    result = map_to_sync_fpga(qdi.netlist)
+    assert result.luts_used > 10            # versus 5 LEs on the paper's fabric
+    assert result.feedback_luts >= 8        # every DIMS C-element needs a looped LUT
+    assert result.wasted_flip_flops > 0
+    assert 0 < result.lut_input_utilisation <= 1
+    row = result.as_row()
+    assert row["luts"] == result.luts_used
+
+
+def test_sync_baseline_counts_delay_emulation():
+    mp = micropipeline_full_adder()
+    result = map_to_sync_fpga(mp.netlist)
+    assert any("matched delays" in note for note in result.notes)
+    params = SyncFPGAParams()
+    assert result.config_bits_used == result.clbs_used * params.clb_config_bits
+
+
+def test_prior_art_matrix():
+    fpgas = prior_art_fpgas()
+    assert len(fpgas) == 6
+    matrix = style_support_matrix()
+    ours = matrix["Multi-style (this paper)"]
+    assert all(ours.values())  # the paper's architecture supports every style
+    counts = styles_supported_count()
+    assert counts["Multi-style (this paper)"] == max(counts.values())
+    assert counts["PGA-STC"] < counts["Multi-style (this paper)"]
+    rows = prior_art_table()
+    assert len(rows) == 6
+    assert all("styles_supported" in row for row in rows)
+
+
+def test_compare_with_sync_baseline_rows():
+    rows = compare_with_sync_baseline([qdi_full_adder(), micropipeline_full_adder()])
+    assert len(rows) == 2
+    for row in rows:
+        assert row["sync_luts"] > row["async_les"]
+        assert row["lut_per_le_ratio"] > 1
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+def test_area_reports():
+    plb = plb_area_estimate()
+    assert plb["plb_config_bits"] == ArchitectureParams().plb.config_bits
+    assert plb["plb_transistor_estimate"] > plb["plb_config_bits"]
+    fabric = fabric_area_report(ArchitectureParams(width=3, height=3))
+    assert fabric["plb_count"] == 9
+    assert fabric["config_bits_total"] == fabric["config_bits_logic"] + fabric["config_bits_routing"]
+    design = api.map_full_adder("qdi", options=FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False)).mapped
+    report = design_area_report(design)
+    assert report["les_used"] == 5
+    assert report["plbs_used"] == 3
+
+
+def test_figure_renderings_mention_parameters():
+    fig2 = render_figure2_le()
+    assert "LUT7-3" in fig2 and "LUT2" in fig2
+    fig1 = render_figure1_plb()
+    assert "Interconnection Matrix" in fig1 and "PDE" in fig1
+    flow = CadFlow(ArchitectureParams(width=4, height=4))
+    result = flow.run(qdi_full_adder())
+    floorplan = render_fabric_floorplan(flow.fabric, result.placement)
+    assert "4x4" in floorplan
+    assert "plb0" in floorplan
+
+
+def test_format_table():
+    rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 1.25}]
+    text = format_table(rows)
+    assert "a" in text and "22" in text and "1.250" in text
+    assert format_table([]) == "(no rows)"
+
+
+# ----------------------------------------------------------------------
+# High-level API
+# ----------------------------------------------------------------------
+def test_api_map_full_adder_styles():
+    options = FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False)
+    qdi = api.map_full_adder("qdi", options=options)
+    mp = api.map_full_adder("micropipeline", options=options)
+    one_of_four = api.map_full_adder("1-of-4", options=options)
+    assert qdi.filling.per_le > mp.filling.per_le
+    assert one_of_four.mapped.style is LogicStyle.QDI_ONE_OF_FOUR
+    with pytest.raises(ValueError):
+        api.map_full_adder("synchronous")
+
+
+def test_api_reproduce_filling_ratios_table():
+    rows = api.reproduce_filling_ratios()
+    by_style = {row["style"]: row for row in rows}
+    assert by_style["qdi-dual-rail"]["paper_filling_ratio"] == 0.76
+    assert by_style["micropipeline"]["paper_filling_ratio"] == 0.51
+    assert by_style["qdi-dual-rail"]["measured_filling_ratio"] > by_style["micropipeline"]["measured_filling_ratio"]
+
+
+def test_api_simulate_circuit():
+    assert api.simulate_circuit("qdi").correct
+    assert api.simulate_circuit("micropipeline", use_mapped=True).correct
+    outcome = api.simulate_circuit("qdi", vectors=[(1, 1, 1)], use_mapped=True)
+    assert outcome.sums == [1] and outcome.carries == [1]
+    with pytest.raises(ValueError):
+        api.simulate_circuit("rtl")

@@ -1,0 +1,277 @@
+"""Tests for the PDE, the interconnection matrix, the PLB, the fabric,
+the routing-resource graph, the bitstream and the fabric statistics."""
+
+import pytest
+
+from repro.core.bitstream import Bitstream, BitstreamBudget
+from repro.core.fabric import Fabric, IOPad, TileType
+from repro.core.im import IMConfig, InterconnectionMatrix
+from repro.core.le import LEConfig
+from repro.core.params import ArchitectureParams, PLBParams, RoutingParams
+from repro.core.pde import PDEConfig, ProgrammableDelayElement
+from repro.core.plb import PLB, PLBConfig
+from repro.core.rrgraph import RoutingResourceGraph, RRNodeType
+from repro.core.stats import fabric_statistics, le_statistics, plb_statistics
+from repro.logic.functions import c_element_table, latch_table, xor_table
+
+
+# ----------------------------------------------------------------------
+# PDE
+# ----------------------------------------------------------------------
+def test_pde_configure_delay_rounds_up():
+    pde = ProgrammableDelayElement(taps=8, step_ps=100)
+    config = pde.configure_delay(250)
+    assert config.tap == 2
+    assert pde.delay_ps == 300
+    assert pde.achievable_delays() == tuple(range(100, 900, 100))
+    assert pde.config_bits == 3
+
+
+def test_pde_range_checks():
+    pde = ProgrammableDelayElement(taps=4, step_ps=50)
+    with pytest.raises(ValueError):
+        pde.configure_delay(0)
+    with pytest.raises(ValueError):
+        pde.configure_delay(10_000)
+    with pytest.raises(ValueError):
+        pde.configure(PDEConfig(tap=9))
+    with pytest.raises(ValueError):
+        ProgrammableDelayElement(taps=0)
+
+
+def test_pde_config_vector():
+    pde = ProgrammableDelayElement(taps=8, step_ps=100)
+    pde.configure(PDEConfig(tap=5, used=True))
+    assert pde.config_vector() == (1, 0, 1)
+
+
+# ----------------------------------------------------------------------
+# Interconnection matrix
+# ----------------------------------------------------------------------
+def test_im_connect_and_propagate():
+    im = InterconnectionMatrix(sources=["a", "b"], destinations=["x", "y", "z"])
+    im.connect("x", "a")
+    im.connect("y", "b")
+    assert im.source_of("x") == "a"
+    assert im.source_of("z") is None
+    values = im.propagate({"a": 1, "b": 0})
+    assert values == {"x": 1, "y": 0, "z": 0}
+    assert im.used_destinations() == 2
+    assert im.utilisation() == pytest.approx(2 / 3)
+    im.disconnect("x")
+    assert im.source_of("x") is None
+
+
+def test_im_rejects_unknown_names():
+    im = InterconnectionMatrix(sources=["a"], destinations=["x"])
+    with pytest.raises(KeyError):
+        im.connect("nope", "a")
+    with pytest.raises(KeyError):
+        im.connect("x", "nope")
+    with pytest.raises(ValueError):
+        InterconnectionMatrix(sources=["a", "a"], destinations=["x"])
+
+
+def test_im_config_vector_roundtrip():
+    sources = ("s0", "s1", "s2")
+    destinations = ("d0", "d1", "d2", "d3")
+    im = InterconnectionMatrix(sources, destinations)
+    im.connect("d0", "s2")
+    im.connect("d3", "s0")
+    bits = im.config_vector()
+    assert len(bits) == im.config_bits
+    decoded = InterconnectionMatrix.decode_config_vector(sources, destinations, bits)
+    assert decoded.routes == {"d0": "s2", "d3": "s0"}
+
+
+# ----------------------------------------------------------------------
+# PLB
+# ----------------------------------------------------------------------
+def _c_element_plb() -> tuple[PLB, PLBConfig]:
+    plb = PLB(PLBParams())
+    config = PLBConfig(
+        le_configs=[LEConfig(lut_tables=[c_element_table(("i0", "i1"), state="i2"), None, None])],
+        im_config=IMConfig(
+            routes={"le0_i0": "in0", "le0_i1": "in1", "le0_i2": "le0_o0", "out0": "le0_o0"}
+        ),
+    )
+    plb.configure(config)
+    return plb, config
+
+
+def test_plb_signal_naming_matches_params():
+    plb = PLB(PLBParams())
+    assert len(plb.input_names()) == PLBParams().plb_inputs
+    assert len(plb.output_names()) == PLBParams().plb_outputs
+    assert len(plb.im.sources) == PLBParams().im_sources
+    assert len(plb.im.destinations) == PLBParams().im_destinations
+    assert plb.config_bits == PLBParams().config_bits
+
+
+def test_plb_memory_by_looping_c_element():
+    plb, _config = _c_element_plb()
+    state: dict = {}
+    outputs, state = plb.evaluate({"in0": 1, "in1": 1}, state)
+    assert outputs["out0"] == 1
+    outputs, state = plb.evaluate({"in0": 0, "in1": 1}, state)
+    assert outputs["out0"] == 1  # hold through the IM feedback loop
+    outputs, state = plb.evaluate({"in0": 0, "in1": 0}, state)
+    assert outputs["out0"] == 0
+
+
+def test_plb_latch_and_second_le():
+    plb = PLB(PLBParams())
+    config = PLBConfig(
+        le_configs=[
+            LEConfig(lut_tables=[xor_table(inputs=("i0", "i1")), None, None]),
+            LEConfig(lut_tables=[latch_table("i0", "i1", "i2"), None, None]),
+        ],
+        im_config=IMConfig(
+            routes={
+                "le0_i0": "in0",
+                "le0_i1": "in1",
+                "le1_i0": "le0_o0",  # latch data = xor output
+                "le1_i1": "in2",     # latch enable
+                "le1_i2": "le1_o0",  # latch feedback
+                "out0": "le1_o0",
+            }
+        ),
+    )
+    plb.configure(config)
+    state: dict = {}
+    outputs, state = plb.evaluate({"in0": 1, "in1": 0, "in2": 1}, state)
+    assert outputs["out0"] == 1
+    outputs, state = plb.evaluate({"in0": 1, "in1": 1, "in2": 0}, state)
+    assert outputs["out0"] == 1  # latch holds although xor now 0
+
+
+def test_plb_utilisation_and_rejects_too_many_le_configs():
+    plb, _ = _c_element_plb()
+    usage = plb.utilisation()
+    assert usage["im_destinations_used"] == 4
+    with pytest.raises(ValueError):
+        plb.configure(PLBConfig(le_configs=[LEConfig(), LEConfig(), LEConfig()]))
+
+
+# ----------------------------------------------------------------------
+# Fabric geometry
+# ----------------------------------------------------------------------
+def test_fabric_tiles_and_channels():
+    fabric = Fabric(ArchitectureParams(width=3, height=2))
+    assert len(list(fabric.tiles())) == 6
+    assert fabric.tile_at(2, 1).tile_type is TileType.PLB
+    with pytest.raises(KeyError):
+        fabric.tile_at(3, 0)
+    assert fabric.contains(0, 0) and not fabric.contains(-1, 0)
+    assert fabric.channel_segment_count() == (2 + 1) * 3 + (3 + 1) * 2
+    assert fabric.wire_count() == fabric.channel_segment_count() * fabric.params.routing.channel_width
+    assert len(fabric.tile_adjacent_channels(1, 1)) == 4
+    corners = list(fabric.switchbox_corners())
+    assert len(corners) == 4 * 3
+    assert 2 <= len(fabric.corner_incident_channels(0, 0)) <= 4
+    assert len(fabric.corner_incident_channels(1, 1)) == 4
+
+
+def test_fabric_io_pads():
+    params = ArchitectureParams(width=3, height=2, routing=RoutingParams(io_pads_per_side=2))
+    fabric = Fabric(params)
+    pads = fabric.io_pads()
+    assert len(pads) == 2 * (3 + 2) * 2
+    north = [pad for pad in pads if pad.side == "north"]
+    assert all(pad.adjacent_channel(3, 2)[0] == "h" for pad in north)
+    west = IOPad(side="west", position=1, index=0)
+    assert west.adjacent_channel(3, 2) == ("v", 0, 1)
+    with pytest.raises(ValueError):
+        IOPad(side="up", position=0, index=0).adjacent_channel(3, 2)
+
+
+def test_fabric_pin_channel_distribution():
+    fabric = Fabric(ArchitectureParams(width=2, height=2))
+    sides = {fabric.pin_channel(0, 0, pin)[0:1] for pin in range(4)}
+    # pins rotate over the four adjacent channels
+    channels = [fabric.pin_channel(0, 0, pin) for pin in range(4)]
+    assert len(set(channels)) == 4
+    assert Fabric.manhattan((0, 0), (2, 3)) == 5
+
+
+# ----------------------------------------------------------------------
+# Routing-resource graph
+# ----------------------------------------------------------------------
+def test_rr_graph_structure():
+    params = ArchitectureParams(width=2, height=2)
+    graph = RoutingResourceGraph(Fabric(params))
+    summary = graph.summary()
+    expected_wires = Fabric(params).wire_count()
+    assert summary["wires"] == expected_wires
+    plb_pins = params.plb.plb_inputs + params.plb.plb_outputs
+    assert summary["opins"] == params.plb_count * params.plb.plb_outputs + len(Fabric(params).io_pads())
+    assert summary["ipins"] == params.plb_count * params.plb.plb_inputs + len(Fabric(params).io_pads())
+    assert summary["edges"] > 0
+    # every PLB opin connects to at least fc_out * W tracks
+    node = graph.opin(0, 0, "out0")
+    assert node.node_type is RRNodeType.OPIN
+    assert len(node.edges) >= params.routing.tracks_per_pin(params.routing.fc_out)
+    # wire nodes exist with the documented naming
+    wire = graph.node_by_name(RoutingResourceGraph.wire_name("h", 0, 0, 0))
+    assert wire.node_type is RRNodeType.WIRE
+
+
+def test_rr_graph_wilton_switchbox_variant():
+    params = ArchitectureParams(
+        width=2, height=2, routing=RoutingParams(channel_width=4, switchbox="wilton")
+    )
+    graph = RoutingResourceGraph(Fabric(params))
+    assert graph.summary()["edges"] > 0
+
+
+def test_rr_graph_duplicate_node_protection():
+    graph = RoutingResourceGraph(Fabric(ArchitectureParams(width=1, height=1)))
+    with pytest.raises(ValueError):
+        graph._add_node(RRNodeType.WIRE, graph.nodes[0].name, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# Bitstream
+# ----------------------------------------------------------------------
+def test_bitstream_budget_and_roundtrip():
+    params = ArchitectureParams(width=2, height=2)
+    budget = BitstreamBudget.for_architecture(params)
+    kinds = budget.bits_by_kind()
+    assert kinds["plb"] == params.plb_count * params.plb.config_bits
+    assert budget.total_bits == sum(kinds.values())
+    assert budget.region("plb_0_0").bits == params.plb.config_bits
+    with pytest.raises(KeyError):
+        budget.region("plb_9_9")
+
+    bitstream = Bitstream(budget)
+    bitstream.set_region("plb_0_0", (1, 0, 1, 1))
+    bitstream.set_bit("plb_1_1", 7, 1)
+    with pytest.raises(IndexError):
+        bitstream.set_bit("plb_0_0", 10 ** 9, 1)
+    with pytest.raises(ValueError):
+        bitstream.set_region("plb_0_0", [1] * (params.plb.config_bits + 1))
+    data = bitstream.to_bytes()
+    assert len(data) == (budget.total_bits + 7) // 8
+    again = Bitstream.from_bytes(budget, data)
+    assert again == bitstream
+    assert again.used_bits() == bitstream.used_bits() == 4
+    with pytest.raises(ValueError):
+        Bitstream.from_bytes(budget, b"\x00")
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+def test_statistics_reports():
+    params = ArchitectureParams(width=3, height=3)
+    le_stats = le_statistics(params)
+    assert le_stats["lut_inputs"] == 7 and le_stats["lut_outputs"] == 3
+    plb_stats = plb_statistics(params)
+    assert plb_stats["les_per_plb"] == 2
+    assert plb_stats["plb_config_bits"] == params.plb.config_bits
+    assert plb_stats["im_crosspoints"] == params.plb.im_sources * params.plb.im_destinations
+    fabric_stats = fabric_statistics(params)
+    assert fabric_stats["plb_count"] == 9
+    assert fabric_stats["le_count"] == 18
+    assert fabric_stats["config_bits_total"] == BitstreamBudget.for_architecture(params).total_bits
+    assert fabric_stats["config_bits_plb"] == 9 * params.plb.config_bits

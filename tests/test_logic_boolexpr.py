@@ -1,0 +1,89 @@
+"""Unit tests for repro.logic.boolexpr."""
+
+import pytest
+
+from repro.logic.boolexpr import And, Const, Not, Or, Var, Xor, parse_expr
+
+
+def test_variable_collection_order():
+    expr = parse_expr("b & a | c & a")
+    assert expr.variables() == ("b", "a", "c")
+
+
+def test_parse_precedence():
+    # & binds tighter than ^ which binds tighter than |.
+    expr = parse_expr("a | b & c")
+    assert expr.evaluate({"a": 0, "b": 1, "c": 0}) == 0
+    assert expr.evaluate({"a": 0, "b": 1, "c": 1}) == 1
+    expr2 = parse_expr("a ^ b & c")
+    assert expr2.evaluate({"a": 1, "b": 1, "c": 1}) == 0
+    assert expr2.evaluate({"a": 1, "b": 1, "c": 0}) == 1
+
+
+def test_parse_parentheses_and_not():
+    expr = parse_expr("!(a | b) & c")
+    assert expr.evaluate({"a": 0, "b": 0, "c": 1}) == 1
+    assert expr.evaluate({"a": 1, "b": 0, "c": 1}) == 0
+
+
+def test_parse_constants():
+    assert parse_expr("1 | a").evaluate({"a": 0}) == 1
+    assert parse_expr("0 & a").evaluate({"a": 1}) == 0
+
+
+def test_parse_alternative_operators():
+    expr = parse_expr("a * b + c")
+    assert expr.evaluate({"a": 1, "b": 1, "c": 0}) == 1
+    assert expr.evaluate({"a": 0, "b": 1, "c": 0}) == 0
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_expr("a &")
+    with pytest.raises(ValueError):
+        parse_expr("(a | b")
+    with pytest.raises(ValueError):
+        parse_expr("a ? b")
+    with pytest.raises(ValueError):
+        parse_expr("a b")
+
+
+def test_to_truth_table_matches_evaluation():
+    expr = parse_expr("(a & b) ^ !c")
+    table = expr.to_truth_table()
+    for a in (0, 1):
+        for b in (0, 1):
+            for c in (0, 1):
+                assignment = {"a": a, "b": b, "c": c}
+                assert table.evaluate(assignment) == expr.evaluate(assignment)
+
+
+def test_to_truth_table_with_explicit_inputs():
+    expr = parse_expr("a & b")
+    table = expr.to_truth_table(inputs=("a", "b", "unused"))
+    assert table.inputs == ("a", "b", "unused")
+    with pytest.raises(ValueError):
+        expr.to_truth_table(inputs=("a",))
+
+
+def test_operator_sugar():
+    a, b = Var("a"), Var("b")
+    expr = (a & b) | ~a ^ Const(0)
+    assert expr.evaluate({"a": 0, "b": 0}) == 1
+    assert expr.evaluate({"a": 1, "b": 0}) == 0
+
+
+def test_nary_constructors_require_two_operands():
+    with pytest.raises(ValueError):
+        And(Var("a"))
+    with pytest.raises(ValueError):
+        Or(Var("a"))
+    with pytest.raises(ValueError):
+        Xor(Var("a"))
+
+
+def test_str_rendering():
+    expr = parse_expr("!a & (b | c)")
+    text = str(expr)
+    assert "a" in text and "|" in text and "&" in text
+    assert str(Not(Var("z"))) == "!z"

@@ -1,0 +1,104 @@
+"""Unit tests for the standard function library (repro.logic.functions)."""
+
+import itertools
+
+from repro.logic import functions as F
+
+
+def _assignments(names):
+    for values in itertools.product((0, 1), repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def test_and_or_nand_nor():
+    for arity in (2, 3, 4):
+        and_t = F.and_table(arity)
+        or_t = F.or_table(arity)
+        nand_t = F.nand_table(arity)
+        nor_t = F.nor_table(arity)
+        for assignment in _assignments(and_t.inputs):
+            values = list(assignment.values())
+            assert and_t.evaluate(assignment) == int(all(values))
+            assert or_t.evaluate(assignment) == int(any(values))
+            assert nand_t.evaluate(assignment) == int(not all(values))
+            assert nor_t.evaluate(assignment) == int(not any(values))
+
+
+def test_xor_xnor_parity():
+    xor3 = F.xor_table(3)
+    xnor3 = F.xnor_table(3)
+    for assignment in _assignments(xor3.inputs):
+        parity = sum(assignment.values()) % 2
+        assert xor3.evaluate(assignment) == parity
+        assert xnor3.evaluate(assignment) == 1 - parity
+
+
+def test_not_buf():
+    assert F.not_table("x").evaluate({"x": 0}) == 1
+    assert F.not_table("x").evaluate({"x": 1}) == 0
+    assert F.buf_table("x").evaluate({"x": 1}) == 1
+
+
+def test_majority():
+    maj = F.majority_table(3)
+    for assignment in _assignments(maj.inputs):
+        expected = int(sum(assignment.values()) >= 2)
+        assert maj.evaluate(assignment) == expected
+
+
+def test_mux():
+    mux = F.mux_table()
+    assert mux.evaluate({"s": 0, "d0": 1, "d1": 0}) == 1
+    assert mux.evaluate({"s": 1, "d0": 1, "d1": 0}) == 0
+
+
+def test_c_element_truth_table():
+    table = F.c_element_table(("a", "b"))
+    # Rise when all inputs high, fall when all low, hold otherwise.
+    assert table.evaluate({"a": 1, "b": 1, "y": 0}) == 1
+    assert table.evaluate({"a": 0, "b": 0, "y": 1}) == 0
+    assert table.evaluate({"a": 1, "b": 0, "y": 0}) == 0
+    assert table.evaluate({"a": 1, "b": 0, "y": 1}) == 1
+    assert table.evaluate({"a": 0, "b": 1, "y": 1}) == 1
+
+
+def test_c_element_three_inputs():
+    table = F.c_element_table(("a", "b", "c"))
+    assert table.evaluate({"a": 1, "b": 1, "c": 1, "y": 0}) == 1
+    assert table.evaluate({"a": 1, "b": 1, "c": 0, "y": 0}) == 0
+    assert table.evaluate({"a": 1, "b": 1, "c": 0, "y": 1}) == 1
+    assert table.evaluate({"a": 0, "b": 0, "c": 0, "y": 1}) == 0
+
+
+def test_generalized_c_element():
+    table = F.generalized_c_table(plus_inputs=("s",), minus_inputs=("r",))
+    # Set-dominant style behaviour: rise when s, fall when r low?  The
+    # semantics: rise when all plus inputs are 1, fall when all minus are 0.
+    assert table.evaluate({"s": 1, "r": 1, "y": 0}) == 1
+    assert table.evaluate({"s": 0, "r": 0, "y": 1}) == 0
+    assert table.evaluate({"s": 0, "r": 1, "y": 1}) == 1  # hold
+
+
+def test_latch_table():
+    latch = F.latch_table()
+    assert latch.evaluate({"d": 1, "en": 1, "y": 0}) == 1
+    assert latch.evaluate({"d": 0, "en": 1, "y": 1}) == 0
+    assert latch.evaluate({"d": 1, "en": 0, "y": 0}) == 0
+    assert latch.evaluate({"d": 0, "en": 0, "y": 1}) == 1
+
+
+def test_sr_latch_table():
+    sr = F.sr_latch_table()
+    assert sr.evaluate({"s": 1, "r": 0, "y": 0}) == 1
+    assert sr.evaluate({"s": 0, "r": 1, "y": 1}) == 0
+    assert sr.evaluate({"s": 0, "r": 0, "y": 1}) == 1
+    assert sr.evaluate({"s": 1, "r": 1, "y": 0}) == 1  # set dominant
+
+
+def test_full_adder_helpers():
+    s = F.full_adder_sum_table()
+    c = F.full_adder_carry_table()
+    for assignment in _assignments(("a", "b", "cin")):
+        total = sum(assignment.values())
+        assert s.evaluate(assignment) == total & 1
+        assert c.evaluate(assignment) == (total >> 1) & 1

@@ -1,0 +1,96 @@
+"""Unit tests for the cube-based minimiser (repro.logic.minimise)."""
+
+import pytest
+
+from repro.logic.functions import majority_table, xor_table
+from repro.logic.minimise import (
+    Cube,
+    cover_is_hazard_free,
+    minimise_sop,
+    prime_implicants,
+    sop_expression,
+)
+from repro.logic.truthtable import TruthTable
+
+
+def _cover_matches(table, cover):
+    for minterm in range(1 << table.arity):
+        covered = any(cube.covers(minterm) for cube in cover)
+        assert covered == bool(table.bits[minterm]), f"minterm {minterm}"
+
+
+def test_cube_basics():
+    cube = Cube(care=0b011, value=0b001, width=3)
+    assert cube.covers(0b001)
+    assert cube.covers(0b101)
+    assert not cube.covers(0b011)
+    assert cube.literal_count() == 2
+    assert "a" in cube.to_expression(("a", "b", "c"))
+
+
+def test_cube_rejects_value_outside_care():
+    with pytest.raises(ValueError):
+        Cube(care=0b01, value=0b10, width=2)
+
+
+def test_cube_merge():
+    a = Cube(care=0b11, value=0b00, width=2)
+    b = Cube(care=0b11, value=0b01, width=2)
+    merged = a.try_merge(b)
+    assert merged is not None
+    assert merged.care == 0b10 and merged.value == 0b00
+    c = Cube(care=0b11, value=0b11, width=2)
+    assert a.try_merge(c) is None  # differs in two literals
+
+
+def test_prime_implicants_of_and():
+    table = TruthTable.from_function(("a", "b"), lambda a, b: a and b)
+    primes = prime_implicants(table)
+    assert len(primes) == 1
+    assert primes[0].covers(0b11)
+
+
+def test_minimise_xor_needs_all_minterms():
+    table = xor_table(2)
+    cover = minimise_sop(table)
+    assert len(cover) == 2
+    _cover_matches(table, cover)
+
+
+def test_minimise_majority():
+    table = majority_table(3)
+    cover = minimise_sop(table)
+    _cover_matches(table, cover)
+    # MAJ3 minimises to exactly three 2-literal products.
+    assert len(cover) == 3
+    assert all(cube.literal_count() == 2 for cube in cover)
+
+
+def test_minimise_constant_functions():
+    zero = TruthTable.constant(0, inputs=("a", "b"))
+    assert minimise_sop(zero) == []
+    assert sop_expression(zero) == "0"
+    one = TruthTable.constant(1, inputs=("a", "b"))
+    assert sop_expression(one) == "1"
+
+
+def test_sop_expression_mentions_inputs():
+    table = TruthTable.from_function(("x", "y"), lambda x, y: x and not y)
+    text = sop_expression(table)
+    assert "x" in text and "!y" in text
+
+
+def test_hazard_free_cover_check():
+    # f = a&b | !a&c has a static-1 hazard between minterms abc=111 and 011
+    # unless the consensus term b&c is included.
+    table = TruthTable.from_function(("a", "b", "c"), lambda a, b, c: (a and b) or ((not a) and c))
+    minimal = minimise_sop(table)
+    assert not cover_is_hazard_free(table, minimal)
+    consensus = minimal + [Cube(care=0b110, value=0b110, width=3)]  # b & c
+    assert cover_is_hazard_free(table, consensus)
+
+
+def test_minimised_cover_is_correct_for_random_like_function():
+    table = TruthTable.from_minterms(("a", "b", "c", "d"), [0, 1, 3, 7, 8, 9, 11, 15])
+    cover = minimise_sop(table)
+    _cover_matches(table, cover)

@@ -1,0 +1,211 @@
+"""Unit tests for the netlist substrate: cell types, netlist, builder."""
+
+import pytest
+
+from repro.logic.functions import and_table
+from repro.netlist.celltypes import CellType, Library, STANDARD_LIBRARY, standard_library
+from repro.netlist.netlist import Netlist, PortDirection, merge_netlists
+from repro.netlist.builder import NetlistBuilder
+
+
+# ----------------------------------------------------------------------
+# Cell types / library
+# ----------------------------------------------------------------------
+def test_standard_library_contents():
+    library = standard_library()
+    for name in ("INV", "BUF", "AND2", "OR2", "XOR2", "XOR3", "MAJ3", "MUX2",
+                 "C2", "C3", "C2R", "LATCH", "SRLATCH", "DELAY"):
+        assert name in library, name
+    assert library.get("C2").is_sequential
+    assert library.get("LATCH").is_sequential
+    assert not library.get("AND2").is_sequential
+    assert {cell.name for cell in library.sequential_cells()} >= {"C2", "C3", "LATCH"}
+
+
+def test_cell_type_validation():
+    with pytest.raises(ValueError):
+        CellType(name="BROKEN", inputs=("a",), outputs=("z",), tables={})
+    with pytest.raises(ValueError):
+        CellType(
+            name="BROKEN2",
+            inputs=("a",),
+            outputs=("z",),
+            tables={"z": and_table(inputs=("a", "b"))},  # 'b' is not a pin
+        )
+
+
+def test_library_duplicate_and_lookup():
+    library = Library(name="test")
+    cell = CellType(name="X", inputs=("a",), outputs=("z",), tables={"z": and_table(inputs=("a",))})
+    library.add(cell)
+    with pytest.raises(ValueError):
+        library.add(cell)
+    with pytest.raises(KeyError):
+        library.get("UNKNOWN")
+    assert "X" in library
+
+
+def test_c2_uses_state():
+    c2 = STANDARD_LIBRARY.get("C2")
+    assert c2.uses_state("z")
+    assert not STANDARD_LIBRARY.get("AND2").uses_state("z")
+
+
+# ----------------------------------------------------------------------
+# Netlist
+# ----------------------------------------------------------------------
+def _half_adder() -> Netlist:
+    builder = NetlistBuilder("half_adder")
+    a, b = builder.inputs("a", "b")
+    builder.xor2(a, b, out="s")
+    builder.and2(a, b, out="c")
+    builder.outputs("s", "c")
+    return builder.build()
+
+
+def test_ports_and_stats():
+    netlist = _half_adder()
+    assert netlist.primary_inputs == ["a", "b"]
+    assert netlist.primary_outputs == ["s", "c"]
+    stats = netlist.stats()
+    assert stats["cells"] == 2
+    assert stats["sequential_cells"] == 0
+    assert stats["histogram"] == {"AND2": 1, "XOR2": 1}
+
+
+def test_single_driver_enforced():
+    netlist = _half_adder()
+    with pytest.raises(ValueError):
+        netlist.add_cell("bad", "AND2", {"a0": "a", "a1": "b", "z": "s"})
+
+
+def test_primary_input_cannot_be_driven():
+    netlist = _half_adder()
+    with pytest.raises(ValueError):
+        netlist.add_cell("bad", "AND2", {"a0": "s", "a1": "c", "z": "a"})
+
+
+def test_unconnected_pins_rejected():
+    netlist = Netlist("n")
+    with pytest.raises(ValueError):
+        netlist.add_cell("g", "AND2", {"a0": "x", "z": "y"})
+
+
+def test_unknown_pins_rejected():
+    netlist = Netlist("n")
+    with pytest.raises(ValueError):
+        netlist.add_cell("g", "INV", {"a": "x", "zz": "y", "z": "w"})
+
+
+def test_duplicate_cell_name_rejected():
+    netlist = _half_adder()
+    first = next(iter(netlist.cells))
+    with pytest.raises(ValueError):
+        netlist.add_cell(first, "INV", {"a": "a", "z": "fresh"})
+
+
+def test_driver_and_sinks_queries():
+    netlist = _half_adder()
+    driver = netlist.driver_of("s")
+    assert driver is not None and driver[0].type_name == "XOR2"
+    assert netlist.driver_of("a") is None
+    sinks = netlist.sinks_of("a")
+    assert len(sinks) == 2
+
+
+def test_fanin_fanout():
+    netlist = _half_adder()
+    xor_cell = [cell for cell in netlist.iter_cells() if cell.type_name == "XOR2"][0]
+    assert netlist.fanin_cells(xor_cell) == []
+    assert netlist.fanout_cells(xor_cell) == []
+
+
+def test_topological_order_and_loop_detection():
+    netlist = _half_adder()
+    order = [cell.type_name for cell in netlist.topological_order()]
+    assert sorted(order) == ["AND2", "XOR2"]
+
+    # A purely combinational loop must be detected.
+    looped = Netlist("loop")
+    looped.add_port("i", PortDirection.INPUT)
+    looped.add_cell("g1", "AND2", {"a0": "i", "a1": "w2", "z": "w1"})
+    looped.add_cell("g2", "BUF", {"a": "w1", "z": "w2"})
+    with pytest.raises(ValueError):
+        looped.topological_order()
+
+
+def test_sequential_feedback_loop_is_allowed():
+    netlist = Netlist("celoop")
+    netlist.add_port("a", PortDirection.INPUT)
+    netlist.add_port("z", PortDirection.OUTPUT)
+    netlist.add_cell("c", "C2", {"a0": "a", "a1": "z", "z": "z"})
+    # The loop goes through a sequential cell, so ordering succeeds.
+    assert len(netlist.topological_order()) == 1
+
+
+def test_remove_cell():
+    netlist = _half_adder()
+    name = [cell.name for cell in netlist.iter_cells() if cell.type_name == "AND2"][0]
+    netlist.remove_cell(name)
+    assert netlist.cell_count("AND2") == 0
+    assert netlist.net("c").driver is None
+
+
+def test_copy_is_independent():
+    netlist = _half_adder()
+    clone = netlist.copy("clone")
+    assert clone.stats()["cells"] == 2
+    clone.remove_cell(next(iter(clone.cells)))
+    assert netlist.stats()["cells"] == 2
+
+
+def test_total_area_positive():
+    assert _half_adder().total_area() > 0
+
+
+def test_merge_netlists_shares_nets():
+    first = NetlistBuilder("f")
+    a, b = first.inputs("a", "b")
+    first.and2(a, b, out="mid", name="g_and")
+    first.output("mid")
+    second = NetlistBuilder("g")
+    second.input("mid")
+    second.inv("mid", out="out", name="g_inv")
+    second.output("out")
+    merged = merge_netlists("merged", [first.build(), second.build()])
+    assert "mid" in merged.nets
+    assert merged.net("mid").driver is not None
+    assert "out" in merged.primary_outputs
+    # 'mid' is driven by part one, so it must not be a primary input.
+    assert "mid" not in merged.primary_inputs
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+def test_builder_auto_names_are_unique():
+    builder = NetlistBuilder("t")
+    a, b = builder.inputs("a", "b")
+    nets = {builder.and2(a, b) for _ in range(5)}
+    assert len(nets) == 5
+
+
+def test_builder_gate_arity_check():
+    builder = NetlistBuilder("t")
+    a = builder.input("a")
+    with pytest.raises(ValueError):
+        builder.gate("AND2", [a])
+
+
+def test_builder_or_tree_and_c_tree():
+    builder = NetlistBuilder("t")
+    inputs = builder.inputs("a", "b", "c", "d", "e")
+    out = builder.or_tree(inputs, out="any")
+    assert out == "any"
+    cout = builder.c_tree(inputs[:3], out="call")
+    assert cout == "call"
+    netlist = builder.build()
+    assert netlist.cell_count("OR2") >= 4
+    assert netlist.cell_count("C2") >= 2
+    with pytest.raises(ValueError):
+        builder.or_tree([])

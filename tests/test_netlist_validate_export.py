@@ -1,0 +1,113 @@
+"""Tests for netlist validation and the Verilog / DOT exporters."""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.validate import has_errors, validate_netlist
+from repro.netlist.verilog import library_stub, to_verilog
+from repro.netlist.dot import to_dot
+
+
+def _good_netlist() -> Netlist:
+    builder = NetlistBuilder("good")
+    a, b = builder.inputs("a", "b")
+    builder.c2(a, b, out="z")
+    builder.output("z")
+    return builder.build()
+
+
+def test_validate_clean_netlist():
+    issues = validate_netlist(_good_netlist())
+    assert not has_errors(issues)
+
+
+def test_validate_undriven_net():
+    netlist = Netlist("bad")
+    netlist.add_port("o", PortDirection.OUTPUT)
+    netlist.add_cell("g", "INV", {"a": "floating", "z": "o"})
+    issues = validate_netlist(netlist)
+    assert has_errors(issues)
+    assert any(issue.code == "undriven-net" for issue in issues)
+
+
+def test_validate_undriven_output():
+    netlist = Netlist("bad2")
+    netlist.add_port("o", PortDirection.OUTPUT)
+    issues = validate_netlist(netlist)
+    assert any(issue.code == "undriven-output" for issue in issues)
+
+
+def test_validate_unused_input_warning():
+    netlist = Netlist("warn")
+    netlist.add_port("i", PortDirection.INPUT)
+    issues = validate_netlist(netlist)
+    assert any(issue.code == "unused-input" and issue.severity == "warning" for issue in issues)
+    assert not has_errors(issues)
+
+
+def test_validate_dangling_net_warning():
+    builder = NetlistBuilder("dangle")
+    a = builder.input("a")
+    builder.inv(a)  # output net read by nothing
+    issues = validate_netlist(builder.build())
+    assert any(issue.code == "dangling-net" for issue in issues)
+    assert not has_errors(issues)
+
+
+def test_validate_combinational_loop():
+    netlist = Netlist("loop")
+    netlist.add_port("i", PortDirection.INPUT)
+    netlist.add_cell("g1", "AND2", {"a0": "i", "a1": "w2", "z": "w1"})
+    netlist.add_cell("g2", "BUF", {"a": "w1", "z": "w2"})
+    issues = validate_netlist(netlist)
+    assert any(issue.code == "combinational-loop" for issue in issues)
+    assert has_errors(issues)
+
+
+def test_validate_sequential_loop_ok():
+    issues = validate_netlist(_good_netlist())
+    assert not any(issue.code == "combinational-loop" for issue in issues)
+
+
+def test_issue_str():
+    issues = validate_netlist(Netlist("empty") )
+    # Just exercise __str__ on a synthetic issue.
+    from repro.netlist.validate import NetlistIssue
+
+    text = str(NetlistIssue("error", "some-code", "message"))
+    assert "some-code" in text and "error" in text
+    assert issues == []
+
+
+def test_verilog_export_structure():
+    text = to_verilog(_good_netlist())
+    assert "module good" in text
+    assert "input a;" in text
+    assert "output z;" in text
+    assert "C2" in text
+    assert text.strip().endswith("endmodule")
+
+
+def test_verilog_escaping():
+    builder = NetlistBuilder("esc")
+    a = builder.input("a.0[1]")
+    builder.inv(a, out="z")
+    builder.output("z")
+    text = to_verilog(builder.build())
+    assert "\\a.0[1]" in text
+
+
+def test_library_stub_lists_used_cells():
+    text = library_stub(_good_netlist())
+    assert "module C2" in text
+
+
+def test_dot_export():
+    text = to_dot(_good_netlist())
+    assert text.startswith("digraph")
+    assert '"pi_a"' in text
+    assert '"po_z"' in text
+    assert "->" in text
+    no_labels = to_dot(_good_netlist(), include_net_labels=False)
+    # Edges carry no label when include_net_labels is off.
+    edge_lines = [line for line in no_labels.splitlines() if "->" in line]
+    assert edge_lines and all("label" not in line for line in edge_lines)

@@ -1,0 +1,240 @@
+"""Tests for the event scheduler, gate-level simulator, hazards, checkers, VCD."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.sim.checkers import DualRailChecker, FourPhaseChecker, ProtocolViolation
+from repro.sim.hazards import TransitionTrace, analyse_traces, count_glitches, is_monotonic_transition
+from repro.sim.netsim import GateLevelSimulator, evaluate_combinational
+from repro.sim.scheduler import EventScheduler
+from repro.sim.vcd import VcdWriter
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import DualRailEncoding
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+def test_scheduler_ordering_and_determinism():
+    scheduler = EventScheduler()
+    scheduler.schedule(10, "b")
+    scheduler.schedule(5, "a")
+    scheduler.schedule(10, "c")
+    order = [scheduler.pop().target for _ in range(3)]
+    assert order == ["a", "b", "c"]  # time order, then insertion order
+    assert scheduler.now == 10
+    assert scheduler.empty()
+
+
+def test_scheduler_negative_delay_and_past():
+    scheduler = EventScheduler()
+    with pytest.raises(ValueError):
+        scheduler.schedule(-1, "x")
+    scheduler.schedule(5, "x")
+    scheduler.pop()
+    with pytest.raises(ValueError):
+        scheduler.schedule_at(1, "y")
+
+
+def test_scheduler_pop_simultaneous():
+    scheduler = EventScheduler()
+    scheduler.schedule(3, "a")
+    scheduler.schedule(3, "b")
+    scheduler.schedule(7, "c")
+    events = scheduler.pop_simultaneous()
+    assert [event.target for event in events] == ["a", "b"]
+
+
+def test_scheduler_drain_limit():
+    scheduler = EventScheduler()
+    for index in range(10):
+        scheduler.schedule(index, index)
+    with pytest.raises(RuntimeError):
+        scheduler.drain(lambda event: None, max_events=3)
+
+
+def test_scheduler_drain_until():
+    scheduler = EventScheduler()
+    for index in range(10):
+        scheduler.schedule(index * 10, index)
+    seen = []
+    scheduler.drain(seen.append, until=35)
+    assert len(seen) == 4
+
+
+def test_scheduler_empty_pop():
+    with pytest.raises(RuntimeError):
+        EventScheduler().pop()
+
+
+# ----------------------------------------------------------------------
+# Gate-level simulator
+# ----------------------------------------------------------------------
+def _xor_chain():
+    builder = NetlistBuilder("chain")
+    a, b, c = builder.inputs("a", "b", "c")
+    x = builder.xor2(a, b, out="x")
+    builder.xor2(x, c, out="y")
+    builder.outputs("y")
+    return builder.build()
+
+
+def test_combinational_evaluation_exhaustive():
+    netlist = _xor_chain()
+    for v in range(8):
+        vector = {"a": v & 1, "b": (v >> 1) & 1, "c": (v >> 2) & 1}
+        out = evaluate_combinational(netlist, vector)
+        assert out["y"] == (vector["a"] ^ vector["b"] ^ vector["c"])
+
+
+def test_simulator_rejects_driving_non_inputs():
+    simulator = GateLevelSimulator(_xor_chain())
+    with pytest.raises(ValueError):
+        simulator.set_input("x", 1)
+
+
+def test_simulator_time_advances_with_delays():
+    simulator = GateLevelSimulator(_xor_chain())
+    simulator.initialise()
+    result = simulator.apply_and_settle({"a": 1})
+    assert result.settled
+    assert simulator.now >= 2 * 100  # two XOR gates at >=100 ps each... (XOR delay is 140)
+    assert simulator.value("y") == 1
+
+
+def test_simulator_c_element_holds_state():
+    builder = NetlistBuilder("ce")
+    a, b = builder.inputs("a", "b")
+    builder.c2(a, b, out="z")
+    builder.output("z")
+    simulator = GateLevelSimulator(builder.build())
+    simulator.initialise()
+    simulator.apply_and_settle({"a": 1, "b": 1})
+    assert simulator.value("z") == 1
+    simulator.apply_and_settle({"a": 0, "b": 1})
+    assert simulator.value("z") == 1  # hold
+    simulator.apply_and_settle({"a": 0, "b": 0})
+    assert simulator.value("z") == 0
+
+
+def test_simulator_latch():
+    builder = NetlistBuilder("latch")
+    d, en = builder.inputs("d", "en")
+    builder.latch(d, en, out="q")
+    builder.output("q")
+    simulator = GateLevelSimulator(builder.build())
+    simulator.initialise()
+    simulator.apply_and_settle({"d": 1, "en": 1})
+    assert simulator.value("q") == 1
+    simulator.apply_and_settle({"en": 0})
+    simulator.apply_and_settle({"d": 0})
+    assert simulator.value("q") == 1  # opaque latch holds
+    simulator.apply_and_settle({"en": 1})
+    assert simulator.value("q") == 0
+
+
+def test_simulator_traces_and_wait_for():
+    netlist = _xor_chain()
+    simulator = GateLevelSimulator(netlist, trace_nets=["y"])
+    simulator.initialise()
+    simulator.set_input("a", 1)
+    assert simulator.wait_for("y", 1)
+    trace = simulator.trace("y")
+    assert trace[-1][1] == 1
+    with pytest.raises(KeyError):
+        simulator.trace("x")
+
+
+def test_per_instance_delay_override():
+    builder = NetlistBuilder("delay")
+    a = builder.input("a")
+    builder.gate("DELAY", [a], out="z", name="dly")
+    builder.output("z")
+    netlist = builder.build()
+    netlist.cell("dly").attributes["delay"] = 1234
+    simulator = GateLevelSimulator(netlist)
+    simulator.initialise()
+    simulator.set_input("a", 1)
+    simulator.run()
+    assert simulator.now == 1234
+    assert simulator.value("z") == 1
+
+
+# ----------------------------------------------------------------------
+# Hazard analysis
+# ----------------------------------------------------------------------
+def test_count_glitches_and_monotonicity():
+    changes = [(0, 0), (10, 1), (12, 0), (15, 1)]
+    assert count_glitches(changes, 0, 20) == 2
+    assert not is_monotonic_transition(changes, 0, 20)
+    assert is_monotonic_transition(changes, 0, 10)
+    assert count_glitches([], 0, 100) == 0
+
+
+def test_transition_trace_queries():
+    trace = TransitionTrace(net="x", changes=[(0, 0), (10, 1), (30, 0), (50, 1)])
+    assert trace.value_at(5) == 0
+    assert trace.value_at(10) == 1
+    assert trace.value_at(40) == 0
+    assert trace.rising_edges() == [10, 50]
+    assert trace.falling_edges() == [30]
+    assert trace.transition_count(0, 30) == 2
+    assert trace.window(0, 10) == [(10, 1)]
+
+
+def test_analyse_traces():
+    traces = {"a": [(0, 0), (5, 1)], "b": [(0, 0), (5, 1), (6, 0), (7, 1)]}
+    report = analyse_traces(traces, 0, 10)
+    assert report["a"] == 0
+    assert report["b"] == 2
+
+
+# ----------------------------------------------------------------------
+# Protocol checkers
+# ----------------------------------------------------------------------
+def test_dual_rail_checker_accepts_legal_sequence():
+    channel = Channel("d", 1, DualRailEncoding())
+    checker = DualRailChecker(channel)
+    checker.observe({"d_f": 0, "d_t": 0})
+    checker.observe({"d_f": 0, "d_t": 1})
+    checker.observe({"d_f": 0, "d_t": 0})
+    checker.observe({"d_f": 1, "d_t": 0})
+    assert checker.observed_values == [1, 0]
+    assert checker.ok
+
+
+def test_dual_rail_checker_rejects_back_to_back_valid():
+    channel = Channel("d", 1, DualRailEncoding())
+    checker = DualRailChecker(channel)
+    checker.observe({"d_f": 0, "d_t": 1})
+    with pytest.raises(ProtocolViolation):
+        checker.observe({"d_f": 1, "d_t": 0})
+    relaxed = DualRailChecker(channel, strict=False)
+    relaxed.observe({"d_f": 0, "d_t": 1})
+    relaxed.observe({"d_f": 1, "d_t": 0})
+    assert not relaxed.ok
+
+
+def test_four_phase_checker():
+    checker = FourPhaseChecker(name="ch")
+    for req, ack in [(1, 0), (1, 1), (0, 1), (0, 0), (1, 0), (1, 1), (0, 1), (0, 0)]:
+        checker.observe(req, ack)
+    assert checker.handshakes_completed == 2
+    with pytest.raises(ProtocolViolation):
+        checker.observe(0, 1)  # illegal from (0, 0)
+
+
+# ----------------------------------------------------------------------
+# VCD
+# ----------------------------------------------------------------------
+def test_vcd_render_and_save(tmp_path):
+    writer = VcdWriter(design_name="testbench")
+    writer.add_trace("a", [(0, 0), (10, 1), (20, 0)])
+    writer.add_trace("b", [(0, 1), (15, 0)])
+    text = writer.render()
+    assert "$timescale" in text
+    assert "$var wire 1" in text
+    assert "#10" in text and "#20" in text
+    path = tmp_path / "wave.vcd"
+    writer.save(str(path))
+    assert path.read_text().startswith("$date")

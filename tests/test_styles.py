@@ -1,0 +1,216 @@
+"""Tests for the logic-style generators (gate level) and their simulation."""
+
+import pytest
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import BundledDataEncoding, DualRailEncoding
+from repro.circuits.fulladder import reference_sum_carry
+from repro.logic.functions import xor_table
+from repro.netlist.validate import has_errors, validate_netlist
+from repro.sim import (
+    FourPhaseBundledConsumer,
+    FourPhaseBundledProducer,
+    FourPhaseDualRailConsumer,
+    FourPhaseDualRailProducer,
+    GateLevelSimulator,
+    HandshakeHarness,
+    PassiveDualRailConsumer,
+)
+from repro.styles import (
+    LogicStyle,
+    available_styles,
+    dims_function_block,
+    micropipeline_full_adder_stage,
+    micropipeline_stage,
+    qdi_full_adder_block,
+    style_info,
+    wchb_buffer_stage,
+    wchb_pipeline,
+)
+from repro.styles.base import StyledCircuit
+
+
+# ----------------------------------------------------------------------
+# Style registry
+# ----------------------------------------------------------------------
+def test_style_registry():
+    infos = available_styles()
+    assert len(infos) == 4
+    assert style_info("qdi").style is LogicStyle.QDI_DUAL_RAIL
+    assert style_info("bundled-data").style is LogicStyle.MICROPIPELINE
+    assert style_info(LogicStyle.WCHB).timing_class.name == "QDI"
+    assert style_info("micropipeline").uses_delay_element
+    assert not style_info("qdi").uses_delay_element
+    with pytest.raises(KeyError):
+        LogicStyle.from_name("nonsense")
+
+
+def test_styled_circuit_helpers():
+    circuit = qdi_full_adder_block()
+    assert isinstance(circuit, StyledCircuit)
+    assert circuit.channel("a").name == "a"
+    with pytest.raises(KeyError):
+        circuit.channel("zzz")
+    summary = circuit.summary()
+    assert summary["c_elements"] > 0
+    assert summary["delay_elements"] == 0
+
+
+# ----------------------------------------------------------------------
+# QDI / DIMS
+# ----------------------------------------------------------------------
+def test_qdi_full_adder_structure():
+    circuit = qdi_full_adder_block()
+    assert circuit.style is LogicStyle.QDI_DUAL_RAIL
+    assert not has_errors(validate_netlist(circuit.netlist))
+    histogram = circuit.netlist.cell_histogram()
+    # DIMS: one C-tree per input combination (8 combinations) plus completion.
+    assert sum(count for name, count in histogram.items() if name.startswith("C")) >= 8
+
+
+def test_qdi_full_adder_exhaustive_handshake():
+    circuit = qdi_full_adder_block()
+    vectors = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+    simulator = GateLevelSimulator(circuit.netlist)
+    producers = [
+        FourPhaseDualRailProducer(circuit.channel("a"), [v[0] for v in vectors], "ack"),
+        FourPhaseDualRailProducer(circuit.channel("b"), [v[1] for v in vectors], "ack"),
+        FourPhaseDualRailProducer(circuit.channel("cin"), [v[2] for v in vectors], "ack"),
+    ]
+    sums = PassiveDualRailConsumer(circuit.channel("sum"), "ack")
+    carries = PassiveDualRailConsumer(circuit.channel("cout"), "ack")
+    HandshakeHarness(simulator, producers + [sums, carries]).run()
+    expected = [reference_sum_carry(*v) for v in vectors]
+    assert sums.received == [s for s, _ in expected]
+    assert carries.received == [c for _, c in expected]
+    # every producer completed all its tokens
+    assert all(producer.finished for producer in producers)
+    assert all(token.latency is not None for token in producers[0].tokens)
+
+
+def test_qdi_full_adder_one_of_four():
+    circuit = qdi_full_adder_block(encoding="1-of-4")
+    assert circuit.style is LogicStyle.QDI_ONE_OF_FOUR
+    assert not has_errors(validate_netlist(circuit.netlist))
+    vectors = [(1, 0, 1), (1, 1, 1), (0, 0, 0), (0, 1, 1)]
+    simulator = GateLevelSimulator(circuit.netlist)
+    ab_values = [a | (b << 1) for a, b, _ in vectors]
+    producers = [
+        FourPhaseDualRailProducer(circuit.channel("ab"), ab_values, "ack"),
+        FourPhaseDualRailProducer(circuit.channel("cin"), [c for _, _, c in vectors], "ack"),
+    ]
+    sums = PassiveDualRailConsumer(circuit.channel("sum"), "ack")
+    carries = PassiveDualRailConsumer(circuit.channel("cout"), "ack")
+    HandshakeHarness(simulator, producers + [sums, carries]).run()
+    expected = [reference_sum_carry(*v) for v in vectors]
+    assert sums.received == [s for s, _ in expected]
+    assert carries.received == [c for _, c in expected]
+
+
+def test_qdi_full_adder_rejects_unknown_encoding():
+    with pytest.raises(ValueError):
+        qdi_full_adder_block(encoding="3-of-7")
+
+
+def test_dims_block_rejects_bundled_channels():
+    with pytest.raises(ValueError):
+        dims_function_block(
+            "bad",
+            input_channels=[Channel("a", 1, BundledDataEncoding())],
+            output_channels=[Channel("z", 1, DualRailEncoding())],
+            function=lambda values: {"z": values["a"]},
+        )
+
+
+def test_dims_block_requires_complete_function():
+    # An output channel value never produced -> one rail never asserted.
+    with pytest.raises(ValueError):
+        dims_function_block(
+            "bad",
+            input_channels=[Channel("a", 1, DualRailEncoding())],
+            output_channels=[Channel("z", 1, DualRailEncoding())],
+            function=lambda values: {"z": 1},
+        )
+
+
+def test_dims_buffer_is_identity():
+    circuit = dims_function_block(
+        "dims_buf",
+        input_channels=[Channel("a", 1, DualRailEncoding())],
+        output_channels=[Channel("z", 1, DualRailEncoding())],
+        function=lambda values: {"z": values["a"]},
+    )
+    simulator = GateLevelSimulator(circuit.netlist)
+    producer = FourPhaseDualRailProducer(circuit.channel("a"), [1, 0, 1, 1], "ack")
+    consumer = PassiveDualRailConsumer(circuit.channel("z"), "ack")
+    HandshakeHarness(simulator, [producer, consumer]).run()
+    assert consumer.received == [1, 0, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# Micropipeline
+# ----------------------------------------------------------------------
+def test_micropipeline_full_adder_structure():
+    circuit = micropipeline_full_adder_stage()
+    assert circuit.style is LogicStyle.MICROPIPELINE
+    assert circuit.uses_delay_element
+    assert circuit.netlist.cell_histogram().get("DELAY") == 1
+    assert circuit.netlist.cell_histogram().get("LATCH") == 2
+    assert not has_errors(validate_netlist(circuit.netlist))
+    delay_cell = [c for c in circuit.netlist.iter_cells() if c.type_name == "DELAY"][0]
+    assert int(delay_cell.attributes["delay"]) == circuit.metadata["matched_delay"]
+
+
+def test_micropipeline_full_adder_exhaustive():
+    circuit = micropipeline_full_adder_stage()
+    input_channel = circuit.input_channels[0]
+    output_channel = circuit.output_channels[0]
+    vectors = [(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+    encoded = [a | (b << 1) | (c << 2) for a, b, c in vectors]
+    simulator = GateLevelSimulator(circuit.netlist)
+    producer = FourPhaseBundledProducer(input_channel, encoded, input_channel.ack_wire)
+    consumer = FourPhaseBundledConsumer(output_channel, output_channel.req_wire, output_channel.ack_wire)
+    HandshakeHarness(simulator, [producer, consumer]).run()
+    expected = []
+    for a, b, c in vectors:
+        s, carry = reference_sum_carry(a, b, c)
+        expected.append(s | (carry << 1))
+    assert consumer.received == expected
+
+
+def test_micropipeline_stage_validates_channels_and_tables():
+    dual = Channel("x", 1, DualRailEncoding())
+    bundled_in = Channel("i", 2, BundledDataEncoding())
+    bundled_out = Channel("o", 1, BundledDataEncoding())
+    with pytest.raises(ValueError):
+        micropipeline_stage("bad", dual, bundled_out, outputs={})
+    with pytest.raises(ValueError):
+        micropipeline_stage(
+            "bad2",
+            bundled_in,
+            bundled_out,
+            outputs={"wrong_wire": xor_table(inputs=bundled_in.data_wires())},
+        )
+
+
+# ----------------------------------------------------------------------
+# WCHB
+# ----------------------------------------------------------------------
+def test_wchb_stage_rejects_mismatched_channels():
+    with pytest.raises(ValueError):
+        wchb_buffer_stage("bad", Channel("a", 1, DualRailEncoding()), Channel("b", 2, DualRailEncoding()))
+
+
+def test_wchb_pipeline_transports_tokens_in_order():
+    pipeline = wchb_pipeline("fifo", stages=3, width_bits=2)
+    simulator = GateLevelSimulator(pipeline.netlist)
+    values = [3, 0, 2, 1, 3]
+    producer = FourPhaseDualRailProducer(pipeline.channel("in"), values, "in_ack")
+    consumer = FourPhaseDualRailConsumer(pipeline.channel("out"), "out_ack")
+    HandshakeHarness(simulator, [producer, consumer]).run()
+    assert consumer.received == values
+
+
+def test_wchb_pipeline_requires_stage():
+    with pytest.raises(ValueError):
+        wchb_pipeline("empty", stages=0)
