@@ -4,36 +4,47 @@ Extension experiment: how LE count, PLB count and filling ratio scale with the
 operand width in each style.  The shape to observe: QDI costs ~5x the LEs of
 bundled data (the price of delay insensitivity) but keeps a higher filling
 ratio; both grow linearly.
+
+The sweep is driven by the registry names through the batch sweep engine, so
+this benchmark exercises the same orchestration path as production sweeps.
 """
 
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.cad.metrics import filling_ratio
-from repro.cad.pack import pack_design, packing_summary
-from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
+from repro.cad.flow import FlowOptions
+from repro.core.params import ArchitectureParams
+from repro.sweep import SweepRunner, SweepSpec
 
-BIT_WIDTHS = (1, 2, 4, 8)
+BIT_WIDTHS = (2, 4, 8, 16)
+STYLES = ("qdi", "micropipeline")
 
 
 def _sweep():
+    circuits = [
+        f"{style}_ripple_adder_{bits}" for bits in BIT_WIDTHS for style in STYLES
+    ]
+    spec = SweepSpec.build(
+        circuits,
+        ArchitectureParams(),
+        FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False),
+    )
+    report = SweepRunner().run(spec)
     rows = []
-    for bits in BIT_WIDTHS:
-        for factory, style in ((qdi_ripple_adder, "qdi"), (micropipeline_ripple_adder, "micropipeline")):
-            bench_circuit = factory(bits)
-            pack_design(bench_circuit.mapped)
-            report = filling_ratio(bench_circuit.mapped)
-            summary = packing_summary(bench_circuit.mapped)
-            rows.append(
-                {
-                    "bits": bits,
-                    "style": style,
-                    "les": len(bench_circuit.mapped.les),
-                    "plbs": summary["plbs"],
-                    "pdes": len(bench_circuit.mapped.pdes),
-                    "filling_ratio": round(report.per_le, 4),
-                }
-            )
+    for outcome in report.outcomes:
+        assert outcome.ok, outcome.error
+        summary = outcome.summary
+        style, _, bits = outcome.point.circuit.partition("_ripple_adder_")
+        rows.append(
+            {
+                "bits": int(bits),
+                "style": style,
+                "les": summary["les"],
+                "plbs": summary["plbs"],
+                "pdes": summary["pdes"],
+                "filling_ratio": summary["filling_ratio"],
+            }
+        )
     return rows
 
 
@@ -48,4 +59,6 @@ def test_adder_width_sweep(benchmark):
         assert qdi["les"] > mp["les"]
         assert qdi["filling_ratio"] > mp["filling_ratio"]
     # Linear growth in the QDI LE count.
-    assert by_key[(8, "qdi")]["les"] == pytest.approx(8 * by_key[(1, "qdi")]["les"], rel=0.3)
+    assert by_key[(16, "qdi")]["les"] == pytest.approx(
+        8 * by_key[(2, "qdi")]["les"], rel=0.3
+    )

@@ -20,6 +20,9 @@ together with everything needed to exercise it:
   configured fabric, with handshake test benches and protocol checkers.
 * :mod:`repro.circuits` -- benchmark circuits (the paper's full adder and
   larger workloads) in every style.
+* :mod:`repro.sweep` -- the batch sweep engine: (circuit × architecture ×
+  options) grids run serially or across a process pool, with a
+  content-addressed on-disk cache of flow summaries.
 * :mod:`repro.baselines` -- a synchronous LUT4 FPGA baseline and abstract
   models of prior asynchronous FPGAs (MONTAGE, PGA-STC, GALSA, STACC, PAPA).
 * :mod:`repro.analysis` -- area models, ASCII architecture figures and result

@@ -7,17 +7,23 @@ each, so the examples and quick interactive experiments stay short:
 * :func:`reproduce_filling_ratios` -- the Section 5 headline numbers for both
   styles in one table.
 * :func:`run_flow` -- run the full CAD flow on any styled circuit.
+* :func:`run_sweep` -- run a (circuit × architecture × options) grid through
+  the batch sweep engine, optionally parallel and cached.
 * :func:`simulate_circuit` -- push a token sequence through a QDI or
   micropipeline full adder (gate level or mapped) and return the results.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.cad.flow import CadFlow, FlowOptions, FlowResult
 from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder, reference_sum_carry
 from repro.core.params import ArchitectureParams
+from repro.sweep.runner import SweepReport, SweepRunner
+from repro.sweep.spec import SweepSpec
 from repro.sim.handshake import (
     FourPhaseBundledConsumer,
     FourPhaseBundledProducer,
@@ -62,34 +68,72 @@ def map_full_adder(
     return run_flow(circuit, architecture, options)
 
 
+def run_sweep(
+    circuits: Iterable[str] | None = None,
+    architectures: Iterable[ArchitectureParams] | ArchitectureParams | None = None,
+    options: Iterable[FlowOptions] | FlowOptions | None = None,
+    workers: int = 1,
+    cache_dir: str | os.PathLike[str] | None = None,
+) -> SweepReport:
+    """Run a sweep grid through the batch engine.
+
+    ``circuits`` are registry names (``None`` sweeps the full registry);
+    ``architectures`` / ``options`` may be single values or iterables and
+    default to the reference architecture with default flow options.
+    ``workers > 1`` fans flow executions out over a process pool, and
+    ``cache_dir`` enables the content-addressed result store so repeated
+    sweeps are near-free.
+    """
+    if circuits is None:
+        spec = SweepSpec.full_registry(architectures, options)
+    else:
+        spec = SweepSpec.build(
+            circuits,
+            architectures if architectures is not None else ArchitectureParams(),
+            options,
+        )
+    return SweepRunner(store=cache_dir, workers=workers).run(spec)
+
+
 def reproduce_filling_ratios(
     architecture: ArchitectureParams | None = None,
+    workers: int = 1,
+    cache_dir: str | os.PathLike[str] | None = None,
 ) -> list[dict[str, object]]:
     """The Section 5 experiment: filling ratios of both full adders.
 
     Returns one row per style with the measured filling ratio and the paper's
-    reported value for comparison.
+    reported value for comparison.  Runs through the sweep engine (serial by
+    default, which is bit-identical to the single-flow path; pass ``workers``
+    / ``cache_dir`` to parallelise or cache).
     """
     paper_values = {
         LogicStyle.MICROPIPELINE.value: 0.51,
         LogicStyle.QDI_DUAL_RAIL.value: 0.76,
     }
+    report = run_sweep(
+        circuits=("micropipeline_full_adder", "qdi_full_adder"),
+        architectures=architecture if architecture is not None else ArchitectureParams(),
+        options=FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False),
+        workers=workers,
+        cache_dir=cache_dir,
+    )
     rows: list[dict[str, object]] = []
-    for style in ("micropipeline", "qdi"):
-        result = map_full_adder(
-            style,
-            architecture,
-            FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False),
-        )
-        style_name = result.mapped.style.value if result.mapped.style else style
+    for outcome in report.outcomes:
+        if not outcome.ok or outcome.summary is None:
+            raise RuntimeError(
+                f"filling-ratio flow failed for {outcome.point.circuit!r}: {outcome.error}"
+            )
+        summary = outcome.summary
+        style_name = summary["style"]
         rows.append(
             {
                 "style": style_name,
-                "measured_filling_ratio": round(result.filling.per_le, 4) if result.filling else None,
+                "measured_filling_ratio": summary.get("filling_ratio"),
                 "paper_filling_ratio": paper_values.get(style_name),
-                "les": len(result.mapped.les),
-                "plbs": len(result.mapped.plbs),
-                "pdes": len(result.mapped.pdes),
+                "les": summary["les"],
+                "plbs": summary["plbs"],
+                "pdes": summary["pdes"],
             }
         )
     return rows

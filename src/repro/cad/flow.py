@@ -16,19 +16,24 @@ from repro.cad.metrics import FillingRatioReport, filling_ratio
 from repro.cad.pack import pack_design, packing_summary
 from repro.cad.place import Placement, place_design
 from repro.cad.route import RoutingResult, route_design
-from repro.cad.techmap import generic_map, template_map
+from repro.cad.techmap import MappingError, generic_map, template_map
 from repro.cad.timing import TimingModel, TimingReport, analyse_timing
 from repro.core.bitstream import Bitstream
 from repro.core.fabric import Fabric
-from repro.core.params import ArchitectureParams
+from repro.core.params import ArchitectureParams, SerializableParams
 from repro.core.rrgraph import RoutingResourceGraph
 from repro.netlist.netlist import Netlist
 from repro.styles.base import StyledCircuit
 
 
-@dataclass
-class FlowOptions:
-    """Knobs of the flow."""
+@dataclass(frozen=True)
+class FlowOptions(SerializableParams):
+    """Knobs of the flow.
+
+    Frozen (hence hashable) so option sets can key sweep grids and the
+    on-disk result cache; :meth:`to_dict` / :meth:`from_dict` give a stable
+    serialization for content-addressed storage and worker processes.
+    """
 
     use_template_mapping: bool = True
     run_placement: bool = True
@@ -38,6 +43,12 @@ class FlowOptions:
     placement_effort: float = 1.0
     router_max_iterations: int = 30
     timing_model: TimingModel = field(default_factory=TimingModel)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FlowOptions":
+        fields_ = dict(data)
+        fields_["timing_model"] = TimingModel.from_dict(dict(fields_.get("timing_model", {})))
+        return cls(**fields_)
 
 
 @dataclass
@@ -59,6 +70,12 @@ class FlowResult:
     # Reporting
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, object]:
+        """A flat, picklable dict of the headline numbers.
+
+        This is the contract consumed by the sweep engine: the dict contains
+        only JSON-serializable scalars, so it crosses process boundaries and
+        lands in the on-disk result store unchanged.
+        """
         data: dict[str, object] = {
             "circuit": self.circuit_name,
             "style": self.mapped.style.value if self.mapped.style else None,
@@ -127,6 +144,21 @@ class CadFlow:
     # ------------------------------------------------------------------
     # Steps
     # ------------------------------------------------------------------
+    def _check_premapped(self, mapped: MappedDesign, name: str) -> MappedDesign:
+        if mapped.params != self.architecture.plb:
+            raise MappingError(
+                f"design {name!r} was mapped for different PLB parameters than this "
+                "flow's architecture; re-map it (attach a gate_circuit) instead of "
+                "reusing the stale mapping"
+            )
+        if not self.options.use_template_mapping:
+            raise MappingError(
+                f"design {name!r} is pre-mapped (template-built) but the flow requests "
+                "generic mapping; attach a gate_circuit to re-map from, or run with "
+                "use_template_mapping=True"
+            )
+        return mapped
+
     def map(self, circuit: StyledCircuit | Netlist) -> MappedDesign:
         if isinstance(circuit, StyledCircuit):
             if self.options.use_template_mapping:
@@ -134,10 +166,35 @@ class CadFlow:
             return generic_map(circuit.netlist, self.architecture.plb, style=circuit.style)
         return generic_map(circuit, self.architecture.plb)
 
-    def run(self, circuit: StyledCircuit | Netlist) -> FlowResult:
-        """Execute mapping → packing → placement → routing → analysis."""
-        name = circuit.name if isinstance(circuit, (StyledCircuit, Netlist)) else str(circuit)
-        mapped = self.map(circuit)
+    def run(self, circuit: StyledCircuit | Netlist | MappedDesign | object) -> FlowResult:
+        """Execute mapping → packing → placement → routing → analysis.
+
+        Besides styled circuits and raw netlists this also accepts an already
+        mapped design (``MappedDesign``) or any workload object carrying one
+        in a ``mapped`` attribute (e.g. the registry's ``BenchmarkCircuit``
+        ripple adders).  A pre-mapped design is only usable when it was mapped
+        for this flow's PLB parameters: if they differ, the design is re-mapped
+        from its gate-level circuit when one is attached, and rejected
+        otherwise -- silently analysing a design mapped for a different LE
+        would report (and cache) numbers for the wrong architecture.
+        """
+        if isinstance(circuit, MappedDesign):
+            mapped = self._check_premapped(circuit, circuit.name)
+            name = mapped.name
+        elif not isinstance(circuit, (StyledCircuit, Netlist)) and hasattr(circuit, "mapped"):
+            name = getattr(circuit, "name", circuit.mapped.name)
+            gate = getattr(circuit, "gate_circuit", None)
+            needs_remap = (
+                circuit.mapped.params != self.architecture.plb
+                or not self.options.use_template_mapping
+            )
+            if needs_remap and isinstance(gate, StyledCircuit):
+                mapped = self.map(gate)
+            else:
+                mapped = self._check_premapped(circuit.mapped, name)
+        else:
+            name = circuit.name if isinstance(circuit, (StyledCircuit, Netlist)) else str(circuit)
+            mapped = self.map(circuit)
         problems = mapped.validate()
         if problems:
             raise RuntimeError(f"mapping of {name!r} is inconsistent: {problems}")

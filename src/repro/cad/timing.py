@@ -22,11 +22,12 @@ from dataclasses import dataclass, field
 
 from repro.cad.lemap import MappedDesign
 from repro.cad.route import RoutingResult
+from repro.core.params import SerializableParams
 from repro.core.rrgraph import RoutingResourceGraph, RRNodeType
 
 
 @dataclass(frozen=True)
-class TimingModel:
+class TimingModel(SerializableParams):
     """Delay model parameters (picoseconds)."""
 
     le_delay_ps: int = 250

@@ -17,8 +17,11 @@ two LEs and one PDE per PLB, island-style routing.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
 
 def _check_positive(name: str, value: int) -> None:
@@ -26,8 +29,42 @@ def _check_positive(name: str, value: int) -> None:
         raise ValueError(f"{name} must be positive, got {value}")
 
 
+def canonical_json(data: Any) -> str:
+    """A canonical (sorted-key, minimal-separator) JSON rendering of *data*.
+
+    Used as the stable serialization underneath every content-addressed hash
+    in the sweep engine, so the same parameters always produce the same key
+    across processes and sessions.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def stable_digest(data: Any) -> str:
+    """A hex sha256 digest of :func:`canonical_json` of *data*."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+class SerializableParams:
+    """Shared serialization for the frozen parameter dataclasses.
+
+    Provides ``to_dict`` (recursive ``asdict``) and ``stable_hash`` (a content
+    hash stable across processes, unlike ``hash()``); subclasses with nested
+    parameter fields define their own ``from_dict`` to rebuild them.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]):
+        return cls(**data)
+
+    def stable_hash(self) -> str:
+        return stable_digest(self.to_dict())
+
+
 @dataclass(frozen=True)
-class LEParams:
+class LEParams(SerializableParams):
     """Parameters of one Logic Element (Figure 2 of the paper)."""
 
     lut_inputs: int = 7
@@ -72,7 +109,7 @@ class LEParams:
 
 
 @dataclass(frozen=True)
-class PLBParams:
+class PLBParams(SerializableParams):
     """Parameters of one Programmable Logic Block (Figure 1 of the paper)."""
 
     les_per_plb: int = 2
@@ -126,9 +163,15 @@ class PLBParams:
             + self.im_config_bits
         )
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PLBParams":
+        fields = dict(data)
+        fields["le"] = LEParams.from_dict(fields.get("le", {}))
+        return cls(**fields)
+
 
 @dataclass(frozen=True)
-class RoutingParams:
+class RoutingParams(SerializableParams):
     """Parameters of the island-style routing network."""
 
     # fc_in defaults to 1.0 (every input pin can reach every track of its
@@ -153,7 +196,7 @@ class RoutingParams:
 
 
 @dataclass(frozen=True)
-class ArchitectureParams:
+class ArchitectureParams(SerializableParams):
     """Top-level description of a fabric instance."""
 
     width: int = 6
@@ -183,6 +226,13 @@ class ArchitectureParams:
         return ArchitectureParams(
             width=width, height=height, plb=self.plb, routing=self.routing, name=self.name
         )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchitectureParams":
+        fields = dict(data)
+        fields["plb"] = PLBParams.from_dict(fields.get("plb", {}))
+        fields["routing"] = RoutingParams.from_dict(fields.get("routing", {}))
+        return cls(**fields)
 
 
 #: The reference architecture instance used by examples, tests and benchmarks.

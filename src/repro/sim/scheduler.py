@@ -81,10 +81,12 @@ class EventScheduler:
         count = 0
         while self._queue and count < max_events:
             if until is not None and self._queue[0].time > until:
-                break
+                return count
             handler(self.pop())
             count += 1
-        if count >= max_events:
+        # Only a limit hit with runnable events still pending is an
+        # oscillation; draining exactly max_events events is fine.
+        if self._queue and (until is None or self._queue[0].time <= until):
             raise RuntimeError(
                 f"event limit of {max_events} reached at time {self.now}; "
                 "the circuit probably oscillates"

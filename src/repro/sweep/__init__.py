@@ -1,0 +1,29 @@
+"""Batch sweep engine: grids of (circuit × architecture × options) flows.
+
+The subsystem has four pieces:
+
+* :mod:`repro.sweep.spec` -- :class:`SweepPoint` / :class:`SweepSpec`, the
+  declarative description of a sweep grid with stable content hashing;
+* :mod:`repro.sweep.store` -- :class:`SweepResultStore`, a content-addressed
+  on-disk cache of flow summaries;
+* :mod:`repro.sweep.runner` -- :class:`SweepRunner`, serial or
+  process-parallel execution with cache hit/miss accounting;
+* :mod:`repro.sweep.report` -- CSV / JSON / text reporters.
+"""
+
+from repro.sweep.report import format_report, write_csv, write_json
+from repro.sweep.runner import SweepOutcome, SweepReport, SweepRunner
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.store import SweepResultStore
+
+__all__ = [
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepReport",
+    "SweepResultStore",
+    "SweepRunner",
+    "SweepSpec",
+    "format_report",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,53 @@
+"""CSV / JSON / plain-text rendering of :class:`~repro.sweep.runner.SweepReport`."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+from repro.sweep.runner import SweepReport
+
+
+def _all_columns(rows: list[dict[str, object]]) -> list[str]:
+    """Union of row keys, in first-seen order, so sparse rows still line up."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def format_report(report: SweepReport) -> str:
+    """An aligned text table of every outcome plus a stats footer."""
+    from repro.analysis.tables import format_table
+
+    rows = report.rows()
+    table = format_table(rows, columns=_all_columns(rows)) if rows else "(no rows)"
+    stats = ", ".join(f"{key}={value}" for key, value in report.stats().items())
+    return f"{table}\n[{stats}]"
+
+
+def write_csv(report: SweepReport, path: str | os.PathLike[str]) -> Path:
+    """Write one CSV row per sweep point; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = report.rows()
+    columns = _all_columns(rows)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(report: SweepReport, path: str | os.PathLike[str]) -> Path:
+    """Write the report (stats + rows) as one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"stats": report.stats(), "rows": report.rows()}
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True, default=str)
+    return path

@@ -1,0 +1,217 @@
+"""Serial / process-parallel execution of sweep grids with result caching.
+
+:class:`SweepRunner` takes a :class:`~repro.sweep.spec.SweepSpec` (or an
+explicit point list), consults the content-addressed
+:class:`~repro.sweep.store.SweepResultStore` for each point, executes the
+misses -- in-process when ``workers <= 1`` (the serial fallback, bit-identical
+to running :class:`~repro.cad.flow.CadFlow` by hand) or across a
+``concurrent.futures`` process pool otherwise -- and returns a
+:class:`SweepReport` with per-point outcomes plus cache hit/miss counters.
+
+Flow failures (unroutable architecture, unplaceable design, ...) are captured
+as ``status="error"`` records rather than aborting the sweep: flows are
+deterministic, so a failure is as cacheable as a success.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepPoint, SweepSpec, as_points
+from repro.sweep.store import SweepResultStore
+
+
+def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
+    """Run one sweep point (given as a plain dict) and return its record.
+
+    Module-level and dict-in / dict-out so it pickles cleanly into worker
+    processes.  Every failure mode of the flow is folded into the record.
+    """
+    # Imports stay inside the function so worker processes pay them lazily
+    # and a broken optional subsystem cannot poison runner import time.
+    from repro.cad.flow import CadFlow
+    from repro.circuits.registry import build_circuit
+
+    point = SweepPoint.from_dict(point_data)
+    record: dict[str, object] = {
+        "version": SWEEP_SCHEMA_VERSION,
+        "point": point.to_dict(),
+        "label": point.label(),
+    }
+    try:
+        circuit = build_circuit(point.circuit)
+        flow = CadFlow(point.architecture, point.options)
+        result = flow.run(circuit)
+        record["status"] = "ok"
+        record["summary"] = result.summary()
+        record["error"] = None
+        record["cacheable"] = True
+    except Exception as exc:
+        record["status"] = "error"
+        record["summary"] = None
+        record["error"] = {"type": type(exc).__name__, "message": str(exc)}
+        # Flow-domain failures (unmappable, unroutable, ...) are as
+        # deterministic as successes and therefore cacheable.  Environmental
+        # ones (disk full, out of memory) must be retried on the next run,
+        # and KeyError (unknown circuit) depends on the registry contents,
+        # which can change between runs without changing the point's hash.
+        record["cacheable"] = not isinstance(exc, (OSError, MemoryError, KeyError))
+    return record
+
+
+@dataclass
+class SweepOutcome:
+    """One executed (or cache-served) sweep point."""
+
+    point: SweepPoint
+    status: str
+    summary: dict[str, object] | None
+    error: dict[str, object] | None
+    cached: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def row(self) -> dict[str, object]:
+        """A flat dict for tables / CSV; summary keys are inlined."""
+        data: dict[str, object] = {
+            "label": self.point.label(),
+            "circuit": self.point.circuit,
+            "status": self.status,
+            "cached": self.cached,
+        }
+        if self.summary:
+            data.update(self.summary)
+            # The summary's own "circuit" key is the mapped design name,
+            # which can differ from the registry name (e.g. the ripple
+            # adders); keep both under distinct columns.
+            data["design"] = self.summary.get("circuit")
+            data["circuit"] = self.point.circuit
+        if self.error:
+            data["error"] = f"{self.error.get('type')}: {self.error.get('message')}"
+        return data
+
+
+@dataclass
+class SweepReport:
+    """Everything one :meth:`SweepRunner.run` call produced."""
+
+    outcomes: list[SweepOutcome] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def flow_executions(self) -> int:
+        """Flows actually run in this call (== cache misses)."""
+        return self.cache_misses
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [outcome.row() for outcome in self.outcomes]
+
+    def summaries(self) -> list[dict[str, object] | None]:
+        """Per-point flow summaries (``None`` where the flow errored)."""
+        return [outcome.summary for outcome in self.outcomes]
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "points": len(self.outcomes),
+            "ok": self.ok_count,
+            "errors": self.error_count,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "flow_executions": self.flow_executions,
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class SweepRunner:
+    """Execute sweep grids against an optional on-disk result store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`SweepResultStore`, a directory path to open one in, or
+        ``None`` to disable caching entirely.
+    workers:
+        ``<= 1`` runs every miss in-process (serial fallback); ``> 1`` fans
+        the misses out over a ``ProcessPoolExecutor``.
+    """
+
+    def __init__(
+        self,
+        store: SweepResultStore | str | None = None,
+        workers: int = 1,
+    ) -> None:
+        if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+            store = SweepResultStore(store)
+        self.store: SweepResultStore | None = store
+        self.workers = max(1, int(workers))
+
+    def run(
+        self,
+        spec_or_points: SweepSpec | Sequence[SweepPoint],
+        progress: Callable[[str], None] | None = None,
+    ) -> SweepReport:
+        """Run every point of the grid, serving repeats from the store."""
+        points = as_points(spec_or_points)
+        started = time.perf_counter()
+        report = SweepReport(workers=self.workers)
+
+        keys = [point.key() for point in points]
+        records: list[dict[str, object] | None] = [None] * len(points)
+        miss_indices: list[int] = []
+        for index, point in enumerate(points):
+            cached = self.store.get(keys[index]) if self.store is not None else None
+            if cached is not None and cached.get("version") == SWEEP_SCHEMA_VERSION:
+                records[index] = cached
+                report.cache_hits += 1
+            else:
+                miss_indices.append(index)
+        report.cache_misses = len(miss_indices)
+        if progress is not None:
+            progress(
+                f"sweep: {len(points)} points, {report.cache_hits} cached, "
+                f"{report.cache_misses} to run on {self.workers} worker(s)"
+            )
+
+        if miss_indices:
+            miss_payloads = [points[index].to_dict() for index in miss_indices]
+            if self.workers > 1:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    fresh = list(pool.map(execute_point, miss_payloads))
+            else:
+                fresh = [execute_point(payload) for payload in miss_payloads]
+            for index, record in zip(miss_indices, fresh):
+                records[index] = record
+                if self.store is not None and record.get("cacheable", True):
+                    self.store.put(keys[index], record)
+
+        missed = set(miss_indices)
+        for index, (point, record) in enumerate(zip(points, records)):
+            assert record is not None  # every index is either a hit or a miss
+            report.outcomes.append(
+                SweepOutcome(
+                    point=point,
+                    status=str(record.get("status", "error")),
+                    summary=record.get("summary"),  # type: ignore[arg-type]
+                    error=record.get("error"),  # type: ignore[arg-type]
+                    cached=index not in missed,
+                )
+            )
+        report.elapsed_s = time.perf_counter() - started
+        return report

@@ -1,0 +1,122 @@
+"""Declarative sweep grids.
+
+A sweep is a cartesian product of circuit names (from
+:func:`repro.circuits.registry.circuit_registry`), architecture instances and
+flow-option sets.  Each cell of the grid is a :class:`SweepPoint`; its
+:meth:`SweepPoint.key` is a sha256 content hash of the point's canonical
+serialization, which is what the on-disk result store is addressed by.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.cad.flow import FlowOptions
+from repro.core.params import ArchitectureParams, stable_digest
+
+#: Bump to invalidate every existing cache entry.  Required whenever cached
+#: results change meaning OR content: new/renamed summary keys, but also any
+#: behaviour change in circuit factories, mappers, or downstream flow steps
+#: (the key hashes only the point description, not the code that executes it,
+#: so e.g. teaching the mapper to handle a previously-failing circuit must be
+#: accompanied by a bump or stale cached errors will keep being served).
+SWEEP_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep grid: run *circuit* on *architecture* with *options*."""
+
+    circuit: str
+    architecture: ArchitectureParams
+    options: FlowOptions
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": SWEEP_SCHEMA_VERSION,
+            "circuit": self.circuit,
+            "architecture": self.architecture.to_dict(),
+            "options": self.options.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepPoint":
+        return cls(
+            circuit=str(data["circuit"]),
+            architecture=ArchitectureParams.from_dict(dict(data["architecture"])),
+            options=FlowOptions.from_dict(dict(data["options"])),
+        )
+
+    def key(self) -> str:
+        """The content-address of this point in the result store."""
+        return stable_digest(self.to_dict())
+
+    def label(self) -> str:
+        """A short human-readable identifier for tables and logs."""
+        arch = self.architecture
+        return f"{self.circuit}@{arch.width}x{arch.height}/cw{arch.routing.channel_width}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A full sweep grid, expanded lazily into :class:`SweepPoint` cells."""
+
+    circuits: tuple[str, ...]
+    architectures: tuple[ArchitectureParams, ...]
+    options: tuple[FlowOptions, ...]
+
+    @classmethod
+    def build(
+        cls,
+        circuits: Iterable[str],
+        architectures: Iterable[ArchitectureParams] | ArchitectureParams,
+        options: Iterable[FlowOptions] | FlowOptions | None = None,
+    ) -> "SweepSpec":
+        """Normalise loose arguments (single values allowed) into a spec."""
+        if isinstance(architectures, ArchitectureParams):
+            architectures = (architectures,)
+        if options is None:
+            options = (FlowOptions(),)
+        elif isinstance(options, FlowOptions):
+            options = (options,)
+        return cls(
+            circuits=tuple(circuits),
+            architectures=tuple(architectures),
+            options=tuple(options),
+        )
+
+    @classmethod
+    def full_registry(
+        cls,
+        architectures: Iterable[ArchitectureParams] | ArchitectureParams | None = None,
+        options: Iterable[FlowOptions] | FlowOptions | None = None,
+    ) -> "SweepSpec":
+        """Every registered benchmark circuit, by default on the reference fabric."""
+        from repro.circuits.registry import circuit_registry
+
+        if architectures is None:
+            architectures = (ArchitectureParams(),)
+        return cls.build(sorted(circuit_registry()), architectures, options)
+
+    def points(self) -> list[SweepPoint]:
+        """The grid cells in deterministic (circuit-major) order."""
+        return [
+            SweepPoint(circuit=circuit, architecture=arch, options=opts)
+            for circuit, arch, opts in itertools.product(
+                self.circuits, self.architectures, self.options
+            )
+        ]
+
+    def __len__(self) -> int:
+        return len(self.circuits) * len(self.architectures) * len(self.options)
+
+
+def as_points(
+    spec_or_points: SweepSpec | Sequence[SweepPoint],
+) -> list[SweepPoint]:
+    """Accept either a spec or an explicit point list."""
+    if isinstance(spec_or_points, SweepSpec):
+        return spec_or_points.points()
+    return list(spec_or_points)

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk store of flow summaries.
+
+Each record is one JSON file named after the :meth:`SweepPoint.key` content
+hash, sharded into 256 two-hex-digit subdirectories to keep directories
+small.  Writes are atomic (temp file + ``os.replace``) so a crashed or
+concurrent sweep never leaves a half-written record behind, and records carry
+the full point description so a store can be audited without the code that
+produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+
+class SweepResultStore:
+    """A directory of ``<key[:2]>/<key>.json`` flow-summary records."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"store key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, object] | None:
+        """The stored record for *key*, or ``None`` on a miss or corrupt file."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
+
+    def put(self, key: str, record: dict[str, object]) -> Path:
+        """Atomically persist *record* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True, indent=1, default=str)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(self.root.iterdir()) if self.root.is_dir() else []:
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

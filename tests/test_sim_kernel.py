@@ -53,6 +53,29 @@ def test_scheduler_drain_limit():
         scheduler.drain(lambda event: None, max_events=3)
 
 
+def test_scheduler_drain_exact_limit_is_not_an_error():
+    # Regression: draining a queue that empties at exactly max_events used to
+    # raise the "event limit reached" oscillation error.
+    scheduler = EventScheduler()
+    for index in range(5):
+        scheduler.schedule(index, index)
+    seen = []
+    assert scheduler.drain(seen.append, max_events=5) == 5
+    assert len(seen) == 5
+    assert scheduler.empty()
+
+
+def test_scheduler_drain_limit_with_only_beyond_horizon_events_left():
+    # Hitting max_events with the only remaining events beyond the `until`
+    # horizon is a horizon stop, not an oscillation.
+    scheduler = EventScheduler()
+    for index in range(3):
+        scheduler.schedule(index, index)
+    scheduler.schedule(100, "late")
+    assert scheduler.drain(lambda event: None, max_events=3, until=50) == 3
+    assert not scheduler.empty()
+
+
 def test_scheduler_drain_until():
     scheduler = EventScheduler()
     for index in range(10):

@@ -1,0 +1,251 @@
+"""Tests of the batch sweep engine: spec hashing, store, runner, reporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.circuits.registry import build_circuit, circuit_registry
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.sweep import (
+    SweepPoint,
+    SweepResultStore,
+    SweepRunner,
+    SweepSpec,
+    format_report,
+    write_csv,
+    write_json,
+)
+
+ANALYSIS_ONLY = FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False)
+
+
+# ----------------------------------------------------------------------
+# Serialization and stable hashing
+# ----------------------------------------------------------------------
+def test_architecture_params_round_trip():
+    params = ArchitectureParams(
+        width=4, height=7, routing=RoutingParams(channel_width=12, switchbox="wilton")
+    )
+    rebuilt = ArchitectureParams.from_dict(params.to_dict())
+    assert rebuilt == params
+    assert rebuilt.stable_hash() == params.stable_hash()
+
+
+def test_flow_options_round_trip_and_hashable():
+    options = FlowOptions(placement_seed=7, router_max_iterations=5)
+    rebuilt = FlowOptions.from_dict(options.to_dict())
+    assert rebuilt == options
+    assert hash(rebuilt) == hash(options)  # frozen dataclass
+    assert rebuilt.stable_hash() == options.stable_hash()
+    assert options.stable_hash() != FlowOptions(placement_seed=8).stable_hash()
+
+
+def test_sweep_point_key_is_content_addressed():
+    point = SweepPoint("qdi_full_adder", ArchitectureParams(), ANALYSIS_ONLY)
+    same = SweepPoint.from_dict(point.to_dict())
+    assert same == point
+    assert same.key() == point.key()
+    other_arch = SweepPoint(
+        "qdi_full_adder", ArchitectureParams().scaled(8, 8), ANALYSIS_ONLY
+    )
+    other_circuit = SweepPoint("wchb_fifo_4", ArchitectureParams(), ANALYSIS_ONLY)
+    assert len({point.key(), other_arch.key(), other_circuit.key()}) == 3
+
+
+def test_sweep_spec_grid_expansion():
+    spec = SweepSpec.build(
+        ["a", "b"],
+        (ArchitectureParams(), ArchitectureParams().scaled(8, 8)),
+        (ANALYSIS_ONLY, FlowOptions()),
+    )
+    points = spec.points()
+    assert len(spec) == len(points) == 8
+    assert points == spec.points()  # deterministic order
+    assert [p.circuit for p in points[:4]] == ["a", "a", "a", "a"]
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_get_roundtrip(tmp_path):
+    store = SweepResultStore(tmp_path / "cache")
+    key = "ab" + "0" * 62
+    record = {"status": "ok", "summary": {"les": 5}}
+    assert store.get(key) is None
+    path = store.put(key, record)
+    assert path.is_file()
+    assert store.get(key) == record
+    assert key in store
+    assert list(store.keys()) == [key]
+    assert store.clear() == 1
+    assert store.get(key) is None
+
+
+def test_store_tolerates_corrupt_records(tmp_path):
+    store = SweepResultStore(tmp_path)
+    key = "cd" + "1" * 62
+    store.put(key, {"status": "ok"})
+    store.path_for(key).write_text("{not json", encoding="utf-8")
+    assert store.get(key) is None  # treated as a miss, not a crash
+
+
+# ----------------------------------------------------------------------
+# Runner: serial fallback is bit-identical to the single-flow path
+# ----------------------------------------------------------------------
+def test_serial_sweep_matches_direct_flow():
+    arch = ArchitectureParams()
+    spec = SweepSpec.build(
+        ["qdi_full_adder", "micropipeline_full_adder"], arch, ANALYSIS_ONLY
+    )
+    report = SweepRunner(store=None, workers=1).run(spec)
+    assert report.cache_hits == 0
+    assert report.flow_executions == 2
+    for outcome in report.outcomes:
+        direct = CadFlow(arch, ANALYSIS_ONLY).run(build_circuit(outcome.point.circuit))
+        assert outcome.ok
+        assert outcome.summary == direct.summary()
+
+
+def test_sweep_captures_flow_errors_per_point():
+    # The 2x2 QDI multiplier cannot template-map onto the default 7-input LE;
+    # the sweep must record the failure instead of aborting.
+    spec = SweepSpec.build(
+        ["qdi_multiplier_2x2", "qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY
+    )
+    report = SweepRunner().run(spec)
+    assert [o.status for o in report.outcomes] == ["error", "ok"]
+    failed = report.outcomes[0]
+    assert failed.error is not None and failed.error["type"] == "MappingError"
+    assert report.ok_count == 1 and report.error_count == 1
+
+
+def test_premapped_circuit_rejected_on_mismatched_plb_params():
+    # Registry ripple adders come pre-mapped for the default PLB; sweeping
+    # them on a different LE must not silently report default-LE numbers.
+    from repro.core.params import LEParams, PLBParams
+
+    wide_le = ArchitectureParams(plb=PLBParams(le=LEParams(lut_inputs=10)))
+    spec = SweepSpec.build(["qdi_ripple_adder_2"], (ArchitectureParams(), wide_le), ANALYSIS_ONLY)
+    report = SweepRunner().run(spec)
+    default_run, mismatched = report.outcomes
+    assert default_run.ok  # matching params: pre-mapped design is accepted
+    assert mismatched.status == "error"
+    assert mismatched.error["type"] == "MappingError"
+    assert "different PLB parameters" in mismatched.error["message"]
+
+
+def test_premapped_circuit_rejected_when_generic_mapping_requested():
+    # A pre-mapped (template-built) registry circuit cannot honour
+    # use_template_mapping=False without a gate-level circuit to re-map from;
+    # serving the template numbers under the generic-mapping cache key would
+    # silently duplicate results across the two option sets.
+    generic = FlowOptions(
+        use_template_mapping=False,
+        run_placement=False,
+        run_routing=False,
+        generate_bitstream=False,
+    )
+    spec = SweepSpec.build(["qdi_ripple_adder_2"], ArchitectureParams(), (ANALYSIS_ONLY, generic))
+    report = SweepRunner().run(spec)
+    template_run, generic_run = report.outcomes
+    assert template_run.ok
+    assert generic_run.status == "error"
+    assert generic_run.error["type"] == "MappingError"
+    assert "generic mapping" in generic_run.error["message"]
+
+
+def test_transient_errors_are_not_cached(tmp_path, monkeypatch):
+    import repro.circuits.registry as registry_module
+
+    def explode(name):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(registry_module, "build_circuit", explode)
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+    store = SweepResultStore(tmp_path)
+    report = SweepRunner(store=store, workers=1).run(spec)
+    assert report.outcomes[0].status == "error"
+    assert len(store) == 0  # environmental failure: retried next run
+
+    monkeypatch.undo()
+    retried = SweepRunner(store=store, workers=1).run(spec)
+    assert retried.outcomes[0].ok and retried.cache_misses == 1
+    assert len(store) == 1  # the deterministic success is cached
+
+
+def test_row_keeps_registry_circuit_name():
+    spec = SweepSpec.build(["qdi_ripple_adder_2"], ArchitectureParams(), ANALYSIS_ONLY)
+    report = SweepRunner().run(spec)
+    row = report.rows()[0]
+    assert row["circuit"] == "qdi_ripple_adder_2"
+    assert row["design"] == report.outcomes[0].summary["circuit"]
+    assert row["design"] != row["circuit"]  # mapped design uses its own name
+
+
+def test_unknown_circuit_is_an_error_outcome_and_never_cached(tmp_path):
+    # Registry lookups depend on code state: caching the KeyError would keep
+    # serving it after the circuit gets registered.
+    spec = SweepSpec.build(["no_such_circuit"], ArchitectureParams(), ANALYSIS_ONLY)
+    store = SweepResultStore(tmp_path)
+    report = SweepRunner(store=store).run(spec)
+    assert report.outcomes[0].status == "error"
+    assert report.outcomes[0].error["type"] == "KeyError"
+    assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# Runner: parallel == serial, cache makes reruns free (acceptance criterion)
+# ----------------------------------------------------------------------
+def test_parallel_full_registry_sweep_matches_serial_and_caches(tmp_path):
+    architectures = (ArchitectureParams(), ArchitectureParams().scaled(8, 8))
+    spec = SweepSpec.full_registry(architectures, ANALYSIS_ONLY)
+    assert len(spec) == 2 * len(circuit_registry())
+
+    serial = SweepRunner(store=None, workers=1).run(spec)
+    parallel = SweepRunner(store=tmp_path / "cache", workers=2).run(spec)
+    assert parallel.workers == 2
+    assert parallel.summaries() == serial.summaries()
+    assert [o.status for o in parallel.outcomes] == [o.status for o in serial.outcomes]
+    assert parallel.cache_misses == len(spec)
+
+    rerun = SweepRunner(store=tmp_path / "cache", workers=2).run(spec)
+    assert rerun.flow_executions == 0  # zero flow re-executions
+    assert rerun.cache_hits == len(spec)
+    assert all(outcome.cached for outcome in rerun.outcomes)
+    assert rerun.summaries() == serial.summaries()
+
+
+def test_cache_shared_between_serial_and_parallel_runners(tmp_path):
+    spec = SweepSpec.build(["wchb_fifo_4"], ArchitectureParams(), ANALYSIS_ONLY)
+    first = SweepRunner(store=tmp_path, workers=1).run(spec)
+    second = SweepRunner(store=tmp_path, workers=2).run(spec)
+    assert first.cache_misses == 1
+    assert second.cache_hits == 1 and second.flow_executions == 0
+    assert second.summaries() == first.summaries()
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_reporters_render_all_outcomes(tmp_path):
+    spec = SweepSpec.build(
+        ["qdi_full_adder", "qdi_multiplier_2x2"], ArchitectureParams(), ANALYSIS_ONLY
+    )
+    report = SweepRunner().run(spec)
+
+    text = format_report(report)
+    assert "qdi_full_adder" in text and "cache_hits=0" in text
+
+    csv_path = write_csv(report, tmp_path / "out" / "sweep.csv")
+    with csv_path.open(encoding="utf-8", newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert {row["status"] for row in rows} == {"ok", "error"}
+    assert "error" in rows[0]  # union-of-keys columns include sparse ones
+
+    json_path = write_json(report, tmp_path / "out" / "sweep.json")
+    document = json.loads(json_path.read_text(encoding="utf-8"))
+    assert document["stats"]["points"] == 2
+    assert len(document["rows"]) == 2
