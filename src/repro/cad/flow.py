@@ -83,6 +83,12 @@ class FlowResult:
             "plbs": len(self.mapped.plbs),
             "pdes": len(self.mapped.pdes),
         }
+        decomposition = self.mapped.metadata.get("decomposition")
+        if decomposition:
+            # Only present when the mapper actually split wide functions, so
+            # designs that fit natively keep their historical key set.
+            data["decomposed_functions"] = decomposition["functions_decomposed"]
+            data["decomposition_intermediates"] = decomposition["intermediate_functions"]
         if self.filling is not None:
             data["filling_ratio"] = round(self.filling.per_le, 4)
             data["filling_ratio_per_plb"] = round(self.filling.per_plb, 4)

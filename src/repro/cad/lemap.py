@@ -37,7 +37,9 @@ class LEFunction:
 
     output_net: str
     table: TruthTable
-    role: str = "logic"  # "logic", "validity", "ack", "latch", "controller"
+    # "logic", "validity", "ack", "latch", "controller", or "decomp" (an
+    # intermediate emitted by repro.cad.decompose on a synthetic net).
+    role: str = "logic"
 
     @property
     def input_nets(self) -> tuple[str, ...]:
@@ -296,16 +298,27 @@ def merge_mapped_designs(name: str, designs: Iterable[MappedDesign]) -> MappedDe
     """Concatenate several mapped designs into one (used by circuit composition).
 
     Nets with identical names are shared; primary inputs that another part
-    drives become internal nets.
+    drives become internal nets.  Per-part decomposition counters are folded
+    into the merged design's metadata so composed circuits report them the
+    same way monolithic mappings do.
     """
+    # Local import: repro.cad.decompose imports this module at top level.
+    from repro.cad.decompose import DecompositionStats
+
     designs = list(designs)
     if not designs:
         raise ValueError("merge_mapped_designs needs at least one design")
     params = designs[0].params
     merged = MappedDesign(name=name, params=params, style=designs[0].style)
+    stats = DecompositionStats()
     for design in designs:
         merged.les.extend(design.les)
         merged.pdes.extend(design.pdes)
+        part = design.metadata.get("decomposition")
+        if part:
+            stats.merge(DecompositionStats(**part))
+    if stats.active:
+        merged.metadata["decomposition"] = stats.as_dict()
     driven = merged.all_output_nets()
     for design in designs:
         for net in design.primary_inputs:

@@ -123,4 +123,13 @@ def packing_summary(design: MappedDesign) -> dict[str, object]:
         "max_external_inputs": max(
             (len(plb.external_input_nets) for plb in design.plbs), default=0
         ),
+        # LUT functions living on decomposition-made synthetic nets (0 for
+        # designs the mapper fit without splitting anything).
+        "decomp_functions": sum(
+            1
+            for plb in design.plbs
+            for le in plb.les
+            for function in le.functions
+            if function.role == "decomp"
+        ),
     }

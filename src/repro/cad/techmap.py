@@ -23,13 +23,29 @@ Two mappers are provided:
   function; combinational fan-in cones are absorbed greedily while the
   support stays within the LUT input budget.  It is used for the baselines
   and for the "naive mapping" ablation.
+
+Functions whose support exceeds the LUT input budget are no longer a hard
+feasibility wall: both mappers hand them to
+:mod:`repro.cad.decompose`, which splits them across synthetic nets until
+every emitted function fits (see that module's docstring for the strategy).
+A :class:`MappingError` now only means the architecture is degenerate (LUT
+budget below 3) or the circuit carries no mappable description at all.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Mapping
 
 from repro.asynclogic.channels import Channel
+from repro.cad.decompose import (
+    DecompositionError,
+    DecompositionResult,
+    DecompositionStats,
+    NetNamer,
+    build_mapped_les,
+    decompose_function,
+)
 from repro.cad.lemap import LEFunction, MappedDesign, MappedLE, MappedPDE
 from repro.core.params import PLBParams
 from repro.logic.truthtable import TruthTable
@@ -40,6 +56,28 @@ from repro.styles.base import LogicStyle, StyledCircuit
 
 class MappingError(RuntimeError):
     """Raised when a circuit cannot be mapped onto the architecture."""
+
+
+def _fit_function(
+    function: LEFunction,
+    budget: int,
+    namer: NetNamer,
+    stats: DecompositionStats,
+    candidates: Mapping[str, TruthTable] | None = None,
+) -> DecompositionResult:
+    """Decompose *function* to fit *budget*, folding failures into MappingError."""
+    try:
+        return decompose_function(
+            function, budget, namer=namer, stats=stats, candidates=candidates
+        )
+    except DecompositionError as exc:
+        raise MappingError(str(exc)) from exc
+
+
+def _stamp_decomposition(design: MappedDesign, stats: DecompositionStats) -> None:
+    """Record decomposition counters on the design (only when it happened)."""
+    if stats.active:
+        design.metadata["decomposition"] = stats.as_dict()
 
 
 # ----------------------------------------------------------------------
@@ -109,18 +147,29 @@ def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
     design.primary_outputs.append(ack_net)
 
     le_params = params.le
+    # Fresh-net naming for decomposition: reserve every name the template
+    # itself will create so synthetic nets can never collide.
+    reserved: list[str] = list(design.primary_inputs) + list(design.primary_outputs)
+    for out_channel in output_channels:
+        reserved.extend(
+            f"{out_channel.name}_v{digit}" for digit in range(out_channel.digits)
+        )
+    namer = NetNamer(reserved)
+    stats = DecompositionStats()
+
     rail_functions: list[tuple[Channel, str, LEFunction]] = []
+    decomposition_functions: list[LEFunction] = []
     for out_channel in output_channels:
         for rail_wire in out_channel.data_wires():
             table = _qdi_rail_function(input_channels, out_channel, rail_wire, circuit)
-            if table.arity > le_params.lut_inputs:
-                raise MappingError(
-                    f"rail function for {rail_wire!r} needs {table.arity} LUT inputs but the LE "
-                    f"offers {le_params.lut_inputs}; decompose the block into narrower channels"
-                )
-            rail_functions.append(
-                (out_channel, rail_wire, LEFunction(output_net=rail_wire, table=table, role="logic"))
+            fitted = _fit_function(
+                LEFunction(output_net=rail_wire, table=table, role="logic"),
+                le_params.lut_inputs,
+                namer,
+                stats,
             )
+            decomposition_functions.extend(fitted.intermediates)
+            rail_functions.append((out_channel, rail_wire, fitted.final))
 
     # One LE per rail (the rail functions of one digit cannot share a LUT7-3
     # because each needs its own feedback pin on top of the shared data rails).
@@ -149,7 +198,8 @@ def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
         les.append(le)
 
     # Wider (1-of-N, N>2) digits get their validity from a dedicated OR LE
-    # function because the LUT2-1 only has two inputs.
+    # function because the LUT2-1 only has two inputs; digits wider than the
+    # LUT budget decompose like any other function.
     for out_channel in output_channels:
         for digit_index in range(out_channel.digits):
             digit_key = f"{out_channel.name}:{digit_index}"
@@ -158,10 +208,17 @@ def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
             rails = out_channel.digit_wires(digit_index)
             validity_net = f"{out_channel.name}_v{digit_index}"
             table = TruthTable.from_function(rails, lambda *r: any(r), name=f"valid_{digit_key}")
+            fitted = _fit_function(
+                LEFunction(output_net=validity_net, table=table, role="validity"),
+                le_params.lut_inputs,
+                namer,
+                stats,
+            )
+            decomposition_functions.extend(fitted.intermediates)
             les.append(
                 MappedLE(
                     name=f"le_valid_{out_channel.name}_{digit_index}",
-                    functions=[LEFunction(output_net=validity_net, table=table, role="validity")],
+                    functions=[fitted.final],
                 )
             )
             digit_validity_nets.append(validity_net)
@@ -169,11 +226,6 @@ def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
 
     # Acknowledge: Muller C-element over the digit validities (looped LUT).
     ack_inputs = tuple(digit_validity_nets) + (ack_net,)
-    if len(ack_inputs) > le_params.lut_inputs:
-        raise MappingError(
-            f"acknowledge C-element needs {len(ack_inputs)} LUT inputs; the LE offers "
-            f"{le_params.lut_inputs}"
-        )
 
     def ack_next(*values: int) -> int:
         data = values[:-1]
@@ -185,14 +237,17 @@ def _map_qdi(circuit: StyledCircuit, params: PLBParams) -> MappedDesign:
         return previous
 
     ack_table = TruthTable.from_function(ack_inputs, ack_next, name="ack")
-    les.append(
-        MappedLE(
-            name=f"le_{ack_net}",
-            functions=[LEFunction(output_net=ack_net, table=ack_table, role="ack")],
-        )
+    fitted_ack = _fit_function(
+        LEFunction(output_net=ack_net, table=ack_table, role="ack"),
+        le_params.lut_inputs,
+        namer,
+        stats,
     )
+    decomposition_functions.extend(fitted_ack.intermediates)
+    les.append(MappedLE(name=f"le_{ack_net}", functions=[fitted_ack.final]))
 
-    design.les = les
+    design.les = les + build_mapped_les(decomposition_functions, params)
+    _stamp_decomposition(design, stats)
     return design
 
 
@@ -224,11 +279,16 @@ def _map_micropipeline(circuit: StyledCircuit, params: PLBParams) -> MappedDesig
     le_params = params.le
     enable_net = output_channel.req_wire  # enable == out_req == in_ack
     req_delayed_net = f"{circuit.name}_req_delayed"
+    namer = NetNamer(
+        list(design.primary_inputs) + list(design.primary_outputs) + [req_delayed_net]
+    )
+    stats = DecompositionStats()
 
     # Output latches, each absorbing its datapath function:
     #   q' = f(data inputs)        when enable == 0 (transparent)
     #   q' = q                     when enable == 1 (hold)
     latch_functions: list[LEFunction] = []
+    decomposition_functions: list[LEFunction] = []
     for out_wire in output_channel.data_wires():
         datapath_table: TruthTable = datapath_tables[out_wire]
         table_inputs = tuple(datapath_table.inputs) + (enable_net, out_wire)
@@ -240,12 +300,14 @@ def _map_micropipeline(circuit: StyledCircuit, params: PLBParams) -> MappedDesig
             return _table.evaluate({name: assignment[name] for name in _table.inputs})
 
         table = TruthTable.from_function(table_inputs, latch_next, name=f"latch_{out_wire}")
-        if table.arity > le_params.lut_inputs:
-            raise MappingError(
-                f"latch+datapath function for {out_wire!r} needs {table.arity} LUT inputs "
-                f"(limit {le_params.lut_inputs})"
-            )
-        latch_functions.append(LEFunction(output_net=out_wire, table=table, role="latch"))
+        fitted = _fit_function(
+            LEFunction(output_net=out_wire, table=table, role="latch"),
+            le_params.lut_inputs,
+            namer,
+            stats,
+        )
+        decomposition_functions.extend(fitted.intermediates)
+        latch_functions.append(fitted.final)
 
     # Pack latch functions into LEs (they share the data inputs and enable).
     latch_les: list[MappedLE] = []
@@ -286,7 +348,10 @@ def _map_micropipeline(circuit: StyledCircuit, params: PLBParams) -> MappedDesig
         LEFunction(output_net=input_channel.ack_wire, table=in_ack_table, role="controller")
     )
 
-    design.les = latch_les + [controller_le]
+    design.les = latch_les + [controller_le] + build_mapped_les(
+        decomposition_functions, params
+    )
+    _stamp_decomposition(design, stats)
     design.pdes = [
         MappedPDE(
             name=f"pde_{circuit.name}",
@@ -383,11 +448,30 @@ def generic_map(
         if pde.input_net not in required and netlist.net(pde.input_net).driver is not None:
             required.append(pde.input_net)
 
+    primary_inputs = set(design.primary_inputs)
+    namer = NetNamer(netlist.nets)
+    stats = DecompositionStats()
+
     mapped: dict[str, LEFunction] = {}
-    queue = list(required)
+    # The worklist is a deque with a companion seen-set: list.pop(0) plus
+    # `net not in queue` membership scans were O(n^2) on large netlists.
+    queue: deque[str] = deque(required)
+    queued: set[str] = set(required)
+
+    def enqueue(net: str) -> None:
+        if (
+            net not in mapped
+            and net not in primary_inputs
+            and net not in delay_outputs
+            and net not in queued
+        ):
+            queue.append(net)
+            queued.add(net)
+
     while queue:
-        target = queue.pop(0)
-        if target in mapped or target in design.primary_inputs or target in delay_outputs:
+        target = queue.popleft()
+        queued.discard(target)
+        if target in mapped or target in primary_inputs or target in delay_outputs:
             continue
         driver = netlist.driver_of(target)
         if driver is None:
@@ -395,12 +479,14 @@ def generic_map(
         driver_cell, _pin = driver
         table = _cell_output_table(netlist, driver_cell.name)
 
-        # Greedy cone absorption.
+        # Greedy cone absorption; absorbed cones are remembered so the
+        # decomposer can un-absorb them if the table ends up too wide.
+        absorbed: dict[str, TruthTable] = {}
         progress = True
         while progress:
             progress = False
             for net in list(table.inputs):
-                if net == target or net in design.primary_inputs:
+                if net == target or net in primary_inputs:
                     continue
                 if net in sequential_outputs or net in delay_outputs:
                     continue
@@ -414,25 +500,26 @@ def generic_map(
                 candidate = table.compose({net: inner_table})
                 if candidate.arity <= budget:
                     table = candidate
+                    absorbed[net] = inner_table
                     progress = True
 
-        if table.arity > budget:
-            raise MappingError(
-                f"function for net {target!r} needs {table.arity} inputs (limit {budget})"
-            )
-        mapped[target] = LEFunction(output_net=target, table=table, role="logic")
-        for net in table.inputs:
-            if (
-                net not in mapped
-                and net != target
-                and net not in design.primary_inputs
-                and net not in delay_outputs
-                and net not in queue
-            ):
-                queue.append(net)
+        fitted = _fit_function(
+            LEFunction(output_net=target, table=table, role="logic"),
+            budget,
+            namer,
+            stats,
+            candidates=absorbed,
+        )
+        for function in fitted.intermediates:
+            mapped[function.output_net] = function
+        mapped[target] = fitted.final
+        for net in fitted.reused_nets:
+            enqueue(net)
+        for function in fitted.functions:
+            for net in function.input_nets:
+                if net != function.output_net:
+                    enqueue(net)
 
-    design.les = [
-        MappedLE(name=f"le_{output_net}", functions=[function])
-        for output_net, function in mapped.items()
-    ]
+    design.les = build_mapped_les(mapped.values(), params)
+    _stamp_decomposition(design, stats)
     return design

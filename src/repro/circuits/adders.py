@@ -41,6 +41,46 @@ class BenchmarkCircuit:
         return data
 
 
+def combine_acknowledges(
+    mapped: MappedDesign, ack_nets: list[str], output: str = "ack"
+) -> list[str]:
+    """Reduce per-block acknowledges with a binary Muller C-element tree.
+
+    Appends one looped-LUT C-element per tree node to ``mapped.les`` (the
+    root drives *output*) and returns the remaining net list -- ``[output]``
+    for more than one input, the untouched single net otherwise.  Shared by
+    every mapped-LE-level circuit composition (ripple adders, the composed
+    multipliers).
+    """
+    level = 0
+    while len(ack_nets) > 1:
+        next_level: list[str] = []
+        for index in range(0, len(ack_nets) - 1, 2):
+            node = output if len(ack_nets) == 2 else f"{output}_l{level}_{index // 2}"
+            inputs = (ack_nets[index], ack_nets[index + 1], node)
+
+            def c_next(a: int, b: int, y: int) -> int:
+                if a and b:
+                    return 1
+                if not a and not b:
+                    return 0
+                return y
+
+            table = TruthTable.from_function(inputs, c_next, name=f"ack_tree_{node}")
+            mapped.les.append(
+                MappedLE(
+                    name=f"le_{node}",
+                    functions=[LEFunction(output_net=node, table=table, role="ack")],
+                )
+            )
+            next_level.append(node)
+        if len(ack_nets) % 2:
+            next_level.append(ack_nets[-1])
+        ack_nets = next_level
+        level += 1
+    return ack_nets
+
+
 # ----------------------------------------------------------------------
 # QDI ripple adders (dual-rail and 1-of-4)
 # ----------------------------------------------------------------------
@@ -106,31 +146,7 @@ def qdi_ripple_adder(
     mapped = merge_mapped_designs(name, mapped_slices)
     mapped.style = slices[0].style
 
-    # Combine the per-bit acknowledges with C-element LUTs (binary tree).
-    ack_nets = [f"ack{bit}" for bit in range(bits)]
-    level = 0
-    while len(ack_nets) > 1:
-        next_level: list[str] = []
-        for index in range(0, len(ack_nets) - 1, 2):
-            output = "ack" if len(ack_nets) == 2 else f"ack_l{level}_{index // 2}"
-            inputs = (ack_nets[index], ack_nets[index + 1], output)
-
-            def c_next(a: int, b: int, y: int) -> int:
-                if a and b:
-                    return 1
-                if not a and not b:
-                    return 0
-                return y
-
-            table = TruthTable.from_function(inputs, c_next, name=f"ack_tree_{output}")
-            mapped.les.append(
-                MappedLE(name=f"le_{output}", functions=[LEFunction(output_net=output, table=table, role="ack")])
-            )
-            next_level.append(output)
-        if len(ack_nets) % 2:
-            next_level.append(ack_nets[-1])
-        ack_nets = next_level
-        level += 1
+    ack_nets = combine_acknowledges(mapped, [f"ack{bit}" for bit in range(bits)])
 
     # Interface bookkeeping: carries between slices are internal.
     driven = mapped.all_output_nets()

@@ -3,12 +3,17 @@
 A compact multiplier is a convenient second "real" workload for the filling
 and scaling experiments: it is wider than the full adder (two multi-bit
 operands), its outputs need more than one digit, and its DIMS expansion
-exercises the 1-of-N support of the LE.
+exercises the 1-of-N support of the LE.  Its rail functions also exceed the
+LUT7-3 input budget (9 inputs for the 2x2), which makes it the reference
+workload for the mapper's wide-function decomposition.
 
 For small operand widths the multiplier is generated as a single DIMS
-function block (the product function over the operand channels); for larger
-widths the benchmarks compose adders instead, so this module intentionally
-caps the direct expansion at 3x3 bits.
+function block (the product function over the operand channels); the direct
+expansion is capped at 3x3 bits because the DIMS code-word product grows
+quadratically.  Wider multipliers are *composed*: :func:`qdi_multiplier_4x4`
+builds a 4x4 multiplier at the mapped-LE level from four 2x2 partial-product
+blocks and a shift-and-add network of QDI half/full-adder blocks, the same
+macro-style composition the ripple adders use.
 """
 
 from __future__ import annotations
@@ -17,6 +22,10 @@ from typing import Mapping
 
 from repro.asynclogic.channels import Channel
 from repro.asynclogic.encodings import DualRailEncoding, OneOfNEncoding
+from repro.cad.lemap import merge_mapped_designs
+from repro.cad.techmap import template_map
+from repro.circuits.adders import BenchmarkCircuit, combine_acknowledges
+from repro.core.params import PLBParams
 from repro.styles.base import LogicStyle, StyledCircuit
 from repro.styles.qdi import dims_function_block
 
@@ -28,11 +37,17 @@ def qdi_multiplier(
     bits: int = 2,
     encoding: str = "dual-rail",
     name: str | None = None,
+    a_name: str = "a",
+    b_name: str = "b",
+    product_prefix: str = "p",
+    ack_net: str = "ack",
 ) -> StyledCircuit:
     """An ``bits x bits`` QDI multiplier as one DIMS function block.
 
     The result channel is ``2 * bits`` wide.  Raises ``ValueError`` for operand
-    widths above :data:`MAX_DIRECT_BITS` (compose adders instead).
+    widths above :data:`MAX_DIRECT_BITS` (compose adders instead).  The channel
+    and acknowledge names are parameters so composed circuits (e.g. the 4x4
+    multiplier) can instantiate several blocks side by side.
     """
     if bits < 1:
         raise ValueError("operand width must be at least 1 bit")
@@ -52,18 +67,24 @@ def qdi_multiplier(
     else:
         raise ValueError(f"unsupported encoding {encoding!r}")
 
-    a = Channel("a", bits, enc)
-    b = Channel("b", bits, enc)
+    a = Channel(a_name, bits, enc)
+    b = Channel(b_name, bits, enc)
     product_bits = 2 * bits
     # The product is emitted one dual-rail bit per output channel so each
     # output digit's rail functions stay within the LUT7-3 input budget after
     # template mapping of per-bit slices is not required here (the DIMS gate
     # netlist is what the area/baseline experiments consume).
-    outputs = [Channel(f"p{index}", 1, DualRailEncoding()) for index in range(product_bits)]
+    outputs = [
+        Channel(f"{product_prefix}{index}", 1, DualRailEncoding())
+        for index in range(product_bits)
+    ]
 
     def product(values: Mapping[str, int]) -> Mapping[str, int]:
-        result = values["a"] * values["b"]
-        return {f"p{index}": (result >> index) & 1 for index in range(product_bits)}
+        result = values[a_name] * values[b_name]
+        return {
+            f"{product_prefix}{index}": (result >> index) & 1
+            for index in range(product_bits)
+        }
 
     return dims_function_block(
         name,
@@ -71,4 +92,138 @@ def qdi_multiplier(
         output_channels=outputs,
         function=product,
         style=style,
+        ack_net=ack_net,
+    )
+
+
+# ----------------------------------------------------------------------
+# Composed 4x4 multiplier (shift-and-add over 2x2 partial products)
+# ----------------------------------------------------------------------
+def _adder_block(
+    inputs: tuple[str, ...], sum_net: str, carry_net: str, ack_net: str
+) -> StyledCircuit:
+    """A QDI half adder (two inputs) or full adder (three) over named
+    1-bit dual-rail channels."""
+    enc = DualRailEncoding()
+    in_channels = [Channel(net, 1, enc) for net in inputs]
+    out_channels = [Channel(sum_net, 1, enc), Channel(carry_net, 1, enc)]
+
+    def add(values: Mapping[str, int]) -> Mapping[str, int]:
+        total = sum(values[net] for net in inputs)
+        return {sum_net: total & 1, carry_net: (total >> 1) & 1}
+
+    kind = "fa" if len(inputs) == 3 else "ha"
+    return dims_function_block(
+        f"qdi_{kind}_{sum_net}",
+        input_channels=in_channels,
+        output_channels=out_channels,
+        function=add,
+        style=LogicStyle.QDI_DUAL_RAIL,
+        ack_net=ack_net,
+    )
+
+
+def qdi_multiplier_4x4(
+    params: PLBParams | None = None,
+    name: str | None = None,
+) -> BenchmarkCircuit:
+    """A 4x4 QDI multiplier composed at the mapped-LE level.
+
+    The operands arrive as 2-bit halves (channels ``al``/``ah`` and
+    ``bl``/``bh``); four 2x2 DIMS partial-product blocks (each mapped through
+    wide-function decomposition) feed a three-stage shift-and-add network of
+    DIMS half/full-adder blocks:
+
+    .. code-block:: text
+
+        R = LL + (LH << 2)        S = R + (HL << 2)        P = S + (HH << 4)
+
+    Per-block acknowledges are combined into one ``ack`` by a Muller C-element
+    tree.  The product rails (LSB first) are listed in
+    ``metadata["product_channels"]``; the low bits pass straight through from
+    the partial products, so their nets keep the producing block's names.
+    """
+    params = params if params is not None else PLBParams()
+    name = name or "qdi_multiplier4x4_dual-rail"
+
+    blocks: list[StyledCircuit] = []
+    ack_nets: list[str] = []
+
+    def add_block(block: StyledCircuit, ack: str) -> None:
+        blocks.append(block)
+        ack_nets.append(ack)
+
+    # Partial products: ll = al*bl, lh = al*bh, hl = ah*bl, hh = ah*bh.
+    for prefix, (a_half, b_half) in (
+        ("ll", ("al", "bl")),
+        ("lh", ("al", "bh")),
+        ("hl", ("ah", "bl")),
+        ("hh", ("ah", "bh")),
+    ):
+        add_block(
+            qdi_multiplier(
+                2,
+                name=f"{name}_{prefix}",
+                a_name=a_half,
+                b_name=b_half,
+                product_prefix=prefix,
+                ack_net=f"ack_{prefix}",
+            ),
+            f"ack_{prefix}",
+        )
+
+    # R = LL + (LH << 2): bits 0..1 pass through (ll0, ll1), bits 2..6 added.
+    # S = R + (HL << 2):  bits 2..7.       P = S + (HH << 4): bits 4..7.
+    adder_stages = (
+        (("ll2", "lh0"), "r2", "k3"),
+        (("ll3", "lh1", "k3"), "r3", "k4"),
+        (("lh2", "k4"), "r4", "k5"),
+        (("lh3", "k5"), "r5", "r6"),
+        (("r2", "hl0"), "s2", "m3"),
+        (("r3", "hl1", "m3"), "s3", "m4"),
+        (("r4", "hl2", "m4"), "s4", "m5"),
+        (("r5", "hl3", "m5"), "s5", "m6"),
+        (("r6", "m6"), "s6", "s7"),
+        (("s4", "hh0"), "p4", "n5"),
+        (("s5", "hh1", "n5"), "p5", "n6"),
+        (("s6", "hh2", "n6"), "p6", "n7"),
+        # The final carry n8 is provably never asserted (15*15 < 256) but the
+        # DIMS block still produces its rails; they stay internal and unused.
+        (("s7", "hh3", "n7"), "p7", "n8"),
+    )
+    for inputs, sum_net, carry_net in adder_stages:
+        add_block(
+            _adder_block(inputs, sum_net, carry_net, f"ack_{sum_net}"),
+            f"ack_{sum_net}",
+        )
+
+    mapped_blocks = [template_map(block, params) for block in blocks]
+    # merge_mapped_designs also folds the blocks' decomposition counters
+    # into the merged metadata.
+    mapped = merge_mapped_designs(name, mapped_blocks)
+    mapped.style = LogicStyle.QDI_DUAL_RAIL
+
+    roots = combine_acknowledges(mapped, ack_nets)
+
+    # Interface bookkeeping: nets produced by one block for another are
+    # internal; the product is read LSB-first off these channels.
+    product_channels = ["ll0", "ll1", "s2", "s3", "p4", "p5", "p6", "p7"]
+    driven = mapped.all_output_nets()
+    mapped.primary_inputs = [net for net in mapped.primary_inputs if net not in driven]
+    outputs: list[str] = []
+    for channel_name in product_channels:
+        outputs.extend(Channel(channel_name, 1, DualRailEncoding()).data_wires())
+    outputs.append(roots[0])
+    mapped.primary_outputs = outputs
+
+    return BenchmarkCircuit(
+        name=name,
+        style=LogicStyle.QDI_DUAL_RAIL,
+        mapped=mapped,
+        gate_circuit=None,
+        metadata={
+            "bits": 4,
+            "product_channels": product_channels,
+            "ack_net": roots[0],
+        },
     )

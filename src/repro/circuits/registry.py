@@ -12,7 +12,7 @@ from typing import Callable
 from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
 from repro.circuits.fifo import wchb_fifo
 from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
-from repro.circuits.multiplier import qdi_multiplier
+from repro.circuits.multiplier import qdi_multiplier, qdi_multiplier_4x4
 
 
 def circuit_registry() -> dict[str, Callable[[], object]]:
@@ -21,7 +21,11 @@ def circuit_registry() -> dict[str, Callable[[], object]]:
         "qdi_full_adder": lambda: qdi_full_adder(),
         "qdi_full_adder_1of4": lambda: qdi_full_adder(encoding="1-of-4"),
         "micropipeline_full_adder": lambda: micropipeline_full_adder(),
+        # Both multipliers template-map on the default LE: their 9-input DIMS
+        # rail functions are split by the mapper's wide-function decomposition
+        # (repro.cad.decompose) instead of raising a MappingError.
         "qdi_multiplier_2x2": lambda: qdi_multiplier(2),
+        "qdi_multiplier_4x4": lambda: qdi_multiplier_4x4(),
         "wchb_fifo_4": lambda: wchb_fifo(4),
         "wchb_fifo_8": lambda: wchb_fifo(8),
     }

@@ -1,0 +1,98 @@
+"""Code fingerprinting for behaviour-sensitive cache keys.
+
+The sweep result store is content-addressed: a record's key is a hash of the
+sweep point's *description* (circuit name, architecture, flow options).  The
+description alone does not capture the *code* that executes the point, so a
+mapper bugfix would otherwise keep serving stale cached results -- exactly the
+ambiguity class the caching literature warns about: results must be keyed by
+the semantics that produced them.
+
+:func:`code_fingerprint` folds the package version and a stable hash of the
+behaviour-bearing package sources (everything in :data:`FINGERPRINT_PACKAGES`:
+:mod:`repro.asynclogic`, :mod:`repro.cad`, :mod:`repro.circuits`,
+:mod:`repro.core`, :mod:`repro.logic`, :mod:`repro.netlist`,
+:mod:`repro.styles`) into one short digest.  Any edit to those sources changes
+the digest, every sweep key embedding it, and therefore retires every cached
+record produced by the old code -- no manual schema-version bump needed.
+
+The walk is filesystem-based (sorted ``*.py`` files under each package's
+directory) so the fingerprint is identical across processes, which is what
+lets parallel sweep workers share one cache.
+
+The default fingerprint is captured **once per process**, lazily on the
+first :func:`code_fingerprint` call -- i.e. when the first cache key is
+computed.  Importing this module stays side-effect free: sweep workers
+(which never compute keys) pay nothing, and a broken or racing source tree
+surfaces as an error in the sweep that asked for a key rather than poisoning
+package import.  The residual gap is inherent to file-based fingerprinting:
+a process that edits sources on disk after importing them and before its
+first key computation hashes the post-edit files while executing the
+pre-edit modules.  Run sweeps from fresh processes (the normal workflow) for
+an exact code-to-key correspondence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from pathlib import Path
+from typing import Iterable
+
+import repro
+
+#: Packages whose sources determine what a cached flow summary means: the
+#: flow and circuit factories plus everything they build on (truth tables,
+#: netlists/gate library, channels/encodings, style generators, parameters).
+FINGERPRINT_PACKAGES = (
+    "repro.asynclogic",
+    "repro.cad",
+    "repro.circuits",
+    "repro.core",
+    "repro.logic",
+    "repro.netlist",
+    "repro.styles",
+)
+
+def hash_sources(paths: Iterable[Path]) -> str:
+    """A hex sha256 over the names and contents of the given source files."""
+    digest = hashlib.sha256()
+    for path in paths:
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def package_source_files(package: str) -> list[Path]:
+    """Sorted ``*.py`` files of an importable package, subpackages included."""
+    module = importlib.import_module(package)
+    locations = list(getattr(module, "__path__", []))
+    files: list[Path] = []
+    for location in locations:
+        files.extend(sorted(Path(location).rglob("*.py")))
+    return files
+
+
+def compute_fingerprint(packages: tuple[str, ...] = FINGERPRINT_PACKAGES) -> str:
+    """A short stable digest of the package version plus package sources."""
+    digest = hashlib.sha256()
+    digest.update(repro.__version__.encode("utf-8"))
+    digest.update(b"\x00")
+    for package in packages:
+        digest.update(package.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(hash_sources(package_source_files(package)).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+_process_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """The default-package fingerprint, captured once per process."""
+    global _process_fingerprint
+    if _process_fingerprint is None:
+        _process_fingerprint = compute_fingerprint()
+    return _process_fingerprint

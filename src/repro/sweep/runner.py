@@ -9,8 +9,12 @@ to running :class:`~repro.cad.flow.CadFlow` by hand) or across a
 :class:`SweepReport` with per-point outcomes plus cache hit/miss counters.
 
 Flow failures (unroutable architecture, unplaceable design, ...) are captured
-as ``status="error"`` records rather than aborting the sweep: flows are
-deterministic, so a failure is as cacheable as a success.
+as ``status="error"`` records -- with the exception class and message -- rather
+than aborting the sweep.  Most flow failures are deterministic and therefore
+cacheable; mapping failures are deliberately *not* cached, so re-running a
+sweep after fixing the mapper re-attempts the point instead of replaying the
+stale error (the code-fingerprint cache key would retire the record anyway,
+but an uncached error also survives e.g. a restored store snapshot).
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     # Imports stay inside the function so worker processes pay them lazily
     # and a broken optional subsystem cannot poison runner import time.
     from repro.cad.flow import CadFlow
+    from repro.cad.techmap import MappingError
     from repro.circuits.registry import build_circuit
 
     point = SweepPoint.from_dict(point_data)
@@ -53,12 +58,16 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
         record["status"] = "error"
         record["summary"] = None
         record["error"] = {"type": type(exc).__name__, "message": str(exc)}
-        # Flow-domain failures (unmappable, unroutable, ...) are as
+        # Flow-domain failures (unroutable, unplaceable, ...) are as
         # deterministic as successes and therefore cacheable.  Environmental
-        # ones (disk full, out of memory) must be retried on the next run,
-        # and KeyError (unknown circuit) depends on the registry contents,
-        # which can change between runs without changing the point's hash.
-        record["cacheable"] = not isinstance(exc, (OSError, MemoryError, KeyError))
+        # ones (disk full, out of memory) must be retried on the next run;
+        # KeyError (unknown circuit) depends on the registry contents; and a
+        # MappingError is what a mapper fix is *supposed* to change, so it is
+        # recorded (class + message) but never cached -- the next run after a
+        # fix re-attempts the point instead of replaying the old failure.
+        record["cacheable"] = not isinstance(
+            exc, (OSError, MemoryError, KeyError, MappingError)
+        )
     return record
 
 

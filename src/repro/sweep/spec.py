@@ -15,13 +15,13 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.cad.flow import FlowOptions
 from repro.core.params import ArchitectureParams, stable_digest
+from repro.fingerprint import code_fingerprint
 
-#: Bump to invalidate every existing cache entry.  Required whenever cached
-#: results change meaning OR content: new/renamed summary keys, but also any
-#: behaviour change in circuit factories, mappers, or downstream flow steps
-#: (the key hashes only the point description, not the code that executes it,
-#: so e.g. teaching the mapper to handle a previously-failing circuit must be
-#: accompanied by a bump or stale cached errors will keep being served).
+#: Version of the stored *record layout* only.  Bump it when the record
+#: format itself changes (renamed fields, new envelope).  Behaviour changes in
+#: mappers / circuit factories / flow steps need no manual action: the cache
+#: key embeds :func:`repro.fingerprint.code_fingerprint`, so editing those
+#: sources automatically retires every stale record.
 SWEEP_SCHEMA_VERSION = 1
 
 
@@ -50,8 +50,16 @@ class SweepPoint:
         )
 
     def key(self) -> str:
-        """The content-address of this point in the result store."""
-        return stable_digest(self.to_dict())
+        """The content-address of this point in the result store.
+
+        Besides the point description the key hashes a fingerprint of the
+        code that executes the point, so results are addressed by the
+        semantics that produced them: a behaviour change in the CAD or
+        circuit packages misses every pre-change record.
+        """
+        payload = self.to_dict()
+        payload["code_fingerprint"] = code_fingerprint()
+        return stable_digest(payload)
 
     def label(self) -> str:
         """A short human-readable identifier for tables and logs."""

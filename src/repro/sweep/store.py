@@ -79,6 +79,23 @@ class SweepResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    def stats(self) -> dict[str, int]:
+        """Record count and on-disk footprint (bytes) of the store.
+
+        Records keyed by retired code fingerprints are not reachable through
+        current :meth:`SweepPoint.key` values but still live here; this is the
+        observability hook for store audits and future garbage collection.
+        """
+        records = 0
+        size = 0
+        for key in self.keys():
+            records += 1
+            try:
+                size += self.path_for(key).stat().st_size
+            except OSError:
+                pass
+        return {"records": records, "bytes": size}
+
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""
         removed = 0

@@ -1,0 +1,379 @@
+"""Tests of the wide-function decomposition subsystem (repro.cad.decompose).
+
+Covers the three reductions (Shannon, disjoint-support extraction, cone
+un-absorption), feedback handling, the LE coalescing post-pass, and -- most
+importantly -- end-to-end equivalence: decomposed mappings must simulate
+identically to the undecomposed netlist.
+"""
+
+import random
+
+import pytest
+
+from repro.cad.decompose import (
+    DECOMPOSITION_ROLE,
+    DecompositionError,
+    DecompositionStats,
+    NetNamer,
+    coalesce_decomposition_les,
+    decompose_function,
+)
+from repro.cad.lemap import LEFunction, MappedLE
+from repro.cad.pack import pack_design
+from repro.cad.techmap import template_map
+from repro.circuits.registry import build_circuit
+from repro.core.params import LEParams, PLBParams
+from repro.logic.truthtable import TruthTable
+from repro.netlist.celltypes import STANDARD_LIBRARY, CellType
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.sim.lesim import simulate_mapped_design
+from repro.sim.netsim import GateLevelSimulator, evaluate_combinational
+
+
+def evaluate_network(functions, assignment):
+    """Evaluate a list of LEFunctions (intermediates first) on *assignment*.
+
+    Returns the value of the last function.  Feedback inputs must be given in
+    *assignment* (they read the previous output value).
+    """
+    values = dict(assignment)
+    result = None
+    for function in functions:
+        local = dict(values)
+        if function.has_feedback and function.output_net not in local:
+            local[function.output_net] = assignment[function.output_net]
+        result = function.table.evaluate(
+            {name: local[name] for name in function.table.inputs}
+        )
+        values[function.output_net] = result
+    return result
+
+
+def random_table(arity, seed, name="rnd"):
+    rng = random.Random(seed)
+    inputs = tuple(f"i{index}" for index in range(arity))
+    bits = tuple(rng.randint(0, 1) for _ in range(1 << arity))
+    return TruthTable(inputs=inputs, bits=bits, name=name)
+
+
+# ----------------------------------------------------------------------
+# Core decomposition behaviour
+# ----------------------------------------------------------------------
+def test_narrow_function_is_returned_unchanged():
+    table = random_table(4, seed=1)
+    function = LEFunction(output_net="z", table=table)
+    result = decompose_function(function, budget=7)
+    assert result.functions == [function]
+    assert result.reused_nets == []
+
+
+@pytest.mark.parametrize("arity,seed", [(8, 2), (9, 3), (10, 4)])
+def test_shannon_decomposition_is_equivalent(arity, seed):
+    table = random_table(arity, seed)
+    stats = DecompositionStats()
+    result = decompose_function(
+        LEFunction(output_net="z", table=table), budget=7, stats=stats
+    )
+    assert all(f.arity <= 7 for f in result.functions)
+    assert result.final.output_net == "z"
+    assert all(f.role == DECOMPOSITION_ROLE for f in result.intermediates)
+    assert stats.functions_decomposed == 1
+    assert stats.intermediate_functions == len(result.intermediates) > 0
+
+    rng = random.Random(seed + 100)
+    for _ in range(64):
+        assignment = {name: rng.randint(0, 1) for name in table.inputs}
+        assert evaluate_network(result.functions, assignment) == table.evaluate(
+            assignment
+        )
+
+
+def test_disjoint_support_extraction_fires_and_is_equivalent():
+    # f = AND(i0..i4) XOR OR(i5..i9): the i0..i4 window has column
+    # multiplicity 2, so one synthetic net replaces five inputs.
+    inputs = tuple(f"i{index}" for index in range(10))
+
+    def f(*values):
+        return int(all(values[:5])) ^ int(any(values[5:]))
+
+    table = TruthTable.from_function(inputs, f, name="and_xor_or")
+    stats = DecompositionStats()
+    result = decompose_function(
+        LEFunction(output_net="z", table=table), budget=7, stats=stats
+    )
+    assert stats.disjoint_extractions >= 1
+    assert stats.shannon_splits == 0  # structure found, no cofactoring needed
+    assert all(f_.arity <= 7 for f_ in result.functions)
+    for row in range(1 << 10):
+        assignment = {name: (row >> pos) & 1 for pos, name in enumerate(inputs)}
+        assert evaluate_network(result.functions, assignment) == table.evaluate(
+            assignment
+        )
+
+
+def test_unabsorption_restores_candidate_cone_net():
+    # The wide table is h with an inner cone g absorbed: g = AND(i4..i7) on
+    # net "m".  Supplying g as a candidate must restore "m" as an input
+    # instead of synthesising new nets.
+    cone = TruthTable.from_function(("i4", "i5", "i6", "i7"), lambda *v: all(v), name="g")
+    outer = TruthTable.from_function(
+        ("i0", "i1", "i2", "i3", "m"), lambda a, b, c, d, m: (a & b) | (c ^ d) | m
+    )
+    wide = outer.compose({"m": cone})
+    assert wide.arity == 8
+    stats = DecompositionStats()
+    result = decompose_function(
+        LEFunction(output_net="z", table=wide),
+        budget=7,
+        stats=stats,
+        candidates={"m": cone},
+    )
+    assert stats.resubstitutions == 1
+    assert result.reused_nets == ["m"]
+    assert result.intermediates == []  # nothing synthetic was needed
+    assert "m" in result.final.input_nets
+    assert result.final.table.equivalent(outer)
+
+
+def test_unabsorption_handles_complemented_cone():
+    # The extraction normalises g by first-seen column, which can be the
+    # complement of the absorbed cone; the rewritten h must compensate so the
+    # original cone output still drives the restored net.
+    cone = TruthTable.from_function(("i4", "i5", "i6", "i7"), lambda *v: not all(v))
+    outer = TruthTable.from_function(
+        ("i0", "i1", "i2", "i3", "m"), lambda a, b, c, d, m: (a ^ b) | (c & d & m)
+    )
+    wide = outer.compose({"m": cone})
+    result = decompose_function(
+        LEFunction(output_net="z", table=wide), budget=7, candidates={"m": cone}
+    )
+    assert result.reused_nets == ["m"]
+    assert result.final.table.equivalent(outer)
+
+
+def test_feedback_function_splits_on_its_own_output_first():
+    # A 9-input Muller-C-style function (8 data + feedback): the final LUT
+    # must keep the feedback pin and every intermediate must be combinational.
+    inputs = tuple(f"d{index}" for index in range(8)) + ("z",)
+
+    def c_next(*values):
+        data, previous = values[:-1], values[-1]
+        if all(data):
+            return 1
+        if not any(data):
+            return 0
+        return previous
+
+    table = TruthTable.from_function(inputs, c_next, name="wide_c")
+    result = decompose_function(LEFunction(output_net="z", table=table), budget=7)
+    assert result.final.has_feedback
+    assert all(not f.has_feedback for f in result.intermediates)
+    assert all("z" not in f.input_nets for f in result.intermediates)
+    assert all(f.arity <= 7 for f in result.functions)
+    rng = random.Random(7)
+    for _ in range(128):
+        assignment = {name: rng.randint(0, 1) for name in inputs}
+        assert evaluate_network(result.functions, assignment) == table.evaluate(
+            assignment
+        )
+
+
+def test_budget_below_mux_width_raises():
+    table = random_table(5, seed=9)
+    with pytest.raises(DecompositionError):
+        decompose_function(LEFunction(output_net="z", table=table), budget=2)
+
+
+def test_net_namer_avoids_existing_and_repeats():
+    namer = NetNamer(["z__d0", "z"])
+    first = namer.fresh("z")
+    second = namer.fresh("z")
+    assert first == "z__d1" and second == "z__d2"
+    assert len({first, second}) == 2
+
+
+# ----------------------------------------------------------------------
+# Coalescing post-pass
+# ----------------------------------------------------------------------
+def test_coalesce_merges_only_decomposition_les():
+    params = PLBParams()
+    shared = tuple(f"i{index}" for index in range(5))
+    decomp = [
+        MappedLE(
+            name=f"le_d{index}",
+            functions=[
+                LEFunction(
+                    output_net=f"d{index}",
+                    table=random_table(5, seed=20 + index).rename(
+                        dict(zip(tuple(f"i{k}" for k in range(5)), shared))
+                    ),
+                    role=DECOMPOSITION_ROLE,
+                )
+            ],
+        )
+        for index in range(3)
+    ]
+    regular = MappedLE(
+        name="le_z",
+        functions=[LEFunction(output_net="z", table=random_table(4, seed=30))],
+    )
+    result = coalesce_decomposition_les([regular] + decomp, params)
+    assert regular in result  # untouched
+    merged = [le for le in result if le is not regular]
+    # Three functions over the same five inputs share one LUT7-3.
+    assert len(merged) == 1
+    assert len(merged[0].functions) == 3
+    assert merged[0].fits(params)
+    total = sum(len(le.functions) for le in result)
+    assert total == 4  # nothing lost, nothing duplicated
+
+
+def test_coalesce_respects_le_budget():
+    params = PLBParams()
+    # Disjoint supports: merging any two would need 10 > 7 LUT inputs.
+    les = [
+        MappedLE(
+            name=f"le_d{index}",
+            functions=[
+                LEFunction(
+                    output_net=f"d{index}",
+                    table=TruthTable.from_function(
+                        tuple(f"i{index}_{k}" for k in range(5)), lambda *v: any(v)
+                    ),
+                    role=DECOMPOSITION_ROLE,
+                )
+            ],
+        )
+        for index in range(3)
+    ]
+    result = coalesce_decomposition_les(les, params)
+    assert len(result) == 3
+    assert all(le.fits(params) for le in result)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: decomposed mappings vs the undecomposed netlist
+# ----------------------------------------------------------------------
+def test_decomposed_multiplier_simulates_identically_to_gate_netlist():
+    circuit = build_circuit("qdi_multiplier_2x2")
+    design = template_map(circuit)
+    assert design.metadata["decomposition"]["functions_decomposed"] == 8
+    mapped_sim = simulate_mapped_design(design)
+    gate_sim = GateLevelSimulator(circuit.netlist)
+    a, b = circuit.channel("a"), circuit.channel("b")
+    outputs = list(design.primary_outputs)
+
+    for a_value in range(4):
+        for b_value in range(4):
+            valid = {**a.encode(a_value), **b.encode(b_value)}
+            neutral = {**a.neutral(), **b.neutral()}
+            for phase in (valid, neutral):
+                for sim in (mapped_sim, gate_sim):
+                    sim.set_inputs(phase)
+                    sim.run()
+                assert {net: mapped_sim.value(net) for net in outputs} == {
+                    net: gate_sim.value(net) for net in outputs
+                }, f"divergence for a={a_value} b={b_value}"
+
+
+def _wide_cell_netlist(arity=10):
+    """A netlist whose single cell is wider than the LUT budget."""
+    pins = tuple(f"x{index}" for index in range(arity))
+
+    def threshold(*values):
+        return int(sum(values) >= (arity // 2))
+
+    cell_type = CellType(
+        name=f"WIDE{arity}",
+        inputs=pins,
+        outputs=("z",),
+        tables={"z": TruthTable.from_function(pins, threshold, name="threshold")},
+    )
+    netlist = Netlist(f"wide{arity}", library=STANDARD_LIBRARY)
+    nets = tuple(f"i{index}" for index in range(arity))
+    for net in nets:
+        netlist.add_port(net, PortDirection.INPUT)
+    netlist.add_port("z", PortDirection.OUTPUT)
+    connections = dict(zip(pins, nets))
+    connections["z"] = "z"
+    netlist.add_cell("u_wide", cell_type, connections)
+    return netlist, nets
+
+
+def test_decomposed_generic_map_of_wide_function_is_equivalent():
+    from repro.cad.techmap import generic_map
+
+    netlist, nets = _wide_cell_netlist(10)
+    design = generic_map(netlist)
+    assert design.validate() == []
+    assert design.metadata["decomposition"]["functions_decomposed"] == 1
+    assert all(len(le.lut_input_nets) <= 7 for le in design.les)
+
+    simulator = simulate_mapped_design(design)
+    rng = random.Random(42)
+    vectors = [
+        {net: rng.randint(0, 1) for net in nets} for _ in range(40)
+    ] + [{net: 1 for net in nets}, {net: 0 for net in nets}]
+    for assignment in vectors:
+        simulator.apply_and_settle(assignment)
+        expected = evaluate_combinational(netlist, assignment)["z"]
+        assert simulator.value("z") == expected
+
+
+def test_wide_one_of_n_digit_validity_decomposes():
+    # A 1-of-8 output digit needs an 8-input validity OR on a 7-input LE;
+    # the dedicated validity LE must go through decomposition like the rail
+    # and acknowledge functions do.
+    from repro.asynclogic.channels import Channel
+    from repro.asynclogic.encodings import DualRailEncoding, OneOfNEncoding
+    from repro.styles.base import LogicStyle
+    from repro.styles.qdi import dims_function_block
+
+    circuit = dims_function_block(
+        "wide_digit",
+        input_channels=[Channel("x", 3, DualRailEncoding())],
+        output_channels=[Channel("z", 3, OneOfNEncoding(8))],
+        function=lambda values: {"z": values["x"]},
+        style=LogicStyle.QDI_ONE_OF_FOUR,
+    )
+    design = template_map(circuit)
+    assert design.validate() == []
+    assert all(le.fits(design.params) for le in design.les)
+    validity = [
+        f for le in design.les for f in le.functions if f.role == "validity"
+    ]
+    assert validity and all(f.arity <= 7 for f in validity)
+    assert design.metadata["decomposition"]["functions_decomposed"] >= 1
+
+
+def test_merge_mapped_designs_folds_decomposition_metadata():
+    # Composed circuits (ripple adders, the 4x4 multiplier) must report the
+    # same decomposition counters a monolithic mapping would: the merge folds
+    # the per-part metadata instead of dropping it.
+    from repro.circuits.adders import qdi_ripple_adder
+    from repro.circuits.multiplier import qdi_multiplier_4x4
+
+    small = PLBParams(le=LEParams(lut_inputs=4, lut_outputs=3))
+    adder = qdi_ripple_adder(2, params=small)
+    stats = adder.mapped.metadata["decomposition"]
+    assert stats["functions_decomposed"] == 8  # 4 rails per slice, 2 slices
+    assert stats["intermediate_functions"] > 0
+
+    multiplier = qdi_multiplier_4x4()
+    stats = multiplier.mapped.metadata["decomposition"]
+    assert stats["functions_decomposed"] == 32  # 8 rails per 2x2 block
+    assert stats["max_arity_seen"] == 9
+
+
+def test_decomposed_small_le_adder_packs_and_validates():
+    # A 4-input LUT cannot host the full adder's 7-input rail functions; the
+    # mapper must decompose instead of rejecting, and the result must pack.
+    from repro.circuits.fulladder import qdi_full_adder
+
+    params = PLBParams(le=LEParams(lut_inputs=4, lut_outputs=3))
+    design = template_map(qdi_full_adder(), params)
+    # All four 7-input rail functions split; the 3-input ack C-element fits.
+    assert design.metadata["decomposition"]["functions_decomposed"] == 4
+    assert design.validate() == []
+    pack_design(design, params)
+    assert all(le.fits(params) for plb in design.plbs for le in plb.les)

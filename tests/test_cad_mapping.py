@@ -175,11 +175,37 @@ def test_template_map_requires_metadata():
         template_map(stage)
 
 
-def test_template_map_rejects_too_wide_rail_functions():
-    # An LE with fewer LUT inputs cannot host the 7-input rail functions.
+def test_template_map_decomposes_too_wide_rail_functions():
+    # An LE with fewer LUT inputs cannot host the 7-input rail functions
+    # natively; the mapper decomposes them across synthetic nets instead of
+    # rejecting the circuit, and the mapped design still behaves correctly.
     small = PLBParams(le=LEParams(lut_inputs=4, lut_outputs=3))
+    circuit = qdi_full_adder()
+    design = template_map(circuit, small)
+    assert design.validate() == []
+    assert design.metadata["decomposition"]["intermediate_functions"] > 0
+    assert all(len(le.lut_input_nets) <= 4 for le in design.les)
+
+    simulator = simulate_mapped_design(design)
+    vectors = [(1, 1, 1), (0, 1, 0), (1, 0, 1), (0, 0, 0)]
+    producers = [
+        FourPhaseDualRailProducer(circuit.channel("a"), [v[0] for v in vectors], "ack"),
+        FourPhaseDualRailProducer(circuit.channel("b"), [v[1] for v in vectors], "ack"),
+        FourPhaseDualRailProducer(circuit.channel("cin"), [v[2] for v in vectors], "ack"),
+    ]
+    sums = PassiveDualRailConsumer(circuit.channel("sum"), "ack")
+    carries = PassiveDualRailConsumer(circuit.channel("cout"), "ack")
+    HandshakeHarness(simulator, producers + [sums, carries]).run()
+    expected = [reference_sum_carry(*v) for v in vectors]
+    assert sums.received == [s for s, _ in expected]
+    assert carries.received == [c for _, c in expected]
+
+
+def test_template_map_rejects_degenerate_lut_budget():
+    # Below 3 LUT inputs even the decomposition multiplexers cannot fit.
+    tiny = PLBParams(le=LEParams(lut_inputs=2, lut_outputs=3))
     with pytest.raises(MappingError):
-        template_map(qdi_full_adder(), small)
+        template_map(qdi_full_adder(), tiny)
 
 
 # ----------------------------------------------------------------------

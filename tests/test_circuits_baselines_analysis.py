@@ -8,6 +8,7 @@ from repro.analysis.figures import render_fabric_floorplan, render_figure1_plb, 
 from repro.analysis.tables import format_table
 from repro.baselines.compare import compare_with_sync_baseline, prior_art_table
 from repro.baselines.priorart import prior_art_fpgas, style_support_matrix, styles_supported_count
+from repro.asynclogic.channels import Channel
 from repro.baselines.sync_fpga import SyncFPGAParams, map_to_sync_fpga
 from repro.cad.flow import CadFlow, FlowOptions
 from repro.cad.metrics import filling_ratio
@@ -127,6 +128,34 @@ def test_qdi_multiplier_functional():
         assert value == product
 
 
+def test_qdi_multiplier_4x4_composed_functional():
+    from repro.asynclogic.encodings import DualRailEncoding
+    from repro.circuits.multiplier import qdi_multiplier_4x4
+    from repro.sim.handshake import PassiveDualRailConsumer
+    from repro.sim.lesim import simulate_mapped_design
+
+    bench = qdi_multiplier_4x4()
+    assert bench.mapped.validate() == []
+    simulator = simulate_mapped_design(bench.mapped)
+    vectors = [(15, 15), (9, 13), (0, 7), (5, 11)]
+    ack = bench.metadata["ack_net"]
+    enc = DualRailEncoding()
+    producers = [
+        FourPhaseDualRailProducer(Channel("al", 2, enc), [a & 3 for a, _ in vectors], ack),
+        FourPhaseDualRailProducer(Channel("ah", 2, enc), [a >> 2 for a, _ in vectors], ack),
+        FourPhaseDualRailProducer(Channel("bl", 2, enc), [b & 3 for _, b in vectors], ack),
+        FourPhaseDualRailProducer(Channel("bh", 2, enc), [b >> 2 for _, b in vectors], ack),
+    ]
+    consumers = [
+        PassiveDualRailConsumer(Channel(name, 1, enc), ack)
+        for name in bench.metadata["product_channels"]
+    ]
+    HandshakeHarness(simulator, producers + consumers).run()
+    for index, (a, b) in enumerate(vectors):
+        product = sum(consumers[bit].received[index] << bit for bit in range(8))
+        assert product == a * b
+
+
 def test_qdi_multiplier_limits():
     with pytest.raises(ValueError):
         qdi_multiplier(4)
@@ -150,6 +179,10 @@ def test_circuit_registry():
     registry = circuit_registry()
     assert "qdi_full_adder" in registry
     assert "qdi_ripple_adder_4" in registry
+    # Both multipliers are registered as mappable workloads: decomposition
+    # handles their wide rail functions on the default LE.
+    assert "qdi_multiplier_2x2" in registry
+    assert "qdi_multiplier_4x4" in registry
     circuit = build_circuit("micropipeline_full_adder")
     assert circuit.style is LogicStyle.MICROPIPELINE
     with pytest.raises(KeyError):

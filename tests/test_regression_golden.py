@@ -97,6 +97,31 @@ def test_golden_analysis_only_summary_key_set():
 
 
 # ----------------------------------------------------------------------
+# Wide-function decomposition: multiplier LE/PLB counts and summary keys
+# ----------------------------------------------------------------------
+def test_golden_decomposed_multiplier_counts():
+    # Locks the decomposition result for the 2x2 multiplier: 8 nine-input
+    # rail functions split into 41 intermediates, coalesced onto 24 LEs in
+    # 12 PLBs.  A mapper/decomposer refactor that drifts these numbers must
+    # be deliberate.
+    from repro.circuits.registry import build_circuit
+    from repro.core.params import RoutingParams
+
+    routable = ArchitectureParams(routing=RoutingParams(channel_width=10))
+    result = CadFlow(routable).run(build_circuit("qdi_multiplier_2x2"))
+    summary = result.summary()
+    assert (summary["les"], summary["plbs"]) == (24, 12)
+    assert summary["decomposed_functions"] == 8
+    assert summary["decomposition_intermediates"] == 41
+    assert summary["routing_success"] is True
+    # Decomposition summary keys appear *in addition to* the locked base set.
+    assert set(summary.keys()) == FULL_FLOW_SUMMARY_KEYS | {
+        "decomposed_functions",
+        "decomposition_intermediates",
+    }
+
+
+# ----------------------------------------------------------------------
 # Determinism: placement seed and bitstream
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", [1, 42])

@@ -109,16 +109,53 @@ def test_serial_sweep_matches_direct_flow():
 
 
 def test_sweep_captures_flow_errors_per_point():
-    # The 2x2 QDI multiplier cannot template-map onto the default 7-input LE;
-    # the sweep must record the failure instead of aborting.
-    spec = SweepSpec.build(
-        ["qdi_multiplier_2x2", "qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY
-    )
-    report = SweepRunner().run(spec)
+    # The composed 4x4 multiplier maps but cannot *place* on the default 6x6
+    # fabric; the sweep must record the failure (class + message) per point
+    # instead of aborting.
+    points = [
+        SweepPoint("qdi_multiplier_4x4", ArchitectureParams(), FlowOptions()),
+        SweepPoint("qdi_full_adder", ArchitectureParams(), ANALYSIS_ONLY),
+    ]
+    report = SweepRunner().run(points)
     assert [o.status for o in report.outcomes] == ["error", "ok"]
     failed = report.outcomes[0]
-    assert failed.error is not None and failed.error["type"] == "MappingError"
+    assert failed.error is not None and failed.error["type"] == "PlacementError"
+    assert failed.error["message"]  # class AND message are recorded
     assert report.ok_count == 1 and report.error_count == 1
+
+
+def test_multiplier_decomposes_and_sweeps_successfully():
+    # The 2x2 multiplier's 9-input rail functions used to be a hard
+    # MappingError; wide-function decomposition makes the full registry
+    # sweepable.  On a channel-width-10 fabric the whole flow succeeds.
+    from repro.core.params import RoutingParams
+
+    routable = ArchitectureParams(routing=RoutingParams(channel_width=10))
+    report = SweepRunner().run(
+        SweepSpec.build(["qdi_multiplier_2x2"], routable, FlowOptions())
+    )
+    outcome = report.outcomes[0]
+    assert outcome.ok
+    assert outcome.summary["decomposed_functions"] == 8
+    assert outcome.summary["decomposition_intermediates"] > 0
+    assert outcome.summary["routing_success"] is True
+    assert outcome.summary["bitstream_bits_set"] > 0
+
+
+def test_mapping_errors_are_recorded_but_never_cached(tmp_path):
+    # A MappingError is exactly what a mapper fix changes: replaying it from
+    # the cache would hide the fix, so it must be re-attempted every run.
+    from repro.core.params import LEParams, PLBParams
+
+    wide_le = ArchitectureParams(plb=PLBParams(le=LEParams(lut_inputs=10)))
+    spec = SweepSpec.build(["qdi_ripple_adder_2"], wide_le, ANALYSIS_ONLY)
+    store = SweepResultStore(tmp_path)
+    report = SweepRunner(store=store).run(spec)
+    assert report.outcomes[0].status == "error"
+    assert report.outcomes[0].error["type"] == "MappingError"
+    assert len(store) == 0  # not cached ...
+    rerun = SweepRunner(store=store).run(spec)
+    assert rerun.cache_misses == 1  # ... so the rerun re-attempts the point
 
 
 def test_premapped_circuit_rejected_on_mismatched_plb_params():
@@ -196,6 +233,52 @@ def test_unknown_circuit_is_an_error_outcome_and_never_cached(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Code-fingerprint cache keys: results are addressed by the code semantics
+# ----------------------------------------------------------------------
+def test_code_fingerprint_changes_when_sources_change(tmp_path):
+    from repro.fingerprint import hash_sources
+
+    module = tmp_path / "mapper.py"
+    module.write_text("BUDGET = 7\n", encoding="utf-8")
+    before = hash_sources([module])
+    assert before == hash_sources([module])  # stable across calls
+    module.write_text("BUDGET = 8\n", encoding="utf-8")
+    assert hash_sources([module]) != before
+
+
+def test_sweep_key_embeds_code_fingerprint(monkeypatch):
+    point = SweepPoint("qdi_full_adder", ArchitectureParams(), ANALYSIS_ONLY)
+    original = point.key()
+    assert point.key() == original  # deterministic within one code state
+    import repro.sweep.spec as spec_module
+
+    monkeypatch.setattr(spec_module, "code_fingerprint", lambda: "simulated-edit")
+    assert point.key() != original
+
+
+def test_store_migration_mapper_change_misses_old_entry(tmp_path, monkeypatch):
+    # The headline bugfix: a cached record must become unreachable as soon as
+    # the code that produced it changes, so a mapper fix re-executes the
+    # point instead of replaying the pre-fix result.
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+    store = SweepResultStore(tmp_path)
+    first = SweepRunner(store=store, workers=1).run(spec)
+    assert first.cache_misses == 1
+    warm = SweepRunner(store=store, workers=1).run(spec)
+    assert warm.cache_hits == 1 and warm.flow_executions == 0
+
+    import repro.sweep.spec as spec_module
+
+    monkeypatch.setattr(spec_module, "code_fingerprint", lambda: "post-fix-code")
+    after_edit = SweepRunner(store=store, workers=1).run(spec)
+    assert after_edit.cache_hits == 0
+    assert after_edit.flow_executions == 1  # the old entry was missed
+    # Both generations coexist on disk; stats() exposes the retired records.
+    assert store.stats()["records"] == 2
+    assert store.stats()["bytes"] > 0
+
+
+# ----------------------------------------------------------------------
 # Runner: parallel == serial, cache makes reruns free (acceptance criterion)
 # ----------------------------------------------------------------------
 def test_parallel_full_registry_sweep_matches_serial_and_caches(tmp_path):
@@ -230,10 +313,12 @@ def test_cache_shared_between_serial_and_parallel_runners(tmp_path):
 # Reporters
 # ----------------------------------------------------------------------
 def test_reporters_render_all_outcomes(tmp_path):
-    spec = SweepSpec.build(
-        ["qdi_full_adder", "qdi_multiplier_2x2"], ArchitectureParams(), ANALYSIS_ONLY
-    )
-    report = SweepRunner().run(spec)
+    points = [
+        SweepPoint("qdi_full_adder", ArchitectureParams(), ANALYSIS_ONLY),
+        # Maps (decomposition) but does not place on the default fabric.
+        SweepPoint("qdi_multiplier_4x4", ArchitectureParams(), FlowOptions()),
+    ]
+    report = SweepRunner().run(points)
 
     text = format_report(report)
     assert "qdi_full_adder" in text and "cache_hits=0" in text
