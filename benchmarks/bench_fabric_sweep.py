@@ -55,6 +55,30 @@ def test_channel_width_sweep(benchmark):
     assert all(isinstance(row["wirelength"], int) for row in rows)
 
 
+def test_incremental_reroute_channel_width_sweep(benchmark, tmp_path):
+    # Channel-width exploration with a result store: placement depends on
+    # none of the routing knobs, so every point after the first reuses the
+    # cached placement and only re-routes (the incremental re-route path).
+    architectures = [
+        ArchitectureParams(width=5, height=5, routing=RoutingParams(channel_width=width))
+        for width in (8, 10, 12)
+    ]
+    spec = SweepSpec.build(
+        ["qdi_full_adder"], architectures, FlowOptions(generate_bitstream=False)
+    )
+
+    def sweep():
+        return SweepRunner(store=tmp_path / "cache").run(spec)
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(report.rows()))
+    hits = [outcome.summary["placement_cache_hit"] for outcome in report.outcomes]
+    assert hits[0] is False and all(hits[1:])  # one placement, N-1 re-routes
+    costs = {outcome.summary["placement_cost"] for outcome in report.outcomes}
+    assert len(costs) == 1  # the shared placement really is the same one
+
+
 def test_grid_size_scaling(benchmark):
     def sweep():
         return [fabric_statistics(ArchitectureParams(width=w, height=h)) for w, h in GRIDS]

@@ -8,9 +8,14 @@ each, so the examples and quick interactive experiments stay short:
   styles in one table.
 * :func:`run_flow` -- run the full CAD flow on any styled circuit.
 * :func:`run_sweep` -- run a (circuit × architecture × options) grid through
-  the batch sweep engine, optionally parallel and cached.
+  the batch sweep engine: pluggable executor backends, content-addressed
+  result caching, and incremental re-route from cached placements.
 * :func:`simulate_circuit` -- push a token sequence through a QDI or
   micropipeline full adder (gate level or mapped) and return the results.
+
+The same sweeps are available from the shell as ``repro-sweep``
+(:mod:`repro.cli`); ``docs/sweep.md`` and ``docs/flow.md`` are the longer
+walk-throughs.
 """
 
 from __future__ import annotations
@@ -74,15 +79,40 @@ def run_sweep(
     options: Iterable[FlowOptions] | FlowOptions | None = None,
     workers: int = 1,
     cache_dir: str | os.PathLike[str] | None = None,
+    executor: str | None = None,
+    placement_cache: bool = True,
 ) -> SweepReport:
-    """Run a sweep grid through the batch engine.
+    """Run a (circuit × architecture × options) grid through the batch engine.
 
-    ``circuits`` are registry names (``None`` sweeps the full registry);
-    ``architectures`` / ``options`` may be single values or iterables and
-    default to the reference architecture with default flow options.
-    ``workers > 1`` fans flow executions out over a process pool, and
-    ``cache_dir`` enables the content-addressed result store so repeated
-    sweeps are near-free.
+    Parameters
+    ----------
+    circuits:
+        Registry names (see :func:`repro.circuits.registry.circuit_registry`);
+        ``None`` sweeps the full registry.
+    architectures, options:
+        Grid axes; single values or iterables, defaulting to the reference
+        architecture with default flow options.
+    workers:
+        Pool size for the parallel backends; without an explicit ``executor``,
+        ``workers > 1`` selects the process backend and ``<= 1`` runs serial.
+    cache_dir:
+        Directory of the content-addressed result store.  Repeated sweeps are
+        served from it, and successful placements are cached alongside the
+        summaries so a routing-only option change re-routes without
+        re-placing (the summary then carries ``placement_cache_hit``).
+    executor:
+        Backend name -- ``"serial"``, ``"thread"``, ``"process"`` or anything
+        registered via :func:`repro.sweep.register_executor`.
+    placement_cache:
+        Set ``False`` to disable placement caching / incremental re-route
+        while keeping the summary cache.
+
+    Returns
+    -------
+    SweepReport
+        Per-point outcomes (:meth:`~repro.sweep.SweepReport.rows`,
+        :meth:`~repro.sweep.SweepReport.summaries`) plus cache hit/miss
+        counters (:meth:`~repro.sweep.SweepReport.stats`).
     """
     if circuits is None:
         spec = SweepSpec.full_registry(architectures, options)
@@ -92,7 +122,13 @@ def run_sweep(
             architectures if architectures is not None else ArchitectureParams(),
             options,
         )
-    return SweepRunner(store=cache_dir, workers=workers).run(spec)
+    runner = SweepRunner(
+        store=cache_dir,
+        workers=workers,
+        executor=executor,
+        placement_cache=placement_cache,
+    )
+    return runner.run(spec)
 
 
 def reproduce_filling_ratios(

@@ -4,6 +4,21 @@
 routing, timing analysis, metric extraction and bitstream generation -- and
 returns a :class:`FlowResult` that the examples, benchmarks and experiments
 consume.
+
+Invariants the sweep engine builds on:
+
+* :class:`FlowOptions` is a **frozen** dataclass: option sets are hashable,
+  usable as grid axes, and cannot drift after a sweep key was computed from
+  them.
+* ``FlowOptions.to_dict()`` / ``from_dict()`` round-trip exactly and feed
+  ``stable_hash()`` (see :class:`repro.core.params.SerializableParams`), so
+  the same options produce the same content-addressed cache key in every
+  process and session.
+* The flow is **deterministic**: given the same circuit, architecture and
+  options (including ``placement_seed``), every run produces bit-identical
+  placements, routings and bitstreams.  This is what makes flow summaries
+  cacheable and lets :meth:`CadFlow.run` accept an externally cached
+  placement (the incremental re-route path) without changing the result.
 """
 
 from __future__ import annotations
@@ -65,6 +80,10 @@ class FlowResult:
     bitstream: Bitstream | None = None
     configured_plbs: dict[str, ConfiguredPLB] = field(default_factory=dict)
     packing: dict[str, object] = field(default_factory=dict)
+    #: ``True`` when the placement was served from the sweep engine's
+    #: placement cache, ``False`` when a cache was consulted but missed,
+    #: ``None`` when no placement cache was involved (plain flow runs).
+    placement_cache_hit: bool | None = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -75,6 +94,36 @@ class FlowResult:
         This is the contract consumed by the sweep engine: the dict contains
         only JSON-serializable scalars, so it crosses process boundaries and
         lands in the on-disk result store unchanged.
+
+        Key glossary (keys appear only when the producing step ran):
+
+        ``circuit``, ``style``
+            Mapped design name and logic style (``None`` for mixed netlists).
+        ``les``, ``plbs``, ``pdes``
+            Logic elements, packed PLBs and programmable delay elements used.
+        ``decomposed_functions``, ``decomposition_intermediates``
+            Only when wide-function decomposition fired: how many over-budget
+            functions were split and how many synthetic intermediates that
+            introduced.
+        ``filling_ratio``, ``filling_ratio_per_plb``
+            The paper's Section 5 metric: fraction of LE (resp. PLB) resources
+            the mapping actually uses.
+        ``le_occupancy``
+            Packing quality: mean fraction of each LE's LUT capacity in use.
+        ``placement_cost``
+            Final half-perimeter wirelength of the annealed placement.
+        ``placement_cache_hit``
+            Only on sweep runs with a placement cache: ``True`` when the
+            placement was reused from the cache (incremental re-route),
+            ``False`` when it was computed and stored this run.
+        ``routed_nets``, ``total_wirelength``, ``routing_success``
+            Router outcome; ``routing_success`` is ``False`` when congestion
+            remained after ``router_max_iterations``.
+        ``max_net_delay_ps``, ``le_levels``, ``forward_latency_ps``,
+        ``cycle_time_ps``
+            Timing report (see :mod:`repro.cad.timing`).
+        ``bitstream_bits_set``, ``bitstream_bits_total``
+            Configuration bits programmed vs available on the fabric.
         """
         data: dict[str, object] = {
             "circuit": self.circuit_name,
@@ -96,6 +145,10 @@ class FlowResult:
             data["le_occupancy"] = round(float(self.packing.get("le_occupancy", 0.0)), 4)
         if self.placement is not None:
             data["placement_cost"] = round(self.placement.cost, 2)
+        if self.placement_cache_hit is not None:
+            # Only present on sweep runs with a placement cache, so plain
+            # flows keep their historical key set.
+            data["placement_cache_hit"] = self.placement_cache_hit
         if self.routing is not None:
             data["routed_nets"] = len(self.routing.routed)
             data["total_wirelength"] = self.routing.total_wirelength
@@ -172,7 +225,11 @@ class CadFlow:
             return generic_map(circuit.netlist, self.architecture.plb, style=circuit.style)
         return generic_map(circuit, self.architecture.plb)
 
-    def run(self, circuit: StyledCircuit | Netlist | MappedDesign | object) -> FlowResult:
+    def run(
+        self,
+        circuit: StyledCircuit | Netlist | MappedDesign | object,
+        placement: Placement | None = None,
+    ) -> FlowResult:
         """Execute mapping → packing → placement → routing → analysis.
 
         Besides styled circuits and raw netlists this also accepts an already
@@ -183,6 +240,14 @@ class CadFlow:
         from its gate-level circuit when one is attached, and rejected
         otherwise -- silently analysing a design mapped for a different LE
         would report (and cache) numbers for the wrong architecture.
+
+        ``placement`` injects an externally computed (typically cached)
+        placement: when it covers exactly the mapped design on this fabric,
+        the annealing step is skipped and routing/bitgen run on the injected
+        placement -- the **incremental re-route** path used by the sweep
+        engine when only routing-side options changed.  An injected placement
+        that does not match the design is discarded (the flow re-places and
+        reports ``placement_cache_hit=False``) rather than routed blindly.
         """
         if isinstance(circuit, MappedDesign):
             mapped = self._check_premapped(circuit, circuit.name)
@@ -211,12 +276,18 @@ class CadFlow:
         result.filling = filling_ratio(mapped)
 
         if self.options.run_placement:
-            result.placement = place_design(
-                mapped,
-                self.fabric,
-                seed=self.options.placement_seed,
-                effort=self.options.placement_effort,
-            )
+            if placement is not None and placement.matches_design(mapped, self.fabric):
+                result.placement = placement
+                result.placement_cache_hit = True
+            else:
+                result.placement = place_design(
+                    mapped,
+                    self.fabric,
+                    seed=self.options.placement_seed,
+                    effort=self.options.placement_effort,
+                )
+                if placement is not None:
+                    result.placement_cache_hit = False
 
         if self.options.run_routing and result.placement is not None:
             result.routing = route_design(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.cad.lemap import MappedDesign
 from repro.core.fabric import Fabric, IOPad
@@ -25,6 +26,11 @@ class Placement:
 
     ``plb_sites`` maps packed-PLB names to ``(x, y)`` tile coordinates;
     ``io_sites`` maps primary input/output net names to IO pads.
+
+    Placements serialize (:meth:`to_dict` / :meth:`from_dict`) so the sweep
+    engine can cache them on disk and re-inject them into
+    :meth:`repro.cad.flow.CadFlow.run` — the incremental re-route path: a
+    routing-only parameter change reuses the placement instead of re-annealing.
     """
 
     plb_sites: dict[str, tuple[int, int]] = field(default_factory=dict)
@@ -38,6 +44,66 @@ class Placement:
 
     def pad_of(self, net: str) -> IOPad:
         return self.io_sites[net]
+
+    # ------------------------------------------------------------------
+    # Serialization (for the sweep engine's placement cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable rendering (inverse of :meth:`from_dict`)."""
+        return {
+            "plb_sites": {name: list(site) for name, site in self.plb_sites.items()},
+            "io_sites": {
+                net: {"side": pad.side, "position": pad.position, "index": pad.index}
+                for net, pad in self.io_sites.items()
+            },
+            "cost": self.cost,
+            "iterations": self.iterations,
+            "initial_cost": self.initial_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Placement":
+        plb_sites = {
+            str(name): (int(site[0]), int(site[1]))
+            for name, site in dict(data["plb_sites"]).items()
+        }
+        io_sites = {
+            str(net): IOPad(
+                side=str(pad["side"]), position=int(pad["position"]), index=int(pad["index"])
+            )
+            for net, pad in dict(data["io_sites"]).items()
+        }
+        return cls(
+            plb_sites=plb_sites,
+            io_sites=io_sites,
+            cost=float(data.get("cost", 0.0)),
+            iterations=int(data.get("iterations", 0)),
+            initial_cost=float(data.get("initial_cost", 0.0)),
+        )
+
+    def matches_design(self, design: MappedDesign, fabric: Fabric) -> bool:
+        """Whether this placement covers exactly *design* on *fabric*.
+
+        Used as a safety check before reusing a cached placement: the cache
+        key already encodes everything placement depends on, so a mismatch
+        means a corrupt or mis-keyed record — the flow then falls back to
+        placing from scratch rather than routing a wrong placement.
+        """
+        if {plb.name for plb in design.plbs} != set(self.plb_sites):
+            return False
+        io_nets = set(design.primary_inputs) | set(design.primary_outputs)
+        if io_nets != set(self.io_sites):
+            return False
+        sites = set(fabric.plb_sites())
+        if not all(site in sites for site in self.plb_sites.values()):
+            return False
+        if len(set(self.plb_sites.values())) != len(self.plb_sites):
+            return False  # two PLBs on one tile: physically invalid
+        pad_names = {pad.name for pad in fabric.io_pads()}
+        if not all(pad.name in pad_names for pad in self.io_sites.values()):
+            return False
+        used_pads = [pad.name for pad in self.io_sites.values()]
+        return len(set(used_pads)) == len(used_pads)
 
 
 def _build_net_terminals(design: MappedDesign) -> dict[str, list[str]]:

@@ -1,0 +1,280 @@
+"""``repro-sweep``: the command-line interface to the batch sweep engine.
+
+Five subcommands over :func:`repro.api.run_sweep` and
+:class:`repro.sweep.SweepResultStore`:
+
+* ``run``    -- execute a (circuit × architecture × options) grid, optionally
+  cached, parallel and exported to CSV/JSON;
+* ``stats``  -- store observability: record counts, on-disk bytes, and how
+  many records belong to retired code fingerprints;
+* ``gc``     -- delete retired-fingerprint records (``--keep-latest N``
+  spares the N most recent retired generations; ``--dry-run`` previews);
+* ``export`` -- render a populated store to CSV / JSON / a text table
+  without re-running anything;
+* ``clear``  -- delete every record.
+
+Installed as a console script by ``setup.py``; also runnable without
+installation as ``python -m repro.cli``.  See ``docs/sweep.md`` for a
+walk-through of the cache lifecycle the commands operate on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cad.flow import FlowOptions
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.sweep import (
+    SweepResultStore,
+    available_executors,
+    format_report,
+    format_stats,
+    report_from_records,
+    write_csv,
+    write_json,
+)
+
+
+def _parse_grid(text: str) -> tuple[int, int]:
+    """``"6x6"`` → ``(6, 6)``; raised errors become argparse messages."""
+    try:
+        width, _, height = text.lower().partition("x")
+        return (int(width), int(height))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"grid must look like WIDTHxHEIGHT (e.g. 6x6), got {text!r}"
+        ) from None
+
+
+def _architectures(args: argparse.Namespace) -> list[ArchitectureParams]:
+    """The architecture axis: every grid × every channel width."""
+    grids = args.grid or [(None, None)]
+    widths = args.channel_width or [None]
+    reference = ArchitectureParams()
+    architectures = []
+    for grid in grids:
+        for channel_width in widths:
+            routing = (
+                RoutingParams(channel_width=channel_width)
+                if channel_width is not None
+                else reference.routing
+            )
+            architectures.append(
+                ArchitectureParams(
+                    width=grid[0] if grid[0] is not None else reference.width,
+                    height=grid[1] if grid[1] is not None else reference.height,
+                    routing=routing,
+                )
+            )
+    return architectures
+
+
+def _options(args: argparse.Namespace) -> list[FlowOptions]:
+    """The options axis: one :class:`FlowOptions` per placement seed."""
+    seeds = args.seed or [1]
+    if args.analysis_only:
+        return [
+            FlowOptions(
+                run_placement=False,
+                run_routing=False,
+                generate_bitstream=False,
+                placement_seed=seed,
+            )
+            for seed in seeds
+        ]
+    return [FlowOptions(placement_seed=seed) for seed in seeds]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import api
+
+    report = api.run_sweep(
+        circuits=args.circuit or None,
+        architectures=_architectures(args),
+        options=_options(args),
+        workers=args.workers,
+        cache_dir=args.store,
+        executor=args.executor,
+        placement_cache=not args.no_placement_cache,
+    )
+    if args.csv:
+        print(f"wrote {write_csv(report, args.csv)}")
+    if args.json:
+        print(f"wrote {write_json(report, args.json)}")
+    if args.quiet:
+        print(format_stats(report))
+    else:
+        print(format_report(report))
+    if args.strict and report.error_count:
+        return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = SweepResultStore(args.store).stats()
+    for key, value in stats.items():
+        print(f"{key:>20}: {value}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    outcome = SweepResultStore(args.store).gc(
+        keep_latest=args.keep_latest, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {outcome['removed']} retired record(s) "
+        f"({outcome['bytes_freed']} bytes) across "
+        f"{outcome['generations_removed']} generation(s); "
+        f"kept {outcome['kept_current']} current + "
+        f"{outcome['kept_retired']} spared retired record(s)"
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.fingerprint import code_fingerprint
+
+    store = SweepResultStore(args.store)
+    report = report_from_records(
+        store.records(),
+        current_fingerprint=None if args.all_generations else code_fingerprint(),
+    )
+    if not report.outcomes:
+        print("store holds no flow records" + (
+            "" if args.all_generations else " for the current code fingerprint"
+        ))
+        return 1
+    wrote_file = False
+    if args.csv:
+        print(f"wrote {write_csv(report, args.csv)}")
+        wrote_file = True
+    if args.json:
+        print(f"wrote {write_json(report, args.json)}")
+        wrote_file = True
+    if args.text or not wrote_file:
+        print(format_report(report))
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    removed = SweepResultStore(args.store).clear()
+    print(f"removed {removed} record(s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run, cache and inspect CAD-flow sweeps of the "
+        "multi-style asynchronous FPGA reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="execute a sweep grid (cached when --store is given)"
+    )
+    run.add_argument(
+        "--circuit",
+        action="append",
+        metavar="NAME",
+        help="registry circuit name; repeatable (default: the full registry)",
+    )
+    run.add_argument(
+        "--grid",
+        action="append",
+        type=_parse_grid,
+        metavar="WxH",
+        help="fabric grid size, e.g. 6x6; repeatable (default: the reference 6x6)",
+    )
+    run.add_argument(
+        "--channel-width",
+        action="append",
+        type=int,
+        metavar="N",
+        help="routing channel width; repeatable (default: the reference 8)",
+    )
+    run.add_argument(
+        "--seed",
+        action="append",
+        type=int,
+        metavar="N",
+        help="placement seed; repeatable (default: 1)",
+    )
+    run.add_argument(
+        "--analysis-only",
+        action="store_true",
+        help="skip placement/routing/bitstream (map + pack + metrics only)",
+    )
+    run.add_argument("--workers", type=int, default=1, help="pool size (default: 1)")
+    run.add_argument(
+        "--executor",
+        choices=available_executors(),
+        help="execution backend (default: serial, or process when --workers > 1)",
+    )
+    run.add_argument("--store", metavar="DIR", help="result-store directory (enables caching)")
+    run.add_argument(
+        "--no-placement-cache",
+        action="store_true",
+        help="disable placement caching / incremental re-route",
+    )
+    run.add_argument("--csv", metavar="PATH", help="also write the report as CSV")
+    run.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    run.add_argument("--quiet", action="store_true", help="print only the stats footer")
+    run.add_argument(
+        "--strict", action="store_true", help="exit 1 when any point errored"
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    stats = subparsers.add_parser(
+        "stats", help="record counts, bytes and retired-fingerprint breakdown"
+    )
+    stats.add_argument("--store", metavar="DIR", required=True)
+    stats.set_defaults(handler=_cmd_stats)
+
+    gc = subparsers.add_parser("gc", help="delete retired-fingerprint records")
+    gc.add_argument("--store", metavar="DIR", required=True)
+    gc.add_argument(
+        "--keep-latest",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spare the N most recently written retired generations",
+    )
+    gc.add_argument("--dry-run", action="store_true", help="report without deleting")
+    gc.set_defaults(handler=_cmd_gc)
+
+    export = subparsers.add_parser(
+        "export", help="render the stored flow records without re-running"
+    )
+    export.add_argument("--store", metavar="DIR", required=True)
+    export.add_argument("--csv", metavar="PATH", help="write CSV")
+    export.add_argument("--json", metavar="PATH", help="write JSON")
+    export.add_argument(
+        "--all-generations",
+        action="store_true",
+        help="include retired-fingerprint records (points may then appear "
+        "once per code generation)",
+    )
+    export.add_argument(
+        "--text", action="store_true", help="print the text table (default when no file given)"
+    )
+    export.set_defaults(handler=_cmd_export)
+
+    clear = subparsers.add_parser("clear", help="delete every record in the store")
+    clear.add_argument("--store", metavar="DIR", required=True)
+    clear.set_defaults(handler=_cmd_clear)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

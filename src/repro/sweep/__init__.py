@@ -1,29 +1,62 @@
 """Batch sweep engine: grids of (circuit × architecture × options) flows.
 
-The subsystem has four pieces:
+The subsystem has five pieces:
 
 * :mod:`repro.sweep.spec` -- :class:`SweepPoint` / :class:`SweepSpec`, the
-  declarative description of a sweep grid with stable content hashing;
+  declarative description of a sweep grid with stable content hashing (both
+  the flow-summary key and the placement key embed the code fingerprint, so
+  behaviour changes retire stale records automatically);
 * :mod:`repro.sweep.store` -- :class:`SweepResultStore`, a content-addressed
-  on-disk cache of flow summaries;
-* :mod:`repro.sweep.runner` -- :class:`SweepRunner`, serial or
-  process-parallel execution with cache hit/miss accounting;
-* :mod:`repro.sweep.report` -- CSV / JSON / text reporters.
+  on-disk cache of flow summaries and placements, with fingerprint-aware
+  :meth:`~repro.sweep.store.SweepResultStore.stats` and
+  :meth:`~repro.sweep.store.SweepResultStore.gc`;
+* :mod:`repro.sweep.runner` -- :class:`SweepRunner` over the pluggable
+  :class:`Executor` protocol (``serial`` / ``thread`` / ``process`` backends
+  in-tree, third-party ones via :func:`register_executor`), with cache
+  hit/miss accounting and incremental re-route from cached placements;
+* :mod:`repro.sweep.report` -- CSV / JSON / text reporters;
+* :mod:`repro.cli` -- the ``repro-sweep`` command-line interface over all of
+  the above (``run`` / ``stats`` / ``gc`` / ``export`` / ``clear``).
+
+See ``docs/sweep.md`` for the walk-through.
 """
 
-from repro.sweep.report import format_report, write_csv, write_json
-from repro.sweep.runner import SweepOutcome, SweepReport, SweepRunner
+from repro.sweep.report import format_report, format_stats, write_csv, write_json
+from repro.sweep.runner import (
+    Executor,
+    ProcessExecutor,
+    RunnerConfig,
+    SerialExecutor,
+    SweepOutcome,
+    SweepReport,
+    SweepRunner,
+    ThreadExecutor,
+    available_executors,
+    execute_point,
+    register_executor,
+    report_from_records,
+)
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.store import SweepResultStore
 
 __all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "RunnerConfig",
+    "SerialExecutor",
     "SweepOutcome",
     "SweepPoint",
     "SweepReport",
     "SweepResultStore",
     "SweepRunner",
     "SweepSpec",
+    "ThreadExecutor",
+    "available_executors",
+    "execute_point",
     "format_report",
+    "format_stats",
+    "register_executor",
+    "report_from_records",
     "write_csv",
     "write_json",
 ]

@@ -20,14 +20,18 @@ def _all_columns(rows: list[dict[str, object]]) -> list[str]:
     return columns
 
 
+def format_stats(report: SweepReport) -> str:
+    """The one-line ``[key=value, ...]`` stats footer of a report."""
+    return "[" + ", ".join(f"{key}={value}" for key, value in report.stats().items()) + "]"
+
+
 def format_report(report: SweepReport) -> str:
     """An aligned text table of every outcome plus a stats footer."""
     from repro.analysis.tables import format_table
 
     rows = report.rows()
     table = format_table(rows, columns=_all_columns(rows)) if rows else "(no rows)"
-    stats = ", ".join(f"{key}={value}" for key, value in report.stats().items())
-    return f"{table}\n[{stats}]"
+    return f"{table}\n{format_stats(report)}"
 
 
 def write_csv(report: SweepReport, path: str | os.PathLike[str]) -> Path:

@@ -1,13 +1,35 @@
-"""Serial / process-parallel execution of sweep grids with result caching.
+"""Pluggable execution of sweep grids with result and placement caching.
 
 :class:`SweepRunner` takes a :class:`~repro.sweep.spec.SweepSpec` (or an
 explicit point list), consults the content-addressed
 :class:`~repro.sweep.store.SweepResultStore` for each point, executes the
-misses -- in-process when ``workers <= 1`` (the serial fallback, bit-identical
-to running :class:`~repro.cad.flow.CadFlow` by hand) or across a
-``concurrent.futures`` process pool otherwise -- and returns a
+misses on a named :class:`Executor` backend and returns a
 :class:`SweepReport` with per-point outcomes plus cache hit/miss counters.
 
+Executor backends
+-----------------
+Execution is behind the :class:`Executor` protocol (``submit`` / ``gather`` /
+``shutdown``) so the fan-out strategy is orthogonal to the flow itself.
+Three backends ship in-tree, selected by name through :class:`RunnerConfig`
+(which is deliberately independent of :class:`~repro.cad.flow.FlowOptions`:
+*how* points run never changes *what* they compute):
+
+* ``serial`` -- in-process, bit-identical to running
+  :class:`~repro.cad.flow.CadFlow` by hand; the reference semantics.
+* ``thread`` -- a ``ThreadPoolExecutor``; the flow is pure Python so this
+  buys little for compute-bound sweeps, but is the right backend for
+  I/O-light mostly-cached sweeps (no process spawn or pickling cost).
+* ``process`` -- a ``ProcessPoolExecutor``; true parallelism for cold
+  compute-bound sweeps.  Payloads and records are plain dicts so they
+  pickle cleanly.
+
+Third-party backends (cluster schedulers, job queues) plug in via
+:func:`register_executor`; anything honouring the protocol and calling
+:func:`execute_point` on its workers produces records identical to the
+serial backend.
+
+Failure handling
+----------------
 Flow failures (unroutable architecture, unplaceable design, ...) are captured
 as ``status="error"`` records -- with the exception class and message -- rather
 than aborting the sweep.  Most flow failures are deterministic and therefore
@@ -15,14 +37,27 @@ cacheable; mapping failures are deliberately *not* cached, so re-running a
 sweep after fixing the mapper re-attempts the point instead of replaying the
 stale error (the code-fingerprint cache key would retire the record anyway,
 but an uncached error also survives e.g. a restored store snapshot).
+
+Incremental re-route
+--------------------
+When a store is attached, successful placements are cached under
+:meth:`~repro.sweep.spec.SweepPoint.placement_key`, which hashes only what
+placement depends on (circuit + code fingerprint, fabric geometry, seed,
+effort).  A later point differing only in routing-side options (channel
+width, router iterations, ...) misses the flow-summary cache but *hits* the
+placement cache: the runner injects the stored placement into
+:meth:`CadFlow.run`, which skips annealing and goes straight to routing.
+The summary then carries ``placement_cache_hit`` (``True``/``False``), and —
+because placement is deterministic in its key — the re-routed result is
+bit-identical to a cold run.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepPoint, SweepSpec, as_points
 from repro.sweep.store import SweepResultStore
@@ -33,23 +68,67 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
 
     Module-level and dict-in / dict-out so it pickles cleanly into worker
     processes.  Every failure mode of the flow is folded into the record.
+
+    Besides the :meth:`SweepPoint.to_dict` fields the payload may carry a
+    ``placement_store`` key (a directory path): the worker then consults the
+    placement cache before placing and persists any freshly computed
+    placement after a successful flow.  Store writes are atomic, so parallel
+    workers can share one directory.
     """
     # Imports stay inside the function so worker processes pay them lazily
     # and a broken optional subsystem cannot poison runner import time.
     from repro.cad.flow import CadFlow
+    from repro.cad.place import Placement
     from repro.cad.techmap import MappingError
     from repro.circuits.registry import build_circuit
+    from repro.fingerprint import code_fingerprint
 
-    point = SweepPoint.from_dict(point_data)
+    data = dict(point_data)
+    placement_store_root = data.pop("placement_store", None)
+    point = SweepPoint.from_dict(data)
     record: dict[str, object] = {
         "version": SWEEP_SCHEMA_VERSION,
+        "kind": "flow",
+        "fingerprint": code_fingerprint(),
         "point": point.to_dict(),
         "label": point.label(),
     }
+    placement_store = (
+        SweepResultStore(placement_store_root) if placement_store_root else None
+    )
     try:
         circuit = build_circuit(point.circuit)
         flow = CadFlow(point.architecture, point.options)
-        result = flow.run(circuit)
+
+        injected: Placement | None = None
+        placement_key: str | None = None
+        if placement_store is not None and point.options.run_placement:
+            placement_key = point.placement_key()
+            cached = placement_store.get(placement_key)
+            if cached is not None and cached.get("kind") == "placement":
+                try:
+                    injected = Placement.from_dict(cached["placement"])  # type: ignore[arg-type]
+                except (KeyError, TypeError, ValueError):
+                    injected = None  # corrupt record: fall back to placing
+
+        result = flow.run(circuit, placement=injected)
+
+        if placement_store is not None and point.options.run_placement:
+            if result.placement_cache_hit is None:
+                result.placement_cache_hit = False  # cache consulted, missed
+            if result.placement is not None and not result.placement_cache_hit:
+                placement_store.put(
+                    placement_key,  # type: ignore[arg-type]
+                    {
+                        "version": SWEEP_SCHEMA_VERSION,
+                        "kind": "placement",
+                        "fingerprint": code_fingerprint(),
+                        "circuit": point.circuit,
+                        "seed": point.options.placement_seed,
+                        "placement": result.placement.to_dict(),
+                    },
+                )
+
         record["status"] = "ok"
         record["summary"] = result.summary()
         record["error"] = None
@@ -69,6 +148,142 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
             exc, (OSError, MemoryError, KeyError, MappingError)
         )
     return record
+
+
+# ----------------------------------------------------------------------
+# Executor protocol and in-tree backends
+# ----------------------------------------------------------------------
+@runtime_checkable
+class Executor(Protocol):
+    """How sweep-point payloads get executed (submit / gather / shutdown).
+
+    Implementations receive a picklable function plus one picklable payload
+    per :meth:`submit` call and return an opaque token; :meth:`gather` turns
+    a sequence of tokens back into results **in submission order**;
+    :meth:`shutdown` releases any pool resources (always called, even when a
+    point raised).  Register new backends with :func:`register_executor`.
+    """
+
+    def submit(
+        self, fn: Callable[[Mapping[str, object]], dict[str, object]],
+        payload: Mapping[str, object],
+    ) -> object: ...
+
+    def gather(self, tokens: Sequence[object]) -> list[dict[str, object]]: ...
+
+    def shutdown(self) -> None: ...
+
+
+class SerialExecutor:
+    """In-process execution, one payload at a time, in submission order.
+
+    The reference backend: bit-identical to calling the flow by hand, no
+    pickling, exceptions propagate with their original tracebacks.
+    """
+
+    def submit(self, fn, payload):
+        return (fn, payload)
+
+    def gather(self, tokens):
+        return [fn(payload) for fn, payload in tokens]
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _PoolExecutor:
+    """Shared submit/gather/shutdown over a ``concurrent.futures`` pool."""
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+
+    def submit(self, fn, payload) -> Future:
+        return self._pool.submit(fn, payload)
+
+    def gather(self, tokens):
+        return [token.result() for token in tokens]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadExecutor(_PoolExecutor):
+    """``ThreadPoolExecutor`` backend: cheap fan-out for I/O-light sweeps.
+
+    The flow is CPU-bound pure Python, so threads do not speed up cold
+    sweeps; they shine when most points are served from the store and the
+    remaining work is file I/O, or when payloads are unpicklable.
+    """
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(ThreadPoolExecutor(max_workers=max(1, workers)))
+
+
+class ProcessExecutor(_PoolExecutor):
+    """``ProcessPoolExecutor`` backend: true parallelism for cold sweeps."""
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(ProcessPoolExecutor(max_workers=max(1, workers)))
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How a sweep executes -- independent of what it computes.
+
+    Deliberately separate from :class:`~repro.cad.flow.FlowOptions`: executor
+    choice and worker count never enter cache keys, so the same grid run on
+    any backend shares one store.
+    """
+
+    executor: str = "serial"
+    workers: int = 1
+
+    @classmethod
+    def from_workers(cls, workers: int, executor: str | None = None) -> "RunnerConfig":
+        """The historical ``workers`` contract: ``<= 1`` serial, else process."""
+        workers = max(1, int(workers))
+        if executor is None:
+            executor = "process" if workers > 1 else "serial"
+        return cls(executor=executor, workers=workers)
+
+
+_EXECUTOR_FACTORIES: dict[str, Callable[[RunnerConfig], Executor]] = {}
+
+
+def register_executor(name: str, factory: Callable[[RunnerConfig], Executor]) -> None:
+    """Register an executor backend under *name* (overwrites silently).
+
+    *factory* takes the :class:`RunnerConfig` and returns an object honouring
+    the :class:`Executor` protocol.  This is the hook for third-party cluster
+    or job-queue backends; in-tree names are ``serial``, ``thread`` and
+    ``process``.
+    """
+    _EXECUTOR_FACTORIES[name] = factory
+
+
+def available_executors() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_EXECUTOR_FACTORIES))
+
+
+def check_executor(name: str) -> None:
+    """Raise ``ValueError`` unless *name* is a registered backend."""
+    if name not in _EXECUTOR_FACTORIES:
+        raise ValueError(
+            f"unknown executor {name!r}; "
+            f"registered: {', '.join(available_executors())}"
+        )
+
+
+def create_executor(config: RunnerConfig) -> Executor:
+    """Instantiate the backend *config* names."""
+    check_executor(config.executor)
+    return _EXECUTOR_FACTORIES[config.executor](config)
+
+
+register_executor("serial", lambda config: SerialExecutor())
+register_executor("thread", lambda config: ThreadExecutor(config.workers))
+register_executor("process", lambda config: ProcessExecutor(config.workers))
 
 
 @dataclass
@@ -113,6 +328,7 @@ class SweepReport:
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
+    executor: str = "serial"
     elapsed_s: float = 0.0
 
     @property
@@ -144,8 +360,55 @@ class SweepReport:
             "cache_misses": self.cache_misses,
             "flow_executions": self.flow_executions,
             "workers": self.workers,
+            "executor": self.executor,
             "elapsed_s": round(self.elapsed_s, 3),
         }
+
+
+def report_from_records(
+    records: Iterable[tuple[str, Mapping[str, object]]],
+    current_fingerprint: str | None = None,
+) -> SweepReport:
+    """Rebuild a :class:`SweepReport` from stored flow records.
+
+    This is what ``repro-sweep export`` uses: every readable ``kind="flow"``
+    record (placement records are skipped) becomes a cached outcome, so a
+    populated store can be rendered to CSV/JSON/text without re-running
+    anything.  Records are sorted by label for a stable export order.
+
+    A store spanning a code edit holds several *generations* of the same
+    points; pass *current_fingerprint* to keep only records stamped with it
+    (what the CLI does by default) -- otherwise every generation is included
+    and points can appear once per generation.
+    """
+    report = SweepReport(executor="store")
+    for _key, record in records:
+        if record.get("kind", "flow") != "flow":
+            continue
+        if (
+            current_fingerprint is not None
+            and record.get("fingerprint") != current_fingerprint
+        ):
+            continue
+        point_data = record.get("point")
+        if not isinstance(point_data, Mapping):
+            continue
+        try:
+            point = SweepPoint.from_dict(point_data)
+        except (KeyError, TypeError, ValueError):
+            continue
+        report.outcomes.append(
+            SweepOutcome(
+                point=point,
+                status=str(record.get("status", "error")),
+                summary=record.get("summary"),  # type: ignore[arg-type]
+                error=record.get("error"),  # type: ignore[arg-type]
+                cached=True,
+            )
+        )
+    report.outcomes.sort(key=lambda outcome: outcome.point.label())
+    report.cache_hits = len(report.outcomes)
+    return report
 
 
 class SweepRunner:
@@ -157,19 +420,44 @@ class SweepRunner:
         A :class:`SweepResultStore`, a directory path to open one in, or
         ``None`` to disable caching entirely.
     workers:
-        ``<= 1`` runs every miss in-process (serial fallback); ``> 1`` fans
-        the misses out over a ``ProcessPoolExecutor``.
+        Pool size for the parallel backends.  Without an explicit
+        ``executor`` the historical contract applies: ``<= 1`` runs serial,
+        ``> 1`` selects the process backend.
+    executor:
+        Backend name (``serial`` / ``thread`` / ``process`` or anything
+        registered via :func:`register_executor`); overrides the
+        workers-based default.  A full :class:`RunnerConfig` may be passed
+        instead of the two scalars via ``config``.
+    placement_cache:
+        When a store is attached, also cache placements and re-route
+        incrementally on routing-only option changes (adds the
+        ``placement_cache_hit`` summary key on placement-running sweeps).
+        Disable for summaries bit-identical to store-less runs.
     """
 
     def __init__(
         self,
         store: SweepResultStore | str | None = None,
         workers: int = 1,
+        executor: str | None = None,
+        config: RunnerConfig | None = None,
+        placement_cache: bool = True,
     ) -> None:
         if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
             store = SweepResultStore(store)
         self.store: SweepResultStore | None = store
-        self.workers = max(1, int(workers))
+        if config is None:
+            config = RunnerConfig.from_workers(workers, executor)
+        elif workers != 1 or executor is not None:
+            raise ValueError(
+                "pass either config or the workers/executor scalars, not both"
+            )
+        self.config = config
+        self.placement_cache = placement_cache
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
 
     def run(
         self,
@@ -179,7 +467,8 @@ class SweepRunner:
         """Run every point of the grid, serving repeats from the store."""
         points = as_points(spec_or_points)
         started = time.perf_counter()
-        report = SweepReport(workers=self.workers)
+        check_executor(self.config.executor)  # fail fast even on warm stores
+        report = SweepReport(workers=self.config.workers, executor=self.config.executor)
 
         keys = [point.key() for point in points]
         records: list[dict[str, object] | None] = [None] * len(points)
@@ -187,6 +476,18 @@ class SweepRunner:
         for index, point in enumerate(points):
             cached = self.store.get(keys[index]) if self.store is not None else None
             if cached is not None and cached.get("version") == SWEEP_SCHEMA_VERSION:
+                if not self.placement_cache:
+                    # The record may come from a placement-caching run; strip
+                    # the provenance marker so this runner's summaries stay
+                    # bit-identical to store-less runs, as documented.
+                    summary = cached.get("summary")
+                    if isinstance(summary, dict) and "placement_cache_hit" in summary:
+                        cached = dict(cached)
+                        cached["summary"] = {
+                            key: value
+                            for key, value in summary.items()
+                            if key != "placement_cache_hit"
+                        }
                 records[index] = cached
                 report.cache_hits += 1
             else:
@@ -195,17 +496,63 @@ class SweepRunner:
         if progress is not None:
             progress(
                 f"sweep: {len(points)} points, {report.cache_hits} cached, "
-                f"{report.cache_misses} to run on {self.workers} worker(s)"
+                f"{report.cache_misses} to run on {self.config.executor}"
+                f"[{self.config.workers} worker(s)]"
             )
 
         if miss_indices:
-            miss_payloads = [points[index].to_dict() for index in miss_indices]
-            if self.workers > 1:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    fresh = list(pool.map(execute_point, miss_payloads))
+            placement_store = (
+                str(self.store.root)
+                if self.store is not None and self.placement_cache
+                else None
+            )
+            miss_payloads: list[dict[str, object]] = []
+            for index in miss_indices:
+                payload = points[index].to_dict()
+                if placement_store is not None:
+                    payload["placement_store"] = placement_store
+                miss_payloads.append(payload)
+
+            # Points sharing a placement key must not race: if they all ran
+            # concurrently, each would miss the placement cache, re-anneal,
+            # and record placement_cache_hit=False -- parallel runs would
+            # compute (and cache) different records than serial ones.  So
+            # misses run in two waves: one *leader* per placement key first
+            # (grid order, matching what serial execution would pick), then
+            # everyone else, who now deterministically hit the leader's
+            # cached placement.
+            leader_positions: list[int] = []
+            follower_positions: list[int] = []
+            if placement_store is not None:
+                seen_placement_keys: set[str] = set()
+                for position, index in enumerate(miss_indices):
+                    point = points[index]
+                    if point.options.run_placement:
+                        placement_key = point.placement_key()
+                        if placement_key in seen_placement_keys:
+                            follower_positions.append(position)
+                            continue
+                        seen_placement_keys.add(placement_key)
+                    leader_positions.append(position)
             else:
-                fresh = [execute_point(payload) for payload in miss_payloads]
+                leader_positions = list(range(len(miss_indices)))
+
+            fresh: list[dict[str, object] | None] = [None] * len(miss_indices)
+            backend = create_executor(self.config)
+            try:
+                for wave in (leader_positions, follower_positions):
+                    if not wave:
+                        continue
+                    tokens = [
+                        backend.submit(execute_point, miss_payloads[position])
+                        for position in wave
+                    ]
+                    for position, record in zip(wave, backend.gather(tokens)):
+                        fresh[position] = record
+            finally:
+                backend.shutdown()
             for index, record in zip(miss_indices, fresh):
+                assert record is not None  # every position is in exactly one wave
                 records[index] = record
                 if self.store is not None and record.get("cacheable", True):
                     self.store.put(keys[index], record)

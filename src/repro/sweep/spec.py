@@ -61,6 +61,36 @@ class SweepPoint:
         payload["code_fingerprint"] = code_fingerprint()
         return stable_digest(payload)
 
+    def placement_key(self) -> str:
+        """The content-address of this point's *placement* in the result store.
+
+        Placement depends on strictly less than the full point: the circuit
+        (and the code that maps it, folded in via the fingerprint), the fabric
+        *geometry* -- grid size, PLB parameters, IO pads per side -- the
+        annealing seed/effort and the mapping mode.  Routing-side knobs
+        (channel width, connection/switch-box topology, router iterations,
+        timing model, bitstream generation) are deliberately **excluded**:
+        two points differing only in those share one placement record, which
+        is what lets the runner re-route an options-only change without
+        re-placing (incremental re-route).
+        """
+        arch = self.architecture
+        payload = {
+            "kind": "placement",
+            "circuit": self.circuit,
+            "code_fingerprint": code_fingerprint(),
+            "fabric": {
+                "width": arch.width,
+                "height": arch.height,
+                "plb": arch.plb.to_dict(),
+                "io_pads_per_side": arch.routing.io_pads_per_side,
+            },
+            "seed": self.options.placement_seed,
+            "effort": self.options.placement_effort,
+            "use_template_mapping": self.options.use_template_mapping,
+        }
+        return stable_digest(payload)
+
     def label(self) -> str:
         """A short human-readable identifier for tables and logs."""
         arch = self.architecture

@@ -1,11 +1,18 @@
-"""Content-addressed on-disk store of flow summaries.
+"""Content-addressed on-disk store of flow summaries and placements.
 
-Each record is one JSON file named after the :meth:`SweepPoint.key` content
-hash, sharded into 256 two-hex-digit subdirectories to keep directories
-small.  Writes are atomic (temp file + ``os.replace``) so a crashed or
-concurrent sweep never leaves a half-written record behind, and records carry
-the full point description so a store can be audited without the code that
-produced it.
+Each record is one JSON file named after its content hash
+(:meth:`SweepPoint.key` for flow summaries, :meth:`SweepPoint.placement_key`
+for cached placements), sharded into 256 two-hex-digit subdirectories to keep
+directories small.  Writes are atomic (temp file + ``os.replace``) so a
+crashed or concurrent sweep never leaves a half-written record behind, and
+records carry the full point description so a store can be audited without
+the code that produced it.
+
+Cache lifecycle: keys embed :func:`repro.fingerprint.code_fingerprint`, so a
+behaviour-bearing source edit silently *retires* every old record (new keys
+miss them) without deleting anything.  The runner stamps each record with the
+fingerprint that produced it, which is what lets :meth:`SweepResultStore.stats`
+count retired records and :meth:`SweepResultStore.gc` delete them.
 """
 
 from __future__ import annotations
@@ -79,22 +86,156 @@ class SweepResultStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
-    def stats(self) -> dict[str, int]:
-        """Record count and on-disk footprint (bytes) of the store.
+    def records(self) -> Iterator[tuple[str, dict[str, object]]]:
+        """Every readable ``(key, record)`` pair, in key order."""
+        for key in self.keys():
+            record = self.get(key)
+            if record is not None:
+                yield key, record
+
+    # ------------------------------------------------------------------
+    # Observability and garbage collection
+    # ------------------------------------------------------------------
+    def stats(self, current_fingerprint: str | None = None) -> dict[str, object]:
+        """Record counts and on-disk footprint (bytes) of the store.
 
         Records keyed by retired code fingerprints are not reachable through
-        current :meth:`SweepPoint.key` values but still live here; this is the
-        observability hook for store audits and future garbage collection.
+        current :meth:`SweepPoint.key` values but still live here; they are
+        counted separately (``retired_records`` / ``retired_bytes``) against
+        *current_fingerprint* (defaulting to this process's
+        :func:`repro.fingerprint.code_fingerprint`) so :meth:`gc` has an
+        honest before/after.  Records predating fingerprint stamping, or
+        whose file is unreadable, count as retired.  The legacy ``records`` /
+        ``bytes`` totals cover every record, current or not.
         """
-        records = 0
-        size = 0
+        if current_fingerprint is None:
+            from repro.fingerprint import code_fingerprint
+
+            current_fingerprint = code_fingerprint()
+        totals = {
+            "records": 0,
+            "bytes": 0,
+            "current_records": 0,
+            "current_bytes": 0,
+            "retired_records": 0,
+            "retired_bytes": 0,
+            "placement_records": 0,
+            "flow_records": 0,
+        }
+        fingerprints: set[str] = set()
         for key in self.keys():
-            records += 1
+            totals["records"] += 1
+            size = 0
             try:
-                size += self.path_for(key).stat().st_size
+                size = self.path_for(key).stat().st_size
             except OSError:
                 pass
-        return {"records": records, "bytes": size}
+            totals["bytes"] += size
+            record = self.get(key)
+            if record is None:
+                # Unreadable/corrupt: a permanent cache miss, collectable by
+                # gc(); counted as retired but as neither flow nor placement.
+                totals["retired_records"] += 1
+                totals["retired_bytes"] += size
+                continue
+            fingerprint = record.get("fingerprint")
+            if isinstance(fingerprint, str):
+                fingerprints.add(fingerprint)
+            if record.get("kind") == "placement":
+                totals["placement_records"] += 1
+            else:
+                totals["flow_records"] += 1
+            if fingerprint == current_fingerprint:
+                totals["current_records"] += 1
+                totals["current_bytes"] += size
+            else:
+                totals["retired_records"] += 1
+                totals["retired_bytes"] += size
+        totals["fingerprints"] = len(fingerprints)
+        totals["current_fingerprint"] = current_fingerprint
+        return totals
+
+    def gc(
+        self,
+        current_fingerprint: str | None = None,
+        keep_latest: int = 0,
+        dry_run: bool = False,
+    ) -> dict[str, object]:
+        """Delete records whose code fingerprint is not *current*.
+
+        Retired records (fingerprint differs from *current_fingerprint*,
+        which defaults to this process's
+        :func:`repro.fingerprint.code_fingerprint`) are unreachable through
+        any current cache key, so deleting them only reclaims disk.
+        ``keep_latest=N`` spares the N most recently written retired
+        *generations* (records grouped by their stored fingerprint, newest
+        file mtime first) — a safety net for e.g. comparing results across a
+        code change.  Records with no fingerprint stamp form their own
+        "unknown" generation; **unreadable/corrupt** files (permanent cache
+        misses, counted as retired by :meth:`stats`) are always collected,
+        never spared.  ``dry_run`` reports without deleting.
+        """
+        if current_fingerprint is None:
+            from repro.fingerprint import code_fingerprint
+
+            current_fingerprint = code_fingerprint()
+        # Group retired records into generations by stored fingerprint.
+        # Keys are enumerated directly (not via records()) so corrupt files
+        # are collectable too.
+        generations: dict[str, list[str]] = {}
+        newest_mtime: dict[str, float] = {}
+        kept_current = 0
+        unreadable: list[str] = []
+        for key in self.keys():
+            record = self.get(key)
+            if record is None:
+                unreadable.append(key)
+                continue
+            fingerprint = record.get("fingerprint")
+            if fingerprint == current_fingerprint:
+                kept_current += 1
+                continue
+            generation = fingerprint if isinstance(fingerprint, str) else "unknown"
+            generations.setdefault(generation, []).append(key)
+            try:
+                mtime = self.path_for(key).stat().st_mtime
+            except OSError:
+                mtime = 0.0
+            newest_mtime[generation] = max(newest_mtime.get(generation, 0.0), mtime)
+
+        spared = set(
+            sorted(generations, key=lambda g: newest_mtime[g], reverse=True)[
+                : max(0, keep_latest)
+            ]
+        )
+        removed = 0
+        bytes_freed = 0
+        kept_retired = 0
+        collectable = list(unreadable)
+        for generation, keys in generations.items():
+            if generation in spared:
+                kept_retired += len(keys)
+                continue
+            collectable.extend(keys)
+        for key in collectable:
+            path = self.path_for(key)
+            try:
+                size = path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            bytes_freed += size
+        return {
+            "removed": removed,
+            "bytes_freed": bytes_freed,
+            "kept_current": kept_current,
+            "kept_retired": kept_retired,
+            "generations_removed": len(generations) - len(spared),
+            "generations_kept": len(spared),
+            "dry_run": dry_run,
+        }
 
     def clear(self) -> int:
         """Delete every record; returns how many were removed."""

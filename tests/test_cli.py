@@ -1,0 +1,148 @@
+"""Tests of the ``repro-sweep`` CLI: every subcommand against a real store."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fingerprint import code_fingerprint
+from repro.sweep import SweepResultStore
+
+RUN_ARGS = [
+    "run",
+    "--circuit",
+    "qdi_full_adder",
+    "--circuit",
+    "micropipeline_full_adder",
+    "--analysis-only",
+]
+
+
+def test_help_exits_zero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    for subcommand in ("run", "stats", "gc", "export", "clear"):
+        with pytest.raises(SystemExit) as excinfo:
+            main([subcommand, "--help"])
+        assert excinfo.value.code == 0
+
+
+def test_run_stats_gc_round_trip(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+
+    # run: cold, then warm (served from the store)
+    assert main(RUN_ARGS + ["--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "qdi_full_adder" in out and "cache_misses=2" in out
+    assert main(RUN_ARGS + ["--store", store_dir, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "cache_hits=2" in out and "flow_executions=0" in out
+
+    # stats: both records are current (this process's fingerprint)
+    assert main(["stats", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "records: 2" in out and "retired_records: 0" in out
+
+    # simulate a retired generation, then gc it
+    store = SweepResultStore(store_dir)
+    store.put("ee" + "0" * 62, {"kind": "flow", "fingerprint": "retired-gen"})
+    assert main(["gc", "--store", store_dir, "--dry-run"]) == 0
+    assert "would remove 1" in capsys.readouterr().out
+    assert store.stats()["retired_records"] == 1  # dry run deleted nothing
+    assert main(["gc", "--store", store_dir]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    stats = store.stats()
+    assert stats["retired_records"] == 0 and stats["records"] == 2
+
+
+def test_export_and_clear(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    csv_path = tmp_path / "out.csv"
+    json_path = tmp_path / "out.json"
+    assert main(RUN_ARGS + ["--store", store_dir, "--quiet"]) == 0
+    capsys.readouterr()
+
+    assert main(
+        ["export", "--store", store_dir, "--csv", str(csv_path), "--json", str(json_path)]
+    ) == 0
+    with csv_path.open(encoding="utf-8", newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert {row["circuit"] for row in rows} == {
+        "qdi_full_adder",
+        "micropipeline_full_adder",
+    }
+    document = json.loads(json_path.read_text(encoding="utf-8"))
+    assert len(document["rows"]) == 2
+
+    # text export (no file arguments) prints the table
+    assert main(["export", "--store", store_dir]) == 0
+    assert "qdi_full_adder" in capsys.readouterr().out
+
+    assert main(["clear", "--store", store_dir]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert len(SweepResultStore(store_dir)) == 0
+    assert main(["export", "--store", store_dir]) == 1  # nothing left to export
+
+
+def test_export_filters_retired_generations(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main(RUN_ARGS + ["--store", store_dir, "--quiet"]) == 0
+    store = SweepResultStore(store_dir)
+    stale = dict(next(store.records())[1])
+    stale["fingerprint"] = "pre-edit-generation"
+    store.put("ff" + "0" * 62, stale)
+    capsys.readouterr()
+
+    default_csv = tmp_path / "current.csv"
+    assert main(["export", "--store", store_dir, "--csv", str(default_csv)]) == 0
+    all_csv = tmp_path / "all.csv"
+    assert main(
+        ["export", "--store", store_dir, "--csv", str(all_csv), "--all-generations"]
+    ) == 0
+    capsys.readouterr()
+    with default_csv.open(encoding="utf-8", newline="") as handle:
+        assert len(list(csv.DictReader(handle))) == 2  # current generation only
+    with all_csv.open(encoding="utf-8", newline="") as handle:
+        assert len(list(csv.DictReader(handle))) == 3  # stale duplicate included
+
+
+def test_run_writes_reports_and_strict_flag(tmp_path, capsys):
+    csv_path = tmp_path / "sweep.csv"
+    assert main(RUN_ARGS + ["--csv", str(csv_path), "--quiet"]) == 0
+    capsys.readouterr()
+    assert csv_path.is_file()
+
+    # qdi_multiplier_4x4 cannot place on the default 6x6 fabric: without
+    # --strict that is a recorded outcome (exit 0), with --strict exit 1.
+    failing = ["run", "--circuit", "qdi_multiplier_4x4"]
+    assert main(failing + ["--quiet"]) == 0
+    assert main(failing + ["--quiet", "--strict"]) == 1
+    capsys.readouterr()
+
+
+def test_grid_and_channel_width_axes(tmp_path, capsys):
+    assert (
+        main(
+            RUN_ARGS[:3]  # run --circuit qdi_full_adder
+            + ["--grid", "5x5", "--grid", "6x6", "--channel-width", "8", "--quiet"]
+        )
+        == 0
+    )
+    assert "points=2" in capsys.readouterr().out
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--grid", "not-a-grid"])
+
+
+def test_run_rejects_unknown_executor():
+    with pytest.raises(SystemExit):
+        main(["run", "--circuit", "qdi_full_adder", "--executor", "slurm"])
+
+
+def test_stats_reports_current_fingerprint(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    SweepResultStore(store_dir)  # create empty
+    assert main(["stats", "--store", store_dir]) == 0
+    assert code_fingerprint() in capsys.readouterr().out

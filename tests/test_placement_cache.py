@@ -1,0 +1,211 @@
+"""Tests of the incremental re-route path: the placement cache.
+
+Acceptance criterion of the sweep subsystem: an options-only change (e.g.
+routing channel width) re-runs a sweep point **without re-placing** — the
+summary reports ``placement_cache_hit=True`` and the routed result is
+bit-for-bit identical to a cold run of the same point.
+"""
+
+import pytest
+
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.place import Placement, place_design
+from repro.circuits.fulladder import qdi_full_adder
+from repro.cad.techmap import template_map
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.cad.pack import pack_design
+from repro.sweep import SweepPoint, SweepResultStore, SweepRunner, SweepSpec
+
+ARCH_CW8 = ArchitectureParams()
+ARCH_CW10 = ArchitectureParams(routing=RoutingParams(channel_width=10))
+FULL = FlowOptions()
+
+
+def _placed_design(arch=ARCH_CW8, seed=1):
+    mapped = template_map(qdi_full_adder(), arch.plb)
+    pack_design(mapped, arch.plb)
+    fabric = Fabric(arch)
+    return mapped, fabric, place_design(mapped, fabric, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Placement serialization
+# ----------------------------------------------------------------------
+def test_placement_round_trips_through_dict():
+    mapped, fabric, placement = _placed_design()
+    rebuilt = Placement.from_dict(placement.to_dict())
+    assert rebuilt.plb_sites == placement.plb_sites
+    assert rebuilt.io_sites == placement.io_sites
+    assert rebuilt.cost == placement.cost
+    assert rebuilt.matches_design(mapped, fabric)
+
+
+def test_placement_match_rejects_overlapping_sites_and_pads():
+    # A parseable-but-corrupt record mapping two PLBs to one tile (or two
+    # nets to one pad) must not be routed.
+    mapped, fabric, placement = _placed_design()
+    overlapping = Placement.from_dict(placement.to_dict())
+    names = list(overlapping.plb_sites)
+    overlapping.plb_sites[names[0]] = overlapping.plb_sites[names[1]]
+    assert not overlapping.matches_design(mapped, fabric)
+
+    double_pad = Placement.from_dict(placement.to_dict())
+    nets = list(double_pad.io_sites)
+    double_pad.io_sites[nets[0]] = double_pad.io_sites[nets[1]]
+    assert not double_pad.matches_design(mapped, fabric)
+
+
+def test_placement_match_rejects_other_design():
+    mapped, fabric, placement = _placed_design()
+    from repro.circuits.fulladder import micropipeline_full_adder
+
+    other = template_map(micropipeline_full_adder(), ARCH_CW8.plb)
+    pack_design(other, ARCH_CW8.plb)
+    assert not placement.matches_design(other, fabric)
+
+
+# ----------------------------------------------------------------------
+# Placement key: what placement depends on, nothing more
+# ----------------------------------------------------------------------
+def test_placement_key_ignores_routing_only_knobs():
+    base = SweepPoint("qdi_full_adder", ARCH_CW8, FULL)
+    rerouted = SweepPoint("qdi_full_adder", ARCH_CW10, FULL)
+    more_iterations = SweepPoint(
+        "qdi_full_adder", ARCH_CW8, FlowOptions(router_max_iterations=50)
+    )
+    assert base.placement_key() == rerouted.placement_key()
+    assert base.placement_key() == more_iterations.placement_key()
+    assert base.key() != rerouted.key()  # the *flow* keys still differ
+
+
+def test_placement_key_tracks_placement_inputs():
+    base = SweepPoint("qdi_full_adder", ARCH_CW8, FULL)
+    other_seed = SweepPoint("qdi_full_adder", ARCH_CW8, FlowOptions(placement_seed=2))
+    other_grid = SweepPoint("qdi_full_adder", ARCH_CW8.scaled(8, 8), FULL)
+    other_circuit = SweepPoint("micropipeline_full_adder", ARCH_CW8, FULL)
+    other_pads = SweepPoint(
+        "qdi_full_adder",
+        ArchitectureParams(routing=RoutingParams(io_pads_per_side=6)),
+        FULL,
+    )
+    keys = {
+        base.placement_key(),
+        other_seed.placement_key(),
+        other_grid.placement_key(),
+        other_circuit.placement_key(),
+        other_pads.placement_key(),
+    }
+    assert len(keys) == 5
+
+
+# ----------------------------------------------------------------------
+# CadFlow placement injection
+# ----------------------------------------------------------------------
+def test_flow_uses_injected_placement_and_reports_hit():
+    flow = CadFlow(ARCH_CW8, FULL)
+    cold = flow.run(qdi_full_adder())
+    assert cold.placement_cache_hit is None  # no cache involved
+    warm = CadFlow(ARCH_CW8, FULL).run(qdi_full_adder(), placement=cold.placement)
+    assert warm.placement_cache_hit is True
+    assert warm.placement is cold.placement
+    assert warm.summary()["placement_cache_hit"] is True
+    assert "placement_cache_hit" not in cold.summary()
+
+
+def test_flow_discards_mismatched_injected_placement():
+    bogus = Placement(plb_sites={"nonexistent_plb": (0, 0)})
+    result = CadFlow(ARCH_CW8, FULL).run(qdi_full_adder(), placement=bogus)
+    assert result.placement_cache_hit is False  # fell back to placing
+    assert result.placement is not bogus
+    assert result.routing is not None and result.routing.success
+
+
+# ----------------------------------------------------------------------
+# The acceptance criterion, end to end through the runner
+# ----------------------------------------------------------------------
+def test_options_only_change_reroutes_without_replacing(tmp_path):
+    spec_cw8 = SweepSpec.build(["qdi_full_adder"], ARCH_CW8, FULL)
+    spec_cw10 = SweepSpec.build(["qdi_full_adder"], ARCH_CW10, FULL)
+
+    cold = SweepRunner(store=tmp_path / "store").run(spec_cw8)
+    assert cold.outcomes[0].summary["placement_cache_hit"] is False
+
+    warm = SweepRunner(store=tmp_path / "store").run(spec_cw10)
+    assert warm.cache_misses == 1  # different flow key: the flow re-ran ...
+    warm_summary = dict(warm.outcomes[0].summary)
+    assert warm_summary.pop("placement_cache_hit") is True  # ... without re-placing
+
+    control = SweepRunner(store=tmp_path / "control").run(spec_cw10)
+    control_summary = dict(control.outcomes[0].summary)
+    assert control_summary.pop("placement_cache_hit") is False
+    assert warm_summary == control_summary  # bit-for-bit identical
+
+
+def test_parallel_run_matches_serial_placement_cache_behaviour(tmp_path):
+    # Points sharing a placement key must not race in a pool: the runner
+    # schedules one leader per key first, so followers deterministically
+    # reuse its placement and parallel runs cache the same records as
+    # serial ones (executor choice never changes what is computed).
+    architectures = (
+        ARCH_CW8,
+        ARCH_CW10,
+        ArchitectureParams(routing=RoutingParams(channel_width=12)),
+    )
+    spec = SweepSpec.build(["qdi_full_adder"], architectures, FULL)
+    serial = SweepRunner(store=tmp_path / "serial").run(spec)
+    parallel = SweepRunner(store=tmp_path / "parallel", workers=3).run(spec)
+    hits = [outcome.summary["placement_cache_hit"] for outcome in parallel.outcomes]
+    assert hits == [False, True, True]  # leader placed, followers reused
+    assert parallel.summaries() == serial.summaries()
+
+
+def test_router_iteration_change_also_hits_placement_cache(tmp_path):
+    runner = SweepRunner(store=tmp_path)
+    runner.run(SweepSpec.build(["qdi_full_adder"], ARCH_CW8, FULL))
+    tweaked = SweepSpec.build(
+        ["qdi_full_adder"], ARCH_CW8, FlowOptions(router_max_iterations=50)
+    )
+    report = runner.run(tweaked)
+    assert report.cache_misses == 1
+    assert report.outcomes[0].summary["placement_cache_hit"] is True
+
+
+def test_different_seed_misses_placement_cache(tmp_path):
+    runner = SweepRunner(store=tmp_path)
+    runner.run(SweepSpec.build(["qdi_full_adder"], ARCH_CW8, FULL))
+    report = runner.run(
+        SweepSpec.build(["qdi_full_adder"], ARCH_CW8, FlowOptions(placement_seed=9))
+    )
+    assert report.outcomes[0].summary["placement_cache_hit"] is False
+
+
+def test_corrupt_placement_record_falls_back_to_placing(tmp_path):
+    store = SweepResultStore(tmp_path)
+    point = SweepPoint("qdi_full_adder", ARCH_CW8, FULL)
+    store.put(
+        point.placement_key(),
+        {"kind": "placement", "placement": {"plb_sites": "garbage", "io_sites": {}}},
+    )
+    report = SweepRunner(store=store).run([point])
+    summary = report.outcomes[0].summary
+    assert summary["placement_cache_hit"] is False
+    assert summary["routing_success"] is True
+
+
+def test_placement_cache_disabled_keeps_historical_summary(tmp_path):
+    report = SweepRunner(store=tmp_path, placement_cache=False).run(
+        SweepSpec.build(["qdi_full_adder"], ARCH_CW8, FULL)
+    )
+    summary = report.outcomes[0].summary
+    assert "placement_cache_hit" not in summary
+    assert SweepResultStore(tmp_path).stats()["placement_records"] == 0
+
+
+def test_analysis_only_sweeps_never_touch_placement_cache(tmp_path):
+    analysis = FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False)
+    report = SweepRunner(store=tmp_path).run(
+        SweepSpec.build(["qdi_full_adder"], ARCH_CW8, analysis)
+    )
+    assert "placement_cache_hit" not in report.outcomes[0].summary
+    assert SweepResultStore(tmp_path).stats()["placement_records"] == 0

@@ -9,11 +9,16 @@ from repro.cad.flow import CadFlow, FlowOptions
 from repro.circuits.registry import build_circuit, circuit_registry
 from repro.core.params import ArchitectureParams, RoutingParams
 from repro.sweep import (
+    RunnerConfig,
     SweepPoint,
     SweepResultStore,
     SweepRunner,
     SweepSpec,
+    available_executors,
+    execute_point,
     format_report,
+    register_executor,
+    report_from_records,
     write_csv,
     write_json,
 )
@@ -307,6 +312,217 @@ def test_cache_shared_between_serial_and_parallel_runners(tmp_path):
     assert first.cache_misses == 1
     assert second.cache_hits == 1 and second.flow_executions == 0
     assert second.summaries() == first.summaries()
+
+
+# ----------------------------------------------------------------------
+# Executor backends: parity and registration
+# ----------------------------------------------------------------------
+def test_executor_parity_serial_thread_process():
+    # The backend is pure orchestration: every registered in-tree executor
+    # must produce identical records for the same grid.
+    spec = SweepSpec.build(
+        ["qdi_full_adder", "micropipeline_full_adder", "wchb_fifo_4"],
+        ArchitectureParams(),
+        ANALYSIS_ONLY,
+    )
+    reports = {
+        name: SweepRunner(store=None, workers=2, executor=name).run(spec)
+        for name in ("serial", "thread", "process")
+    }
+    serial = reports["serial"]
+    for name, report in reports.items():
+        assert report.stats()["executor"] == name
+        assert report.summaries() == serial.summaries()
+        assert [o.status for o in report.outcomes] == [o.status for o in serial.outcomes]
+
+
+def test_workers_contract_selects_backend():
+    assert SweepRunner(workers=1).config == RunnerConfig(executor="serial", workers=1)
+    assert SweepRunner(workers=4).config == RunnerConfig(executor="process", workers=4)
+    assert SweepRunner(workers=4, executor="thread").config == RunnerConfig(
+        executor="thread", workers=4
+    )
+    explicit = RunnerConfig(executor="thread", workers=2)
+    assert SweepRunner(config=explicit).config == explicit
+    with pytest.raises(ValueError, match="not both"):
+        SweepRunner(workers=8, config=explicit)  # conflicting styles
+
+
+def test_unknown_executor_raises_with_known_names(tmp_path):
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+    with pytest.raises(ValueError, match="slurm"):
+        SweepRunner(executor="slurm").run(spec)
+    # A typo'd backend must fail fast even when every point is cached.
+    SweepRunner(store=tmp_path).run(spec)
+    with pytest.raises(ValueError, match="slurm"):
+        SweepRunner(store=tmp_path, executor="slurm").run(spec)
+    for name in ("serial", "thread", "process"):
+        assert name in available_executors()
+
+
+def test_third_party_executor_registration():
+    # The cluster-backend hook: anything honouring submit/gather/shutdown and
+    # calling execute_point produces records identical to the serial backend.
+    calls = {"submitted": 0, "shutdown": False}
+
+    class RecordingExecutor:
+        def submit(self, fn, payload):
+            calls["submitted"] += 1
+            return fn(payload)
+
+        def gather(self, tokens):
+            return list(tokens)
+
+        def shutdown(self):
+            calls["shutdown"] = True
+
+    register_executor("recording", lambda config: RecordingExecutor())
+    try:
+        spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+        report = SweepRunner(executor="recording").run(spec)
+        assert report.stats()["executor"] == "recording"
+        assert calls == {"submitted": 1, "shutdown": True}
+        assert report.summaries() == SweepRunner().run(spec).summaries()
+    finally:
+        import repro.sweep.runner as runner_module
+
+        runner_module._EXECUTOR_FACTORIES.pop("recording", None)
+
+
+def test_execute_point_is_self_contained():
+    # The contract offered to third-party backends: a plain payload dict in,
+    # a plain record dict out, no runner state required.
+    payload = SweepPoint("qdi_full_adder", ArchitectureParams(), ANALYSIS_ONLY).to_dict()
+    record = execute_point(payload)
+    assert record["status"] == "ok"
+    assert record["kind"] == "flow"
+    assert record["fingerprint"]  # stamped for stats()/gc()
+
+
+# ----------------------------------------------------------------------
+# Store: fingerprint-aware stats and garbage collection
+# ----------------------------------------------------------------------
+def test_store_gc_removes_retired_generations(tmp_path, monkeypatch):
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+    store = SweepResultStore(tmp_path)
+    SweepRunner(store=store).run(spec)
+
+    # Simulate a code edit: both the key side (spec imported the symbol) and
+    # the stamp side (execute_point / stats import lazily) must move.
+    import repro.fingerprint as fingerprint_module
+    import repro.sweep.spec as spec_module
+
+    monkeypatch.setattr(fingerprint_module, "code_fingerprint", lambda: "post-edit")
+    monkeypatch.setattr(spec_module, "code_fingerprint", lambda: "post-edit")
+    SweepRunner(store=store).run(spec)  # second generation under new key
+    # Both generations on disk; only the post-edit one is current.
+    assert store.stats()["records"] == 2
+    assert store.stats()["retired_records"] == 1
+
+    outcome = store.gc(dry_run=True)
+    assert outcome["removed"] == 1 and outcome["dry_run"] is True
+    assert store.stats()["records"] == 2  # dry run deleted nothing
+
+    outcome = store.gc()
+    assert outcome["removed"] == 1 and outcome["kept_current"] == 1
+    stats = store.stats()
+    assert stats["records"] == 1 and stats["retired_records"] == 0
+    # The surviving record is still served.
+    rerun = SweepRunner(store=store).run(spec)
+    assert rerun.flow_executions == 0
+
+
+def test_store_gc_keep_latest_spares_recent_generations(tmp_path):
+    store = SweepResultStore(tmp_path)
+    import os
+    import time
+
+    for index, fingerprint in enumerate(("gen-a", "gen-b", "gen-c")):
+        key = f"{index:02d}" + "0" * 62
+        store.put(key, {"kind": "flow", "fingerprint": fingerprint})
+        # Distinct mtimes so generation recency is well defined.
+        stamp = time.time() - (100 - index)
+        os.utime(store.path_for(key), (stamp, stamp))
+
+    outcome = store.gc(current_fingerprint="current", keep_latest=2)
+    assert outcome["removed"] == 1  # only the oldest generation went
+    assert outcome["kept_retired"] == 2
+    remaining = {record["fingerprint"] for _key, record in store.records()}
+    assert remaining == {"gen-b", "gen-c"}
+
+
+def test_store_stats_counts_unstamped_records_as_retired(tmp_path):
+    store = SweepResultStore(tmp_path)
+    store.put("ab" + "0" * 62, {"status": "ok"})  # pre-stamping record layout
+    stats = store.stats(current_fingerprint="whatever")
+    assert stats["retired_records"] == 1
+    assert store.gc(current_fingerprint="whatever")["removed"] == 1
+
+
+def test_report_from_records_round_trips_store(tmp_path):
+    spec = SweepSpec.build(
+        ["qdi_full_adder", "micropipeline_full_adder"], ArchitectureParams(), ANALYSIS_ONLY
+    )
+    live = SweepRunner(store=tmp_path).run(spec)
+    rebuilt = report_from_records(SweepResultStore(tmp_path).records())
+    assert len(rebuilt.outcomes) == 2
+    assert all(outcome.cached for outcome in rebuilt.outcomes)
+    by_circuit = {o.point.circuit: o.summary for o in rebuilt.outcomes}
+    for outcome in live.outcomes:
+        assert by_circuit[outcome.point.circuit] == outcome.summary
+
+
+def test_store_gc_collects_corrupt_records(tmp_path):
+    # A corrupt record is a permanent cache miss: stats() counts it as
+    # retired, so gc() must be able to reclaim it (it enumerates keys
+    # directly, not the readable-records iterator).
+    store = SweepResultStore(tmp_path)
+    key = "ab" + "0" * 62
+    store.put(key, {"kind": "flow", "fingerprint": "x"})
+    store.path_for(key).write_text("{not json", encoding="utf-8")
+    assert store.stats(current_fingerprint="x")["retired_records"] == 1
+    outcome = store.gc(current_fingerprint="x", keep_latest=99)
+    assert outcome["removed"] == 1  # never spared, even by keep_latest
+    assert store.stats(current_fingerprint="x")["records"] == 0
+
+
+def test_report_from_records_filters_by_fingerprint(tmp_path):
+    store = SweepResultStore(tmp_path)
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), ANALYSIS_ONLY)
+    SweepRunner(store=store).run(spec)
+    # A retired generation of the same point.
+    stale = dict(next(store.records())[1])
+    stale["fingerprint"] = "pre-edit"
+    store.put("ff" + "0" * 62, stale)
+
+    from repro.fingerprint import code_fingerprint
+
+    everything = report_from_records(store.records())
+    assert len(everything.outcomes) == 2  # one per generation
+    current_only = report_from_records(
+        store.records(), current_fingerprint=code_fingerprint()
+    )
+    assert len(current_only.outcomes) == 1
+
+
+def test_placement_cache_disabled_strips_flag_from_cache_hits(tmp_path):
+    # A store populated by a placement-caching run must not leak the
+    # placement_cache_hit marker into a placement_cache=False runner.
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), FlowOptions())
+    SweepRunner(store=tmp_path, placement_cache=True).run(spec)
+    baseline = SweepRunner(store=None).run(spec)
+    warm = SweepRunner(store=tmp_path, placement_cache=False).run(spec)
+    assert warm.cache_hits == 1
+    assert warm.summaries() == baseline.summaries()  # bit-identical, no flag
+
+
+def test_report_from_records_skips_placement_records(tmp_path):
+    spec = SweepSpec.build(["qdi_full_adder"], ArchitectureParams(), FlowOptions())
+    SweepRunner(store=tmp_path).run(spec)
+    store = SweepResultStore(tmp_path)
+    assert store.stats()["placement_records"] == 1
+    rebuilt = report_from_records(store.records())
+    assert len(rebuilt.outcomes) == 1  # the flow record only
 
 
 # ----------------------------------------------------------------------
