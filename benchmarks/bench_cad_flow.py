@@ -1,10 +1,28 @@
-"""EXP-EXT4 -- CAD flow cost and quality scaling.
+"""EXP-EXT4 -- CAD flow cost and quality scaling, plus the perf harness.
 
-Extension experiment: runtime-quality behaviour of the packer, placer and
-router as the design grows (QDI ripple adders of increasing width on a fabric
-sized to fit).  The shape: wirelength grows with design size, the router
-converges, and the flow stays comfortably interactive for paper-scale inputs.
+Two entry points share the instrumented flow runner below:
+
+* **pytest-benchmark tests** (``test_*``): runtime-quality behaviour of the
+  packer, placer and router as the design grows (QDI ripple adders of
+  increasing width on a fabric sized to fit).
+* **``python benchmarks/bench_cad_flow.py``**: the machine-readable perf
+  harness.  It emits ``BENCH_cad.json`` — per-stage wall-clock, placement
+  moves/sec, per-net cost evaluations saved by the incremental placer, and
+  nets re-routed per PathFinder iteration — and, with ``--check-floor``,
+  fails when placement move-throughput regresses more than
+  ``regression_factor``× below the checked-in floor
+  (``benchmarks/perf_floor.json``) or the incremental placer's evaluation
+  reduction drops under ``min_eval_reduction``.  CI runs the check on every
+  build and uploads the JSON, so the perf trajectory of the CAD hot paths is
+  recorded per commit.
 """
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
 
 from repro.analysis.tables import format_table
 from repro.cad.flow import CadFlow, FlowOptions
@@ -18,39 +36,209 @@ from repro.core.params import ArchitectureParams, RoutingParams
 from repro.core.rrgraph import RoutingResourceGraph
 
 WIDTHS = (1, 2, 4)
+HARNESS_WIDTHS = (1, 2, 4, 8)
+BENCH_SCHEMA = 1
+DEFAULT_FLOOR_FILE = Path(__file__).with_name("perf_floor.json")
 
 
-def _flow_for(bits: int) -> dict[str, object]:
+def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
+    """Pack, place and route one synthetic adder, timing each stage.
+
+    Returns a flat record of the stage wall-clocks plus the incremental
+    placer/router counters — the unit of ``BENCH_cad.json``.
+    """
     adder = qdi_ripple_adder(bits)
     design: MappedDesign = adder.mapped
+
+    t0 = time.perf_counter()
     pack_design(design)
+    t1 = time.perf_counter()
+
     side = max(4, int(len(design.plbs) ** 0.5) + 2)
     params = ArchitectureParams(
         width=side, height=side, routing=RoutingParams(channel_width=10, io_pads_per_side=6)
     )
     fabric = Fabric(params)
     graph = RoutingResourceGraph(fabric)
-    placement = place_design(design, fabric, seed=1)
+
+    t2 = time.perf_counter()
+    placement = place_design(design, fabric, seed=seed)
+    t3 = time.perf_counter()
     routing = route_design(design, placement, graph)
+    t4 = time.perf_counter()
+
+    place_s = t3 - t2
+    full_equiv_evals = placement.iterations * placement.net_count
     return {
+        "name": f"qdi_ripple_adder_{bits}",
         "bits": bits,
+        "grid": f"{side}x{side}",
         "les": len(design.les),
         "plbs": len(design.plbs),
-        "grid": f"{side}x{side}",
-        "hpwl": round(placement.cost, 1),
-        "routed_nets": len(routing.routed),
-        "wirelength": routing.total_wirelength,
-        "router_iterations": routing.iterations,
-        "routed": routing.success,
+        "stages_s": {
+            "pack": round(t1 - t0, 6),
+            "place": round(place_s, 6),
+            "route": round(t4 - t3, 6),
+        },
+        "placement": {
+            "cost": round(placement.cost, 1),
+            "moves": placement.iterations,
+            "moves_accepted": placement.moves_accepted,
+            "moves_per_s": round(placement.iterations / place_s, 1) if place_s > 0 else 0.0,
+            "net_count": placement.net_count,
+            "net_evals": placement.net_evaluations,
+            "full_recompute_evals": full_equiv_evals,
+            "eval_reduction": (
+                round(full_equiv_evals / placement.net_evaluations, 2)
+                if placement.net_evaluations
+                else 0.0
+            ),
+        },
+        "routing": {
+            "success": routing.success,
+            "nets": len(routing.routed),
+            "iterations": routing.iterations,
+            "reroutes_per_iteration": list(routing.reroutes_per_iteration),
+            "total_reroutes": routing.total_reroutes,
+            "full_reroute_equiv": routing.iterations * len(routing.routed),
+            "wirelength": routing.total_wirelength,
+        },
     }
 
 
-def test_cad_flow_scaling(benchmark):
-    rows = benchmark.pedantic(lambda: [_flow_for(bits) for bits in WIDTHS], rounds=1, iterations=1)
-    print()
+def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
+    """The full ``BENCH_cad.json`` document for the given adder widths."""
+    designs = [instrumented_flow(bits, seed=seed) for bits in widths]
+    largest = designs[-1]
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "bench_cad_flow",
+        "generated_unix": round(time.time(), 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": seed,
+        "designs": designs,
+        "headline": {
+            "largest_design": largest["name"],
+            "placement_moves_per_s": largest["placement"]["moves_per_s"],
+            "placement_eval_reduction": largest["placement"]["eval_reduction"],
+            "router_total_reroutes": largest["routing"]["total_reroutes"],
+            "router_full_reroute_equiv": largest["routing"]["full_reroute_equiv"],
+        },
+    }
+
+
+def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[str]:
+    """Floor violations of a harness document (empty list == healthy).
+
+    The floor file records an *expected* throughput; the check only fails
+    when the measured value regresses more than ``regression_factor`` below
+    it, so slower CI machines don't flap while a real algorithmic regression
+    (the asymptotic kind this PR removed) still trips it.
+    """
+    problems: list[str] = []
+    for design in document["designs"]:
+        if not design["routing"]["success"]:
+            problems.append(
+                f"{design['name']} failed to route — the throughput numbers "
+                "below would be measured on a broken router"
+            )
+    headline = document["headline"]
+    floor_moves = float(floor.get("placement_moves_per_s", 0.0))
+    factor = float(floor.get("regression_factor", 3.0))
+    measured = float(headline["placement_moves_per_s"])
+    if floor_moves > 0 and measured * factor < floor_moves:
+        problems.append(
+            f"placement throughput {measured:.0f} moves/s is more than "
+            f"{factor:g}x below the floor {floor_moves:.0f} moves/s"
+        )
+    min_reduction = float(floor.get("min_eval_reduction", 0.0))
+    reduction = float(headline["placement_eval_reduction"])
+    if reduction < min_reduction:
+        problems.append(
+            f"placement eval reduction {reduction:.2f}x is below the "
+            f"required {min_reduction:g}x (incremental delta-HPWL broken?)"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_cad.json"),
+        help="where to write the machine-readable results (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--widths", type=lambda text: tuple(int(part) for part in text.split(",")),
+        default=HARNESS_WIDTHS, metavar="N,N,...",
+        help="adder widths to run (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="placement seed")
+    parser.add_argument(
+        "--check-floor", type=Path, nargs="?", const=DEFAULT_FLOOR_FILE, default=None,
+        metavar="FLOOR.json",
+        help="fail (exit 1) when throughput regresses below the checked-in floor",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_harness(widths=args.widths, seed=args.seed)
+    args.json.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+
+    rows = [
+        {
+            "design": design["name"],
+            "grid": design["grid"],
+            "place_s": design["stages_s"]["place"],
+            "route_s": design["stages_s"]["route"],
+            "moves/s": design["placement"]["moves_per_s"],
+            "eval_reduction": f'{design["placement"]["eval_reduction"]}x',
+            "reroutes": design["routing"]["total_reroutes"],
+            "routed": design["routing"]["success"],
+        }
+        for design in document["designs"]
+    ]
     print(format_table(rows))
-    assert all(row["routed"] for row in rows)
-    wirelengths = [row["wirelength"] for row in rows]
+    print(f"wrote {args.json}")
+
+    if args.check_floor is not None:
+        floor = json.loads(args.check_floor.read_text(encoding="utf-8"))
+        problems = check_floor(document, floor)
+        for problem in problems:
+            print(f"PERF FLOOR VIOLATION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"perf floor ok: {document['headline']['placement_moves_per_s']:.0f} moves/s, "
+            f"{document['headline']['placement_eval_reduction']}x fewer net evals"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark tests (CI's benchmark smoke)
+# ----------------------------------------------------------------------
+def test_cad_flow_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [instrumented_flow(bits) for bits in WIDTHS], rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "bits": row["bits"],
+                    "grid": row["grid"],
+                    "plbs": row["plbs"],
+                    "hpwl": row["placement"]["cost"],
+                    "wirelength": row["routing"]["wirelength"],
+                    "routed": row["routing"]["success"],
+                }
+                for row in rows
+            ]
+        )
+    )
+    assert all(row["routing"]["success"] for row in rows)
+    wirelengths = [row["routing"]["wirelength"] for row in rows]
     assert wirelengths == sorted(wirelengths)
 
 
@@ -73,3 +261,7 @@ def test_full_flow_benchmark(benchmark):
 
     result = benchmark.pedantic(flow.run, args=(qdi_full_adder(),), rounds=1, iterations=1)
     assert result.routing is not None and result.routing.success
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

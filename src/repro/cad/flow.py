@@ -112,6 +112,10 @@ class FlowResult:
             Packing quality: mean fraction of each LE's LUT capacity in use.
         ``placement_cost``
             Final half-perimeter wirelength of the annealed placement.
+        ``placement_moves``, ``placement_net_evals``
+            Annealer perf counters: proposed moves and per-net HPWL
+            evaluations spent (the incremental placer's delta evaluation
+            keeps the latter far below ``moves * nets``).
         ``placement_cache_hit``
             Only on sweep runs with a placement cache: ``True`` when the
             placement was reused from the cache (incremental re-route),
@@ -119,6 +123,11 @@ class FlowResult:
         ``routed_nets``, ``total_wirelength``, ``routing_success``
             Router outcome; ``routing_success`` is ``False`` when congestion
             remained after ``router_max_iterations``.
+        ``router_iterations``, ``router_nets_rerouted``
+            PathFinder perf counters: iterations until convergence and total
+            net-route operations (the dirty-net router re-routes only nets
+            touching overused nodes after the first iteration, so this stays
+            well below ``iterations * nets``).
         ``max_net_delay_ps``, ``le_levels``, ``forward_latency_ps``,
         ``cycle_time_ps``
             Timing report (see :mod:`repro.cad.timing`).
@@ -145,6 +154,8 @@ class FlowResult:
             data["le_occupancy"] = round(float(self.packing.get("le_occupancy", 0.0)), 4)
         if self.placement is not None:
             data["placement_cost"] = round(self.placement.cost, 2)
+            data["placement_moves"] = self.placement.iterations
+            data["placement_net_evals"] = self.placement.net_evaluations
         if self.placement_cache_hit is not None:
             # Only present on sweep runs with a placement cache, so plain
             # flows keep their historical key set.
@@ -153,6 +164,8 @@ class FlowResult:
             data["routed_nets"] = len(self.routing.routed)
             data["total_wirelength"] = self.routing.total_wirelength
             data["routing_success"] = self.routing.success
+            data["router_iterations"] = self.routing.iterations
+            data["router_nets_rerouted"] = self.routing.total_reroutes
         if self.timing is not None:
             data.update(self.timing.as_row())
         if self.bitstream is not None:

@@ -1,19 +1,44 @@
 """Placement: assigning packed PLBs to fabric sites and primary IOs to pads.
 
 The placer is a classic simulated-annealing engine over the half-perimeter
-wirelength (HPWL) of the inter-block nets.  For the small designs of the paper
-this converges in well under a second; the CAD-scaling benchmark exercises it
-on larger synthetic designs.
+wirelength (HPWL) of the inter-block nets.  Cost evaluation is **incremental**
+(VPR-style): a per-net cost cache plus a block→nets index mean that a move or
+swap re-evaluates only the nets touching the moved blocks, so the cost of one
+move is proportional to the moved blocks' fan-out, not to the design's net
+count.  Site and pad bookkeeping is O(1) per move (occupancy maps with
+swap-pop free lists) instead of list scans, and the acceptance test uses a
+per-batch precomputed inverse temperature.
+
+Determinism: for a given seed the anneal draws one fixed RNG stream —
+per-net costs are exact (HPWL sums of integer-valued coordinates, well below
+2**53, so float addition is exact in any order) and therefore the delta path
+accepts exactly the moves a full-recompute path would.  The invariant
+``HpwlCache.total == _hpwl(...)`` holds throughout the anneal and is enforced
+by tests (and on demand via ``place_design(..., audit_interval=N)``).
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.cad.lemap import MappedDesign
 from repro.core.fabric import Fabric, IOPad
+
+#: Moves per temperature step: the annealer precomputes ``1 / temperature``
+#: once per batch and keeps it fixed for the whole batch.
+TEMPERATURE_BATCH = 32
+
+#: Per-move geometric cooling rate (applied batch-wise as ``rate ** batch``).
+COOLING_RATE = 0.999
+
+#: Cooling floor: on very long schedules (huge designs or high effort) the
+#: geometric decay would underflow to exactly 0.0 and 1/temperature would
+#: raise; clamping here keeps ``exp(-delta * inv_temperature)`` at 0.0 for
+#: any worsening move, which is the old ``temperature <= 0`` behaviour.
+MIN_TEMPERATURE = 1e-300
 
 
 class PlacementError(RuntimeError):
@@ -27,6 +52,12 @@ class Placement:
     ``plb_sites`` maps packed-PLB names to ``(x, y)`` tile coordinates;
     ``io_sites`` maps primary input/output net names to IO pads.
 
+    ``iterations`` counts proposed annealing moves, ``moves_accepted`` the
+    accepted ones, and ``net_evaluations`` every per-net HPWL bounding-box
+    computation (including the ``net_count`` evaluations of the initial full
+    sweep) — the incremental placer's headline counter: a full-recompute
+    annealer would have spent ``iterations * net_count`` evaluations.
+
     Placements serialize (:meth:`to_dict` / :meth:`from_dict`) so the sweep
     engine can cache them on disk and re-inject them into
     :meth:`repro.cad.flow.CadFlow.run` — the incremental re-route path: a
@@ -38,6 +69,9 @@ class Placement:
     cost: float = 0.0
     iterations: int = 0
     initial_cost: float = 0.0
+    moves_accepted: int = 0
+    net_evaluations: int = 0
+    net_count: int = 0
 
     def site_of(self, plb_name: str) -> tuple[int, int]:
         return self.plb_sites[plb_name]
@@ -59,6 +93,9 @@ class Placement:
             "cost": self.cost,
             "iterations": self.iterations,
             "initial_cost": self.initial_cost,
+            "moves_accepted": self.moves_accepted,
+            "net_evaluations": self.net_evaluations,
+            "net_count": self.net_count,
         }
 
     @classmethod
@@ -79,6 +116,9 @@ class Placement:
             cost=float(data.get("cost", 0.0)),
             iterations=int(data.get("iterations", 0)),
             initial_cost=float(data.get("initial_cost", 0.0)),
+            moves_accepted=int(data.get("moves_accepted", 0)),
+            net_evaluations=int(data.get("net_evaluations", 0)),
+            net_count=int(data.get("net_count", 0)),
         )
 
     def matches_design(self, design: MappedDesign, fabric: Fabric) -> bool:
@@ -135,10 +175,6 @@ def _build_net_terminals(design: MappedDesign) -> dict[str, list[str]]:
         add(net, f"io:{net}")
         if net in driver_plb:
             add(net, driver_plb[net])
-    for net in design.primary_inputs:
-        for plb in design.plbs:
-            if net in plb.external_input_nets:
-                add(net, plb.name)
 
     # Only nets touching at least two distinct terminals matter for placement.
     return {net: terms for net, terms in terminals.items() if len(terms) >= 2}
@@ -159,6 +195,7 @@ def _hpwl(
     plb_sites: dict[str, tuple[int, int]],
     io_positions: dict[str, tuple[float, float]],
 ) -> float:
+    """Full (non-incremental) HPWL: the reference the cache is audited against."""
     total = 0.0
     for terminals in nets.values():
         xs: list[float] = []
@@ -179,11 +216,140 @@ def _hpwl(
     return total
 
 
+class HpwlCache:
+    """Per-net HPWL costs with delta evaluation for annealing moves.
+
+    The cache holds live references to the caller's ``plb_sites`` and
+    ``io_positions`` dicts.  A move is evaluated in three steps: the caller
+    mutates the positions, calls :meth:`propose` with the affected net
+    indices (from :meth:`nets_of`), and then either :meth:`commit`\\ s the
+    pending per-net costs or reverts the positions and :meth:`reject`\\ s.
+
+    All terminal coordinates are integer-valued, so per-net costs and the
+    running :attr:`total` are exact floats: ``total`` equals a full
+    :func:`_hpwl` recompute at every step, not just approximately.
+    """
+
+    def __init__(
+        self,
+        nets: dict[str, list[str]],
+        plb_sites: dict[str, tuple[int, int]],
+        io_positions: dict[str, tuple[float, float]],
+    ) -> None:
+        self.nets = nets
+        self.terminals: list[list[str]] = list(nets.values())
+        self.plb_sites = plb_sites
+        self.io_positions = io_positions
+        buckets: dict[str, list[int]] = {}
+        for index, terminals in enumerate(self.terminals):
+            for terminal in terminals:
+                buckets.setdefault(terminal, []).append(index)
+        self._nets_of: dict[str, tuple[int, ...]] = {
+            terminal: tuple(indices) for terminal, indices in buckets.items()
+        }
+        self.evaluations = 0
+        self.costs: list[float] = [
+            self._net_cost(index) for index in range(len(self.terminals))
+        ]
+        self.total: float = sum(self.costs)
+        self._pending: list[tuple[int, float]] = []
+
+    @property
+    def net_count(self) -> int:
+        return len(self.terminals)
+
+    def nets_of(self, *terminals: str) -> list[int]:
+        """Indices of the nets touching any of *terminals* (stable, deduped)."""
+        if len(terminals) == 1:
+            return list(self._nets_of.get(terminals[0], ()))
+        seen: set[int] = set()
+        affected: list[int] = []
+        for terminal in terminals:
+            for index in self._nets_of.get(terminal, ()):
+                if index not in seen:
+                    seen.add(index)
+                    affected.append(index)
+        return affected
+
+    def _net_cost(self, index: int) -> float:
+        self.evaluations += 1
+        xs: list[float] = []
+        ys: list[float] = []
+        for terminal in self.terminals[index]:
+            if terminal.startswith("io:"):
+                position = self.io_positions.get(terminal[3:])
+                if position is None:
+                    continue
+                xs.append(position[0])
+                ys.append(position[1])
+            else:
+                x, y = self.plb_sites[terminal]
+                xs.append(float(x))
+                ys.append(float(y))
+        if len(xs) >= 2:
+            return (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return 0.0
+
+    def propose(self, affected: Iterable[int]) -> float:
+        """Cost delta of re-evaluating *affected* nets against mutated positions.
+
+        The new per-net costs are held pending until :meth:`commit` or
+        :meth:`reject`; :attr:`total` is unchanged until then.
+        """
+        pending = [(index, self._net_cost(index)) for index in affected]
+        self._pending = pending
+        return sum(new for _index, new in pending) - sum(
+            self.costs[index] for index, _new in pending
+        )
+
+    def commit(self) -> None:
+        """Fold the pending per-net costs into the cache and the total."""
+        for index, new in self._pending:
+            self.total += new - self.costs[index]
+            self.costs[index] = new
+        self._pending = []
+
+    def reject(self) -> None:
+        """Drop the pending evaluation (caller has reverted the positions)."""
+        self._pending = []
+
+    def full_recompute(self) -> float:
+        """Reference :func:`_hpwl` over the current positions (audits/tests)."""
+        return _hpwl(self.nets, self.plb_sites, self.io_positions)
+
+
+class _FreeList:
+    """An O(1) pick/remove/add pool (list + index map, swap-pop removal)."""
+
+    def __init__(self, items: Iterable[object], key=lambda item: item) -> None:
+        self.items = list(items)
+        self._key = key
+        self._index = {key(item): position for position, item in enumerate(self.items)}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def take(self, item: object) -> None:
+        position = self._index.pop(self._key(item))
+        last = self.items.pop()
+        if position < len(self.items):
+            self.items[position] = last
+            self._index[self._key(last)] = position
+
+    def add(self, item: object) -> None:
+        self._index[self._key(item)] = len(self.items)
+        self.items.append(item)
+
+
 def place_design(
     design: MappedDesign,
     fabric: Fabric,
     seed: int = 1,
     effort: float = 1.0,
+    audit_interval: int = 0,
 ) -> Placement:
     """Place a packed design on *fabric* with simulated annealing.
 
@@ -193,6 +359,10 @@ def place_design(
         RNG seed (placement is deterministic for a given seed).
     effort:
         Scales the number of annealing moves (1.0 is the default schedule).
+    audit_interval:
+        When ``> 0``, assert every N proposed moves that the incremental
+        cost cache equals a full :func:`_hpwl` recompute (tests/debugging;
+        the default skips the O(nets) audit entirely).
     """
     if not design.plbs:
         raise PlacementError("design has no packed PLBs; run pack_design first")
@@ -213,87 +383,122 @@ def place_design(
             f"design needs {len(io_nets)} IO pads but the fabric only has {len(pads)}"
         )
 
-    # Initial placement: PLBs on the first sites, IOs round-robin over the pads.
+    # Initial placement: PLBs on shuffled sites, IOs round-robin over the pads.
     shuffled_sites = list(sites)
     rng.shuffle(shuffled_sites)
     plb_sites = {plb.name: shuffled_sites[index] for index, plb in enumerate(design.plbs)}
     io_sites = {net: pads[index] for index, net in enumerate(io_nets)}
     io_positions = {net: _pad_position(pad, fabric) for net, pad in io_sites.items()}
 
-    nets = _build_net_terminals(design)
-    cost = _hpwl(nets, plb_sites, io_positions)
-    initial_cost = cost
+    cache = HpwlCache(_build_net_terminals(design), plb_sites, io_positions)
+    initial_cost = cache.total
 
     moves = max(200, int(effort * 100 * (len(design.plbs) + len(io_nets)) ** 1.3))
-    temperature = max(1.0, cost * 0.2)
+    temperature = max(1.0, cache.total * 0.2)
     plb_names = [plb.name for plb in design.plbs]
-    free_sites = [site for site in sites if site not in plb_sites.values()]
+
+    occupied = set(plb_sites.values())
+    free_sites = _FreeList(site for site in sites if site not in occupied)
+    used_pad_names = {pad.name for pad in io_sites.values()}
+    free_pads = _FreeList(
+        (pad for pad in pads if pad.name not in used_pad_names),
+        key=lambda pad: pad.name,
+    )
 
     iterations = 0
-    for move_index in range(moves):
-        iterations += 1
-        temperature *= 0.999
-        if rng.random() < 0.7 and len(plb_names) >= 1:
-            # Move or swap a PLB.
-            name = rng.choice(plb_names)
-            old_site = plb_sites[name]
-            if free_sites and rng.random() < 0.5:
-                new_site = rng.choice(free_sites)
-                plb_sites[name] = new_site
-                new_cost = _hpwl(nets, plb_sites, io_positions)
-                if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
-                    cost = new_cost
-                    free_sites.remove(new_site)
-                    free_sites.append(old_site)
+    moves_accepted = 0
+    inv_temperature = 1.0 / temperature
+
+    def accepts(delta: float) -> bool:
+        """Metropolis criterion at the current batch temperature."""
+        return delta <= 0 or rng.random() < math.exp(-delta * inv_temperature)
+
+    while iterations < moves:
+        batch = min(TEMPERATURE_BATCH, moves - iterations)
+        temperature = max(temperature * COOLING_RATE ** batch, MIN_TEMPERATURE)
+        inv_temperature = 1.0 / temperature
+        for _ in range(batch):
+            iterations += 1
+            if audit_interval > 0 and iterations % audit_interval == 0:
+                assert cache.total == cache.full_recompute(), (
+                    f"incremental HPWL drifted at move {iterations}: "
+                    f"cached {cache.total} != full {cache.full_recompute()}"
+                )
+            if rng.random() < 0.7 and plb_names:
+                # Move or swap a PLB.
+                name = rng.choice(plb_names)
+                old_site = plb_sites[name]
+                if free_sites and rng.random() < 0.5:
+                    new_site = rng.choice(free_sites.items)
+                    plb_sites[name] = new_site
+                    delta = cache.propose(cache.nets_of(name))
+                    if accepts(delta):
+                        cache.commit()
+                        moves_accepted += 1
+                        free_sites.take(new_site)
+                        free_sites.add(old_site)
+                    else:
+                        cache.reject()
+                        plb_sites[name] = old_site
                 else:
-                    plb_sites[name] = old_site
-            else:
-                other = rng.choice(plb_names)
-                if other == name:
-                    continue
-                plb_sites[name], plb_sites[other] = plb_sites[other], plb_sites[name]
-                new_cost = _hpwl(nets, plb_sites, io_positions)
-                if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
-                    cost = new_cost
-                else:
+                    other = rng.choice(plb_names)
+                    if other == name:
+                        continue
                     plb_sites[name], plb_sites[other] = plb_sites[other], plb_sites[name]
-        else:
-            # Swap two IO pads (or move one to a free pad).
-            if len(io_nets) < 1:
-                continue
-            net = rng.choice(io_nets)
-            used_pads = set(pad.name for pad in io_sites.values())
-            free_pads = [pad for pad in pads if pad.name not in used_pads]
-            saved = dict(io_sites)
-            if free_pads and rng.random() < 0.6:
-                io_sites[net] = rng.choice(free_pads)
+                    delta = cache.propose(cache.nets_of(name, other))
+                    if accepts(delta):
+                        cache.commit()
+                        moves_accepted += 1
+                    else:
+                        cache.reject()
+                        plb_sites[name], plb_sites[other] = (
+                            plb_sites[other],
+                            plb_sites[name],
+                        )
             else:
-                other = rng.choice(io_nets)
-                if other == net:
+                # Swap two IO pads (or move one to a free pad).
+                if not io_nets:
                     continue
-                io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
-            new_positions = {n: _pad_position(p, fabric) for n, p in io_sites.items()}
-            new_cost = _hpwl(nets, plb_sites, new_positions)
-            if new_cost <= cost or rng.random() < _accept(cost, new_cost, temperature, rng):
-                cost = new_cost
-                io_positions = new_positions
-            else:
-                io_sites.clear()
-                io_sites.update(saved)
+                net = rng.choice(io_nets)
+                if free_pads and rng.random() < 0.6:
+                    old_pad = io_sites[net]
+                    new_pad = rng.choice(free_pads.items)
+                    io_sites[net] = new_pad
+                    io_positions[net] = _pad_position(new_pad, fabric)
+                    delta = cache.propose(cache.nets_of(f"io:{net}"))
+                    if accepts(delta):
+                        cache.commit()
+                        moves_accepted += 1
+                        free_pads.take(new_pad)
+                        free_pads.add(old_pad)
+                    else:
+                        cache.reject()
+                        io_sites[net] = old_pad
+                        io_positions[net] = _pad_position(old_pad, fabric)
+                else:
+                    other = rng.choice(io_nets)
+                    if other == net:
+                        continue
+                    io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
+                    io_positions[net] = _pad_position(io_sites[net], fabric)
+                    io_positions[other] = _pad_position(io_sites[other], fabric)
+                    delta = cache.propose(cache.nets_of(f"io:{net}", f"io:{other}"))
+                    if accepts(delta):
+                        cache.commit()
+                        moves_accepted += 1
+                    else:
+                        cache.reject()
+                        io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
+                        io_positions[net] = _pad_position(io_sites[net], fabric)
+                        io_positions[other] = _pad_position(io_sites[other], fabric)
 
     return Placement(
         plb_sites=dict(plb_sites),
         io_sites=dict(io_sites),
-        cost=cost,
+        cost=cache.total,
         iterations=iterations,
         initial_cost=initial_cost,
+        moves_accepted=moves_accepted,
+        net_evaluations=cache.evaluations,
+        net_count=cache.net_count,
     )
-
-
-def _accept(old_cost: float, new_cost: float, temperature: float, rng: random.Random) -> float:
-    """Metropolis acceptance probability for a worsening move."""
-    if temperature <= 0:
-        return 0.0
-    import math
-
-    return math.exp(-(new_cost - old_cost) / temperature)

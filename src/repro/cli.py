@@ -27,6 +27,7 @@ from typing import Sequence
 from repro.cad.flow import FlowOptions
 from repro.core.params import ArchitectureParams, RoutingParams
 from repro.sweep import (
+    StoreLockTimeout,
     SweepResultStore,
     available_executors,
     format_report,
@@ -120,9 +121,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
-    outcome = SweepResultStore(args.store).gc(
-        keep_latest=args.keep_latest, dry_run=args.dry_run
-    )
+    try:
+        outcome = SweepResultStore(args.store).gc(
+            keep_latest=args.keep_latest, dry_run=args.dry_run
+        )
+    except StoreLockTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     verb = "would remove" if args.dry_run else "removed"
     print(
         f"{verb} {outcome['removed']} retired record(s) "
@@ -160,7 +165,11 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_clear(args: argparse.Namespace) -> int:
-    removed = SweepResultStore(args.store).clear()
+    try:
+        removed = SweepResultStore(args.store).clear()
+    except StoreLockTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(f"removed {removed} record(s)")
     return 0
 

@@ -51,13 +51,22 @@ class RRNode:
 
 
 class RoutingResourceGraph:
-    """The routing-resource graph of one fabric instance."""
+    """The routing-resource graph of one fabric instance.
+
+    Besides the :class:`RRNode` object list the graph carries **flattened
+    parallel arrays** (:attr:`base_cost`, :attr:`capacity`, :attr:`is_wire`
+    and the CSR adjacency :attr:`edge_starts` / :attr:`edge_targets`), built
+    once after construction.  The router's hot loops index these plain lists
+    instead of chasing ``graph.node(i).attr`` per edge relaxation; the graph
+    is immutable after ``__init__``, so the arrays never go stale.
+    """
 
     def __init__(self, fabric: Fabric) -> None:
         self.fabric = fabric
         self.nodes: list[RRNode] = []
         self._by_name: dict[str, int] = {}
         self._build()
+        self._flatten()
 
     # ------------------------------------------------------------------
     # Node management
@@ -197,6 +206,25 @@ class RoutingResourceGraph:
                 wire = wire_ids[(orientation, cx, cy, track)]
                 self._add_edge(opin.node_id, wire)
                 self._add_edge(ipin.node_id, wire)
+
+    def _flatten(self) -> None:
+        """Build the flat parallel arrays the router's inner loops index.
+
+        ``edge_starts[i]:edge_starts[i + 1]`` slices ``edge_targets`` into
+        node *i*'s neighbours (classic CSR layout).
+        """
+        self.base_cost: list[float] = [node.base_cost for node in self.nodes]
+        self.capacity: list[int] = [node.capacity for node in self.nodes]
+        self.is_wire: list[bool] = [
+            node.node_type is RRNodeType.WIRE for node in self.nodes
+        ]
+        starts = [0]
+        targets: list[int] = []
+        for node in self.nodes:
+            targets.extend(node.edges)
+            starts.append(len(targets))
+        self.edge_starts: list[int] = starts
+        self.edge_targets: list[int] = targets
 
     # ------------------------------------------------------------------
     # Statistics

@@ -37,13 +37,14 @@ from repro.sweep.runner import (
     report_from_records,
 )
 from repro.sweep.spec import SweepPoint, SweepSpec
-from repro.sweep.store import SweepResultStore
+from repro.sweep.store import StoreLockTimeout, SweepResultStore
 
 __all__ = [
     "Executor",
     "ProcessExecutor",
     "RunnerConfig",
     "SerialExecutor",
+    "StoreLockTimeout",
     "SweepOutcome",
     "SweepPoint",
     "SweepReport",

@@ -13,15 +13,33 @@ behaviour-bearing source edit silently *retires* every old record (new keys
 miss them) without deleting anything.  The runner stamps each record with the
 fingerprint that produced it, which is what lets :meth:`SweepResultStore.stats`
 count retired records and :meth:`SweepResultStore.gc` delete them.
+
+Concurrency: readers and writers need no coordination (atomic single-file
+operations), but multi-file maintenance — :meth:`SweepResultStore.gc` and
+:meth:`SweepResultStore.clear` — serializes on a store-level lock file
+(:meth:`SweepResultStore.lock`), so two simultaneous ``repro-sweep gc``
+invocations cannot race each other's ``stat()``/``unlink()`` and
+double-report the reclaimed space.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+class StoreLockTimeout(RuntimeError):
+    """Raised when the store-level lock cannot be acquired in time."""
 
 
 class SweepResultStore:
@@ -92,6 +110,102 @@ class SweepResultStore:
             record = self.get(key)
             if record is not None:
                 yield key, record
+
+    # ------------------------------------------------------------------
+    # Store-level locking
+    # ------------------------------------------------------------------
+    @property
+    def lock_path(self) -> Path:
+        return self.root / ".lock"
+
+    @contextlib.contextmanager
+    def lock(self, timeout: float = 10.0, stale_after: float = 300.0):
+        """Advisory store-wide lock on the ``.lock`` file.
+
+        Record reads and writes never need this — they are individually
+        atomic — but *multi-file* maintenance (:meth:`gc`, :meth:`clear`)
+        does: two concurrent collectors racing ``stat()``/``unlink()`` on
+        the same files would double-count their reclaim reports.
+
+        On POSIX this is ``fcntl.flock`` on a persistent ``.lock`` file: the
+        kernel releases the lock when the holder exits *for any reason*, so
+        a crashed collector can never wedge the store and there is no
+        staleness heuristic to race on (the file itself is left in place —
+        unlinking a flock file reopens the classic stale-inode race).  Where
+        ``fcntl`` is unavailable the fallback is a best-effort
+        ``O_CREAT | O_EXCL`` token file whose *stale_after*-old leftovers
+        are broken via atomic rename; its release-vs-steal window is narrow
+        but nonzero, which is why the fallback is exactly that.  Raises
+        :class:`StoreLockTimeout` after *timeout* seconds of contention.
+        """
+        path = self.lock_path
+        deadline = time.monotonic() + timeout
+        if fcntl is not None:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            try:
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError:
+                        if time.monotonic() >= deadline:
+                            raise StoreLockTimeout(
+                                f"store {self.root} is locked (flock on {path} "
+                                f"held by another process) after {timeout:g}s"
+                            )
+                        time.sleep(0.05)
+                # For operators peeking at a busy store: who holds it.
+                os.ftruncate(fd, 0)
+                os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                yield
+            finally:
+                os.close(fd)  # closing the descriptor drops the flock
+            return
+
+        # Non-POSIX fallback: exclusive-create token file.
+        token = f"{os.getpid()}-{os.urandom(8).hex()}"
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    # Holder likely just released it — but bound the retry so
+                    # a persistently failing stat() cannot spin forever.
+                    if time.monotonic() >= deadline:
+                        raise StoreLockTimeout(
+                            f"store {self.root} is locked and its lock file "
+                            f"{path} cannot be inspected"
+                        )
+                    continue
+                if age > stale_after:
+                    # Steal the stale lock atomically: the rename succeeds
+                    # for exactly one waiter, and the O_EXCL create above
+                    # then decides the new owner.
+                    grave = path.with_name(f".lock-stale-{token}")
+                    with contextlib.suppress(OSError):
+                        os.rename(path, grave)
+                        os.unlink(grave)
+                    continue
+                if time.monotonic() >= deadline:
+                    raise StoreLockTimeout(
+                        f"store {self.root} is locked (lock file {path} held "
+                        f"for {age:.1f}s); remove it if the holder crashed"
+                    )
+                time.sleep(0.05)
+                continue
+            try:
+                os.write(fd, token.encode("ascii"))
+            finally:
+                os.close(fd)
+            break
+        try:
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                if path.read_text(encoding="ascii") == token:
+                    path.unlink()
 
     # ------------------------------------------------------------------
     # Observability and garbage collection
@@ -174,11 +288,24 @@ class SweepResultStore:
         "unknown" generation; **unreadable/corrupt** files (permanent cache
         misses, counted as retired by :meth:`stats`) are always collected,
         never spared.  ``dry_run`` reports without deleting.
+
+        Concurrent ``gc`` invocations serialize on :meth:`lock` (so their
+        reclaim reports never double-count a file), and a record deleted
+        under our feet by anything else is skipped, not an error.
         """
         if current_fingerprint is None:
             from repro.fingerprint import code_fingerprint
 
             current_fingerprint = code_fingerprint()
+        with self.lock():
+            return self._gc_locked(current_fingerprint, keep_latest, dry_run)
+
+    def _gc_locked(
+        self,
+        current_fingerprint: str,
+        keep_latest: int,
+        dry_run: bool,
+    ) -> dict[str, object]:
         # Group retired records into generations by stored fingerprint.
         # Keys are enumerated directly (not via records()) so corrupt files
         # are collectable too.
@@ -238,12 +365,17 @@ class SweepResultStore:
         }
 
     def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
+        """Delete every record; returns how many were removed.
+
+        Serializes on :meth:`lock` like :meth:`gc` (both walk and delete
+        multiple files).
+        """
         removed = 0
-        for key in list(self.keys()):
-            try:
-                self.path_for(key).unlink()
-                removed += 1
-            except OSError:
-                pass
+        with self.lock():
+            for key in list(self.keys()):
+                try:
+                    self.path_for(key).unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed

@@ -1,0 +1,77 @@
+"""The CAD perf harness: BENCH_cad.json schema and the regression floor.
+
+``benchmarks/bench_cad_flow.py`` doubles as a CLI that emits the
+machine-readable perf trajectory CI uploads per build.  These tests pin the
+document schema (what dashboards and the floor check consume) and the floor
+check's pass/fail behaviour, on a small grid so tier-1 stays fast.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+import bench_cad_flow  # noqa: E402  (path shim above)
+
+
+def test_harness_document_schema(tmp_path):
+    exit_code = bench_cad_flow.main(
+        ["--json", str(tmp_path / "BENCH_cad.json"), "--widths", "1,2"]
+    )
+    assert exit_code == 0
+    document = json.loads((tmp_path / "BENCH_cad.json").read_text(encoding="utf-8"))
+
+    assert document["schema"] == bench_cad_flow.BENCH_SCHEMA
+    assert document["benchmark"] == "bench_cad_flow"
+    assert [design["bits"] for design in document["designs"]] == [1, 2]
+    for design in document["designs"]:
+        assert set(design["stages_s"]) == {"pack", "place", "route"}
+        placement = design["placement"]
+        assert placement["moves_per_s"] > 0
+        assert placement["net_evals"] <= placement["full_recompute_evals"]
+        assert placement["eval_reduction"] > 1.0
+        routing = design["routing"]
+        assert routing["success"] is True
+        assert sum(routing["reroutes_per_iteration"]) == routing["total_reroutes"]
+        assert routing["reroutes_per_iteration"][0] == routing["nets"]
+    headline = document["headline"]
+    assert headline["largest_design"] == document["designs"][-1]["name"]
+
+
+def test_floor_check_passes_and_fails_correctly():
+    document = bench_cad_flow.run_harness(widths=(1, 2))
+    # A floor far below any real machine: healthy.
+    assert bench_cad_flow.check_floor(
+        document, {"placement_moves_per_s": 1.0, "regression_factor": 3}
+    ) == []
+    # An impossibly high floor: the regression trips.
+    problems = bench_cad_flow.check_floor(
+        document, {"placement_moves_per_s": 1e12, "regression_factor": 3}
+    )
+    assert problems and "below the floor" in problems[0]
+    # A broken delta evaluator would trip the eval-reduction guard.
+    problems = bench_cad_flow.check_floor(
+        document, {"placement_moves_per_s": 1.0, "min_eval_reduction": 1e6}
+    )
+    assert problems and "eval reduction" in problems[0]
+    # A router that stops converging on a harness design fails the check
+    # even when throughput is healthy.
+    import copy
+
+    broken = copy.deepcopy(document)
+    broken["designs"][-1]["routing"]["success"] = False
+    problems = bench_cad_flow.check_floor(
+        broken, {"placement_moves_per_s": 1.0, "regression_factor": 3}
+    )
+    assert problems and "failed to route" in problems[0]
+
+
+def test_checked_in_floor_file_is_well_formed():
+    floor = json.loads(
+        (ROOT / "benchmarks" / "perf_floor.json").read_text(encoding="utf-8")
+    )
+    assert floor["placement_moves_per_s"] > 0
+    assert floor["regression_factor"] >= 1
+    assert floor["min_eval_reduction"] >= 1

@@ -1,0 +1,261 @@
+"""Incremental place & route: invariants, parity and quality gates.
+
+Three families of guarantees introduced by the delta-HPWL placer and the
+dirty-net PathFinder router:
+
+* the placer's per-net cost cache equals a full ``_hpwl`` recompute at every
+  step of any move sequence (property test + in-anneal audit);
+* dirty-net re-routing stays *legal* (no overused node in a successful
+  result) and is never worse than full re-routing in success or channel
+  width across registry circuits × seeds;
+* the paper's ``qdi_multiplier_2x2`` quality gate: routed success and
+  wirelength at channel width 10 no worse than the full re-route reference,
+  and the minimum routable channel width no higher.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cad.flow import CadFlow
+from repro.cad.pack import pack_design
+from repro.cad.place import HpwlCache, _build_net_terminals, _hpwl, _pad_position, place_design
+from repro.cad.route import route_design
+from repro.circuits.registry import build_circuit
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.core.rrgraph import RoutingResourceGraph
+
+
+# ----------------------------------------------------------------------
+# Delta-HPWL == full recompute: property test over random move sequences
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_blocks=st.integers(1, 6),
+    n_io=st.integers(0, 4),
+    n_nets=st.integers(1, 10),
+    n_moves=st.integers(1, 60),
+)
+def test_delta_hpwl_equals_full_recompute_after_random_moves(
+    seed, n_blocks, n_io, n_nets, n_moves
+):
+    rng = random.Random(seed)
+    width, height = rng.randint(3, 7), rng.randint(3, 7)
+    blocks = [f"b{index}" for index in range(n_blocks)]
+    io_nets = [f"pi{index}" for index in range(n_io)]
+    terminals = blocks + [f"io:{net}" for net in io_nets]
+
+    def random_site():
+        return (rng.randrange(width), rng.randrange(height))
+
+    def random_io_position():
+        # Boundary-style integer-valued coordinates, as _pad_position yields.
+        return (float(rng.randrange(-1, width + 1)), float(rng.randrange(-1, height + 1)))
+
+    plb_sites = {name: random_site() for name in blocks}
+    io_positions = {net: random_io_position() for net in io_nets}
+    nets = {}
+    for index in range(n_nets):
+        size = rng.randint(2, len(terminals)) if len(terminals) >= 2 else 0
+        if size:
+            nets[f"n{index}"] = rng.sample(terminals, size)
+    if not nets:
+        return
+
+    cache = HpwlCache(nets, plb_sites, io_positions)
+    assert cache.total == _hpwl(nets, plb_sites, io_positions)
+
+    for _ in range(n_moves):
+        kind = rng.choice(["move", "swap", "io"] if io_nets else ["move", "swap"])
+        if kind == "move":
+            name = rng.choice(blocks)
+            saved = plb_sites[name]
+            plb_sites[name] = random_site()
+            affected = cache.nets_of(name)
+        elif kind == "swap":
+            a, b = rng.choice(blocks), rng.choice(blocks)
+            saved = (plb_sites[a], plb_sites[b])
+            plb_sites[a], plb_sites[b] = plb_sites[b], plb_sites[a]
+            affected = cache.nets_of(a, b)
+        else:
+            name = rng.choice(io_nets)
+            saved = io_positions[name]
+            io_positions[name] = random_io_position()
+            affected = cache.nets_of(f"io:{name}")
+        delta = cache.propose(affected)
+        if rng.random() < 0.5:
+            cache.commit()
+            assert math.isfinite(cache.total)
+        else:
+            cache.reject()
+            if kind == "move":
+                plb_sites[name] = saved
+            elif kind == "swap":
+                plb_sites[a], plb_sites[b] = saved
+            else:
+                io_positions[name] = saved
+        # The headline invariant: the cached total is *exactly* the full
+        # recompute (integer-valued coordinates make float sums exact).
+        assert cache.total == _hpwl(nets, plb_sites, io_positions)
+        assert isinstance(delta, (int, float))
+
+
+def test_place_design_audited_anneal_and_final_cost():
+    # audit_interval=1 asserts cache == full recompute inside every move of
+    # the real anneal; the final cost must also match an independent
+    # recompute from the returned placement.
+    circuit = build_circuit("qdi_full_adder")
+    flow = CadFlow(ArchitectureParams(width=5, height=5))
+    design = flow.map(circuit)
+    pack_design(design, flow.architecture.plb)
+    placement = place_design(design, flow.fabric, seed=3, audit_interval=1)
+
+    nets = _build_net_terminals(design)
+    io_positions = {
+        net: _pad_position(pad, flow.fabric) for net, pad in placement.io_sites.items()
+    }
+    assert placement.cost == _hpwl(nets, placement.plb_sites, io_positions)
+    assert placement.net_count == len(nets)
+    assert placement.iterations >= 200
+    assert 0 < placement.moves_accepted <= placement.iterations
+
+
+def test_incremental_placer_saves_net_evaluations():
+    # The reason the rewrite exists: far fewer per-net evaluations than the
+    # full-recompute annealer's moves * nets.
+    adder = build_circuit("qdi_ripple_adder_4")
+    design = adder.mapped
+    pack_design(design)
+    fabric = Fabric(ArchitectureParams(width=7, height=7))
+    placement = place_design(design, fabric, seed=1)
+    full_equivalent = placement.iterations * placement.net_count
+    assert placement.net_evaluations * 4 < full_equivalent
+
+
+def test_placement_counters_serialize():
+    adder = build_circuit("qdi_ripple_adder_2")
+    design = adder.mapped
+    pack_design(design)
+    fabric = Fabric(ArchitectureParams(width=6, height=6))
+    placement = place_design(design, fabric, seed=5)
+    from repro.cad.place import Placement
+
+    rebuilt = Placement.from_dict(placement.to_dict())
+    assert rebuilt.net_evaluations == placement.net_evaluations
+    assert rebuilt.moves_accepted == placement.moves_accepted
+    assert rebuilt.net_count == placement.net_count
+    assert rebuilt.plb_sites == placement.plb_sites
+
+
+# ----------------------------------------------------------------------
+# Router parity: dirty-net vs full re-routing
+# ----------------------------------------------------------------------
+PARITY_CIRCUITS = (
+    "qdi_full_adder",
+    "qdi_full_adder_1of4",
+    "micropipeline_full_adder",
+    "qdi_ripple_adder_2",
+    "qdi_ripple_adder_4",
+    "micropipeline_ripple_adder_4",
+    "wchb_fifo_4",
+    "wchb_fifo_8",
+)
+
+
+def _place_and_graph(name: str, seed: int):
+    circuit = build_circuit(name)
+    arch = ArchitectureParams(routing=RoutingParams(channel_width=10))
+    flow = CadFlow(arch)
+    if hasattr(circuit, "mapped"):
+        design = circuit.mapped
+        if design.params != arch.plb:
+            design = flow.map(circuit.gate_circuit)
+    else:
+        design = flow.map(circuit)
+    pack_design(design, arch.plb)
+    side = max(4, int(len(design.plbs) ** 0.5) + 2)
+    params = ArchitectureParams(
+        width=side, height=side, routing=RoutingParams(channel_width=10, io_pads_per_side=8)
+    )
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=seed)
+    return design, placement, graph
+
+
+def _assert_legal(routing, graph):
+    occupancy = [0] * len(graph)
+    for routed in routing.routed.values():
+        for node_id in routed.nodes:
+            occupancy[node_id] += 1
+    assert all(
+        occupancy[node_id] <= graph.capacity[node_id] for node_id in range(len(graph))
+    )
+
+
+@pytest.mark.parametrize("name", PARITY_CIRCUITS)
+@pytest.mark.parametrize("seed", [1, 7])
+def test_dirty_net_routing_parity_with_full_rerouting(name, seed):
+    design, placement, graph = _place_and_graph(name, seed)
+    incremental = route_design(design, placement, graph, incremental=True)
+    full = route_design(design, placement, graph, incremental=False)
+
+    # Success parity: dirty-net routing converges wherever full does.
+    assert incremental.success or not full.success
+    if incremental.success:
+        _assert_legal(incremental, graph)
+        assert incremental.routed.keys() == full.routed.keys()
+        # Quality gate: within 2% of the full re-route wirelength.
+        if full.success:
+            assert incremental.total_wirelength <= full.total_wirelength * 1.02
+    # The perf point: after the first iteration, dirty iterations re-route
+    # only a subset of the nets (recovery sweeps excepted).
+    per_iteration = incremental.reroutes_per_iteration
+    if incremental.iterations > 1:
+        assert any(count < per_iteration[0] for count in per_iteration[1:])
+
+
+def test_dirty_net_first_iteration_routes_every_net():
+    design, placement, graph = _place_and_graph("qdi_full_adder", 1)
+    incremental = route_design(design, placement, graph, incremental=True)
+    assert incremental.reroutes_per_iteration[0] == len(incremental.routed)
+    # Later iterations touch only dirty nets.
+    assert all(
+        count <= incremental.reroutes_per_iteration[0]
+        for count in incremental.reroutes_per_iteration
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's multiplier: channel-width / wirelength quality gate
+# ----------------------------------------------------------------------
+def _multiplier_route(channel_width: int, incremental: bool):
+    arch = ArchitectureParams(routing=RoutingParams(channel_width=channel_width))
+    flow = CadFlow(arch)
+    design = flow.map(build_circuit("qdi_multiplier_2x2"))
+    pack_design(design, arch.plb)
+    placement = place_design(design, flow.fabric, seed=1)
+    return route_design(design, placement, flow.rr_graph, incremental=incremental), flow
+
+
+def test_multiplier_quality_gate_channel_width_10():
+    incremental, flow = _multiplier_route(10, incremental=True)
+    full, _ = _multiplier_route(10, incremental=False)
+    assert incremental.success and full.success
+    _assert_legal(incremental, flow.rr_graph)
+    # Wirelength no worse than the full re-route reference.
+    assert incremental.total_wirelength <= full.total_wirelength
+
+
+def test_multiplier_routes_at_default_channel_width_8():
+    # The seed router needed channel width 10; the incremental router's
+    # recovery schedule closes the ROADMAP gap and routes the decomposed
+    # multiplier on the paper's default fabric (channel width 8).
+    incremental, flow = _multiplier_route(8, incremental=True)
+    assert incremental.success
+    _assert_legal(incremental, flow.rr_graph)

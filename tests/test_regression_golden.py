@@ -39,9 +39,13 @@ FULL_FLOW_SUMMARY_KEYS = {
     "filling_ratio_per_plb",
     "le_occupancy",
     "placement_cost",
+    "placement_moves",
+    "placement_net_evals",
     "routed_nets",
     "total_wirelength",
     "routing_success",
+    "router_iterations",
+    "router_nets_rerouted",
     "max_net_delay_ps",
     "le_levels",
     "forward_latency_ps",

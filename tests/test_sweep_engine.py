@@ -550,3 +550,120 @@ def test_reporters_render_all_outcomes(tmp_path):
     document = json.loads(json_path.read_text(encoding="utf-8"))
     assert document["stats"]["points"] == 2
     assert len(document["rows"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Store-level locking (concurrent gc / clear)
+# ----------------------------------------------------------------------
+def test_store_lock_serializes_and_times_out(tmp_path):
+    from repro.sweep import StoreLockTimeout
+
+    store = SweepResultStore(tmp_path)
+    with store.lock():
+        assert store.lock_path.is_file()
+        with pytest.raises(StoreLockTimeout):
+            with store.lock(timeout=0.2):
+                pass  # pragma: no cover - the acquire must fail
+    # Released on exit: immediately reacquirable (the flock file itself may
+    # legitimately persist — unlinking a flock file is the classic race).
+    with store.lock(timeout=0.2):
+        pass
+
+
+def test_store_lock_survives_crashed_holder_leftovers(tmp_path):
+    import os
+    import time
+
+    store = SweepResultStore(tmp_path)
+    # A crashed holder's leftover lock file (flock died with the process;
+    # on the fallback path it is older than stale_after): not fatal.
+    store.lock_path.write_text("12345\n", encoding="utf-8")
+    ancient = time.time() - 3600
+    os.utime(store.lock_path, (ancient, ancient))
+    with store.lock(timeout=0.5, stale_after=60.0):
+        assert store.lock_path.is_file()
+
+
+def test_store_lock_fallback_token_scheme(tmp_path, monkeypatch):
+    # Exercise the non-POSIX O_EXCL token path explicitly.
+    import time
+
+    import repro.sweep.store as store_module
+    from repro.sweep import StoreLockTimeout
+
+    monkeypatch.setattr(store_module, "fcntl", None)
+    store = SweepResultStore(tmp_path)
+    with store.lock():
+        assert store.lock_path.is_file()
+        with pytest.raises(StoreLockTimeout):
+            with store.lock(timeout=0.2):
+                pass  # pragma: no cover - the acquire must fail
+    assert not store.lock_path.is_file()  # token release unlinks its own lock
+    # Stale leftovers are stolen (atomic rename), then normally reacquired.
+    store.lock_path.write_text("stale-token\n", encoding="utf-8")
+    ancient = time.time() - 3600
+    import os
+
+    os.utime(store.lock_path, (ancient, ancient))
+    with store.lock(timeout=0.5, stale_after=60.0):
+        assert store.lock_path.read_text(encoding="ascii") != "stale-token\n"
+
+
+def test_store_gc_tolerates_files_vanishing_mid_walk(tmp_path, monkeypatch):
+    # A rival collector (or operator rm) deleting records between the key
+    # walk and the stat/unlink must be skipped, not raised.
+    store = SweepResultStore(tmp_path)
+    keys = [f"{index:02x}" + "0" * 62 for index in range(4)]
+    for key in keys:
+        store.put(key, {"kind": "flow", "fingerprint": "old-gen"})
+
+    real_keys = SweepResultStore.keys
+
+    def keys_then_rival_deletes(self):
+        listed = list(real_keys(self))
+        self.path_for(listed[0]).unlink()  # rival wins the race on one file
+        return iter(listed)
+
+    monkeypatch.setattr(SweepResultStore, "keys", keys_then_rival_deletes)
+    outcome = store.gc(current_fingerprint="current")
+    # The vanished record is no longer reported as removed by *this* gc.
+    assert outcome["removed"] == len(keys) - 1
+    monkeypatch.undo()
+    assert len(store) == 0
+
+
+def test_concurrent_gc_invocations_never_double_count(tmp_path):
+    import threading
+
+    store = SweepResultStore(tmp_path)
+    for index in range(30):
+        store.put(f"{index:02x}" + "0" * 62, {"kind": "flow", "fingerprint": "old"})
+
+    results: list[dict[str, object]] = []
+
+    def collect():
+        results.append(
+            SweepResultStore(tmp_path).gc(current_fingerprint="new", keep_latest=0)
+        )
+
+    threads = [threading.Thread(target=collect) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(store) == 0
+    # The lock serializes the collectors: every record is reclaimed by
+    # exactly one of them.
+    assert sum(outcome["removed"] for outcome in results) == 30
+
+
+def test_gc_and_clear_release_lock_on_success(tmp_path):
+    store = SweepResultStore(tmp_path)
+    store.put("ab" + "0" * 62, {"kind": "flow", "fingerprint": "old"})
+    store.gc(current_fingerprint="new")
+    store.put("cd" + "0" * 62, {"kind": "flow", "fingerprint": "old"})
+    assert store.clear() == 1
+    # The lock is released after each maintenance call: reacquirable at once.
+    with store.lock(timeout=0.2):
+        pass
