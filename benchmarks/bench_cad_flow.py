@@ -7,14 +7,19 @@ Two entry points share the instrumented flow runner below:
   increasing width on a fabric sized to fit).
 * **``python benchmarks/bench_cad_flow.py``**: the machine-readable perf
   harness.  It emits ``BENCH_cad.json`` — per-stage wall-clock, placement
-  moves/sec, per-net cost evaluations saved by the incremental placer, and
-  nets re-routed per PathFinder iteration — and, with ``--check-floor``,
-  fails when placement move-throughput regresses more than
-  ``regression_factor``× below the checked-in floor
-  (``benchmarks/perf_floor.json``) or the incremental placer's evaluation
-  reduction drops under ``min_eval_reduction``.  CI runs the check on every
-  build and uploads the JSON, so the perf trajectory of the CAD hot paths is
-  recorded per commit.
+  moves/sec, per-net cost evaluations saved by the incremental placer, nets
+  re-routed per PathFinder iteration, A* node-pop reduction versus plain
+  Dijkstra, and the timing-driven flow's cycle time and wall-clock versus
+  the baseline flow — and, with ``--check-floor``, fails when placement
+  move-throughput regresses more than ``regression_factor``× below the
+  checked-in floor (``benchmarks/perf_floor.json``), the incremental
+  placer's evaluation reduction drops under ``min_eval_reduction``, the A*
+  router stops popping fewer nodes than Dijkstra on the largest fabric
+  (``min_astar_pop_reduction``), or the timing-driven flow's throughput on
+  the largest design falls more than ``regression_factor``× below
+  ``timing_driven_flows_per_s``.  CI runs the check on every build and
+  uploads the JSON, so the perf trajectory of the CAD hot paths is recorded
+  per commit.
 """
 
 import argparse
@@ -37,7 +42,7 @@ from repro.core.rrgraph import RoutingResourceGraph
 
 WIDTHS = (1, 2, 4)
 HARNESS_WIDTHS = (1, 2, 4, 8)
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 DEFAULT_FLOOR_FILE = Path(__file__).with_name("perf_floor.json")
 
 
@@ -66,6 +71,20 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
     t3 = time.perf_counter()
     routing = route_design(design, placement, graph)
     t4 = time.perf_counter()
+
+    # A* counter reference: the identical route with the lower bound off.
+    dijkstra = route_design(design, placement, graph, astar=False)
+    t5 = time.perf_counter()
+
+    # Timing quality + wall-clock: the full flow, baseline vs timing-driven.
+    flow_options = dict(generate_bitstream=False)
+    t6 = time.perf_counter()
+    baseline_flow = CadFlow(params, FlowOptions(**flow_options)).run(adder)
+    t7 = time.perf_counter()
+    timing_flow = CadFlow(params, FlowOptions(timing_driven=True, **flow_options)).run(adder)
+    t8 = time.perf_counter()
+    baseline_s = t7 - t6
+    timing_s = t8 - t7
 
     place_s = t3 - t2
     full_equiv_evals = placement.iterations * placement.net_count
@@ -103,6 +122,32 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
             "full_reroute_equiv": routing.iterations * len(routing.routed),
             "wirelength": routing.total_wirelength,
         },
+        "astar": {
+            "pops": routing.node_pops,
+            "dijkstra_pops": dijkstra.node_pops,
+            "pop_reduction": (
+                round(dijkstra.node_pops / routing.node_pops, 2)
+                if routing.node_pops
+                else 0.0
+            ),
+            "dijkstra_route_s": round(t5 - t4, 6),
+            "parity": routing.success == dijkstra.success,
+        },
+        "timing": {
+            "cycle_time_ps": baseline_flow.summary().get("cycle_time_ps", 0),
+            "timing_driven_cycle_time_ps": timing_flow.summary().get("cycle_time_ps", 0),
+            "critical_nets_rerouted": timing_flow.summary().get(
+                "critical_nets_rerouted", 0
+            ),
+            "baseline_flow_s": round(baseline_s, 6),
+            "timing_driven_flow_s": round(timing_s, 6),
+            "timing_driven_flows_per_s": (
+                round(1.0 / timing_s, 3) if timing_s > 0 else 0.0
+            ),
+            "timing_driven_slowdown": (
+                round(timing_s / baseline_s, 2) if baseline_s > 0 else 0.0
+            ),
+        },
     }
 
 
@@ -124,6 +169,13 @@ def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
             "placement_eval_reduction": largest["placement"]["eval_reduction"],
             "router_total_reroutes": largest["routing"]["total_reroutes"],
             "router_full_reroute_equiv": largest["routing"]["full_reroute_equiv"],
+            "astar_pop_reduction": largest["astar"]["pop_reduction"],
+            "cycle_time_ps": largest["timing"]["cycle_time_ps"],
+            "timing_driven_cycle_time_ps": largest["timing"][
+                "timing_driven_cycle_time_ps"
+            ],
+            "timing_driven_flows_per_s": largest["timing"]["timing_driven_flows_per_s"],
+            "timing_driven_slowdown": largest["timing"]["timing_driven_slowdown"],
         },
     }
 
@@ -159,6 +211,21 @@ def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[s
             f"placement eval reduction {reduction:.2f}x is below the "
             f"required {min_reduction:g}x (incremental delta-HPWL broken?)"
         )
+    min_pop_reduction = float(floor.get("min_astar_pop_reduction", 0.0))
+    pop_reduction = float(headline.get("astar_pop_reduction", 0.0))
+    if min_pop_reduction > 0 and pop_reduction < min_pop_reduction:
+        problems.append(
+            f"A* pop reduction {pop_reduction:.2f}x on the largest fabric is "
+            f"below the required {min_pop_reduction:g}x (admissible lower "
+            "bound broken or disabled?)"
+        )
+    floor_td = float(floor.get("timing_driven_flows_per_s", 0.0))
+    measured_td = float(headline.get("timing_driven_flows_per_s", 0.0))
+    if floor_td > 0 and measured_td * factor < floor_td:
+        problems.append(
+            f"timing-driven throughput {measured_td:.3f} flows/s is more than "
+            f"{factor:g}x below the floor {floor_td:.3f} flows/s"
+        )
     return problems
 
 
@@ -192,7 +259,10 @@ def main(argv: list[str] | None = None) -> int:
             "route_s": design["stages_s"]["route"],
             "moves/s": design["placement"]["moves_per_s"],
             "eval_reduction": f'{design["placement"]["eval_reduction"]}x',
-            "reroutes": design["routing"]["total_reroutes"],
+            "astar_pops": f'{design["astar"]["pop_reduction"]}x',
+            "cycle_ps": design["timing"]["cycle_time_ps"],
+            "td_cycle_ps": design["timing"]["timing_driven_cycle_time_ps"],
+            "td_slowdown": f'{design["timing"]["timing_driven_slowdown"]}x',
             "routed": design["routing"]["success"],
         }
         for design in document["designs"]
@@ -209,7 +279,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(
             f"perf floor ok: {document['headline']['placement_moves_per_s']:.0f} moves/s, "
-            f"{document['headline']['placement_eval_reduction']}x fewer net evals"
+            f"{document['headline']['placement_eval_reduction']}x fewer net evals, "
+            f"{document['headline']['astar_pop_reduction']}x fewer A* pops, "
+            f"timing-driven {document['headline']['timing_driven_flows_per_s']:.3f} flows/s"
         )
     return 0
 

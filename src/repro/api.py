@@ -81,6 +81,7 @@ def run_sweep(
     cache_dir: str | os.PathLike[str] | None = None,
     executor: str | None = None,
     placement_cache: bool = True,
+    routing_cache: bool = False,
 ) -> SweepReport:
     """Run a (circuit × architecture × options) grid through the batch engine.
 
@@ -106,6 +107,10 @@ def run_sweep(
     placement_cache:
         Set ``False`` to disable placement caching / incremental re-route
         while keeping the summary cache.
+    routing_cache:
+        Set ``True`` to additionally cache legal routed trees and warm-start
+        PathFinder across channel-width ladders (quality-gated but not
+        bit-identical to cold routing; see ``docs/sweep.md``).
 
     Returns
     -------
@@ -127,6 +132,7 @@ def run_sweep(
         workers=workers,
         executor=executor,
         placement_cache=placement_cache,
+        routing_cache=routing_cache,
     )
     return runner.run(spec)
 

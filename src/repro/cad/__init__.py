@@ -14,9 +14,11 @@ The flow takes a gate-level circuit produced by :mod:`repro.styles` (or any
    pin and interconnection-matrix constraints and attaches delay elements.
 3. **Placement** (:mod:`~repro.cad.place`) assigns PLBs to fabric sites and
    primary IOs to pads using simulated annealing on the half-perimeter
-   wirelength.
+   wirelength (optionally blended with criticality-weighted bounding-box
+   delay in timing-driven mode).
 4. **Routing** (:mod:`~repro.cad.route`) is a negotiated-congestion
-   (PathFinder) router over the fabric's routing-resource graph.
+   (PathFinder) router over the fabric's routing-resource graph, with
+   A*-accelerated searches and optional timing-driven costs.
 5. **Timing** (:mod:`~repro.cad.timing`), **metrics**
    (:mod:`~repro.cad.metrics`, including the paper's *filling ratio*) and
    **bitstream generation** complete the flow.
@@ -28,9 +30,9 @@ The flow takes a gate-level circuit produced by :mod:`repro.styles` (or any
 from repro.cad.lemap import LEFunction, MappedDesign, MappedLE, MappedPDE, MappedPLB
 from repro.cad.techmap import template_map, generic_map
 from repro.cad.pack import pack_design
-from repro.cad.place import Placement, place_design
-from repro.cad.route import RoutingResult, route_design
-from repro.cad.timing import TimingModel, TimingReport, analyse_timing
+from repro.cad.place import NetCostCache, Placement, TimingObjective, place_design
+from repro.cad.route import RoutingResult, refine_critical_nets, route_design
+from repro.cad.timing import TimingEngine, TimingModel, TimingReport, analyse_timing
 from repro.cad.metrics import FillingRatioReport, filling_ratio, utilisation_report
 from repro.cad.flow import CadFlow, FlowOptions, FlowResult
 
@@ -45,8 +47,12 @@ __all__ = [
     "pack_design",
     "place_design",
     "Placement",
+    "NetCostCache",
+    "TimingObjective",
     "route_design",
+    "refine_critical_nets",
     "RoutingResult",
+    "TimingEngine",
     "TimingModel",
     "TimingReport",
     "analyse_timing",

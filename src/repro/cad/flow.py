@@ -24,21 +24,28 @@ Invariants the sweep engine builds on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.cad.bitgen import ConfiguredPLB, generate_bitstream
 from repro.cad.lemap import MappedDesign
 from repro.cad.metrics import FillingRatioReport, filling_ratio
 from repro.cad.pack import pack_design, packing_summary
-from repro.cad.place import Placement, place_design
-from repro.cad.route import RoutingResult, route_design
+from repro.cad.place import Placement, TimingObjective, place_design
+from repro.cad.route import RoutingResult, refine_critical_nets, route_design
 from repro.cad.techmap import MappingError, generic_map, template_map
-from repro.cad.timing import TimingModel, TimingReport, analyse_timing
+from repro.cad.timing import TimingEngine, TimingModel, TimingReport, analyse_timing
 from repro.core.bitstream import Bitstream
 from repro.core.fabric import Fabric
 from repro.core.params import ArchitectureParams, SerializableParams
 from repro.core.rrgraph import RoutingResourceGraph
 from repro.netlist.netlist import Netlist
 from repro.styles.base import StyledCircuit
+
+#: VPR-style criticality sharpening applied before the placer/router blends:
+#: raw criticalities of shallow asynchronous netlists cluster near 1.0, and
+#: ``crit ** CRITICALITY_EXPONENT`` spreads them so only genuinely critical
+#: nets trade congestion for delay.
+CRITICALITY_EXPONENT = 8.0
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,14 @@ class FlowOptions(SerializableParams):
     placement_effort: float = 1.0
     router_max_iterations: int = 30
     timing_model: TimingModel = field(default_factory=TimingModel)
+    #: Feed criticality from the timing engine back into the placer's blended
+    #: cost and the router's ``crit * delay + (1 - crit) * congestion`` cost,
+    #: then post-optimise critical nets for delay (see ``docs/flow.md``).
+    timing_driven: bool = False
+    #: The placement blend weight (``lambda``): 0.0 anneals pure wirelength,
+    #: 1.0 pure criticality-weighted bounding-box delay.  Only meaningful
+    #: with ``timing_driven=True``.
+    timing_tradeoff: float = 0.5
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "FlowOptions":
@@ -84,6 +99,15 @@ class FlowResult:
     #: placement cache, ``False`` when a cache was consulted but missed,
     #: ``None`` when no placement cache was involved (plain flow runs).
     placement_cache_hit: bool | None = None
+    #: Whether the timing-driven loop drove this flow (criticality-fed
+    #: placement/routing plus the critical-net refinement pass).
+    timing_driven: bool = False
+    #: Critical nets whose trees the refinement pass actually shortened
+    #: (``None`` when the pass did not run, e.g. routing failed or off).
+    critical_nets_rerouted: int | None = None
+    #: Handshake cycle time right after negotiation, before the refinement
+    #: pass — the baseline of the reported improvement delta.
+    cycle_time_pre_refine_ps: int | None = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -128,6 +152,18 @@ class FlowResult:
             net-route operations (the dirty-net router re-routes only nets
             touching overused nodes after the first iteration, so this stays
             well below ``iterations * nets``).
+        ``router_node_pops``
+            Dijkstra/A* heap pops over the whole routing run — the counter
+            the A* geometric lower bound reduces versus plain Dijkstra.
+        ``routing_warm_started``
+            Only when a routing-tree warm start seeded this run (the sweep
+            engine's channel-width ladders): how many nets inherited a
+            validated seed tree instead of routing from scratch.
+        ``timing_driven``, ``critical_nets_rerouted``,
+        ``cycle_time_improvement_ps``
+            Only on timing-driven flows: the mode marker, how many critical
+            nets the post-route refinement pass actually shortened, and the
+            cycle-time delta that pass bought (pre-refinement minus final).
         ``max_net_delay_ps``, ``le_levels``, ``forward_latency_ps``,
         ``cycle_time_ps``
             Timing report (see :mod:`repro.cad.timing`).
@@ -166,8 +202,25 @@ class FlowResult:
             data["routing_success"] = self.routing.success
             data["router_iterations"] = self.routing.iterations
             data["router_nets_rerouted"] = self.routing.total_reroutes
+            data["router_node_pops"] = self.routing.node_pops
+            if self.routing.warm_started_nets:
+                # Only present when a warm-start seed actually fired, so
+                # plain flows keep their historical key set.
+                data["routing_warm_started"] = self.routing.warm_started_nets
         if self.timing is not None:
             data.update(self.timing.as_row())
+        if self.timing_driven:
+            data["timing_driven"] = True
+            data["critical_nets_rerouted"] = self.critical_nets_rerouted or 0
+            if (
+                self.cycle_time_pre_refine_ps is not None
+                and self.timing is not None
+            ):
+                data["cycle_time_improvement_ps"] = (
+                    self.cycle_time_pre_refine_ps - self.timing.cycle_time_ps
+                )
+            else:
+                data["cycle_time_improvement_ps"] = 0
         if self.bitstream is not None:
             data["bitstream_bits_set"] = self.bitstream.used_bits()
             data["bitstream_bits_total"] = self.bitstream.total_bits
@@ -231,6 +284,30 @@ class CadFlow:
             )
         return mapped
 
+    def _resolve_routing_seed(
+        self, routing_seed: Mapping[str, Sequence[str]] | None
+    ) -> dict[str, list[int]] | None:
+        """Map warm-start trees from node names to this graph's node ids.
+
+        Names that do not exist on this fabric (e.g. tracks beyond a
+        narrower channel width) are dropped; the router then validates what
+        remains per net and falls back to routing nets whose trees broke.
+        """
+        if not routing_seed:
+            return None
+        graph = self.rr_graph
+        resolved: dict[str, list[int]] = {}
+        for net, names in routing_seed.items():
+            ids: list[int] = []
+            for name in names:
+                try:
+                    ids.append(graph.node_by_name(str(name)).node_id)
+                except KeyError:
+                    continue
+            if ids:
+                resolved[net] = ids
+        return resolved or None
+
     def map(self, circuit: StyledCircuit | Netlist) -> MappedDesign:
         if isinstance(circuit, StyledCircuit):
             if self.options.use_template_mapping:
@@ -242,6 +319,7 @@ class CadFlow:
         self,
         circuit: StyledCircuit | Netlist | MappedDesign | object,
         placement: Placement | None = None,
+        routing_seed: Mapping[str, Sequence[str]] | None = None,
     ) -> FlowResult:
         """Execute mapping → packing → placement → routing → analysis.
 
@@ -261,6 +339,20 @@ class CadFlow:
         engine when only routing-side options changed.  An injected placement
         that does not match the design is discarded (the flow re-places and
         reports ``placement_cache_hit=False``) rather than routed blindly.
+
+        ``routing_seed`` warm-starts the router with externally cached
+        routed trees, given as node *names* per net (typically a
+        neighbouring channel width's legal routing from the sweep engine's
+        routing-tree cache).  Seed trees that do not validate on this
+        fabric's RR graph are ignored, and a seeded routing that fails to
+        converge is retried cold, so a stale seed can never make a routable
+        point unroutable.
+
+        With ``options.timing_driven`` the flow runs the criticality loop:
+        place with the blended cost, estimate net delays from the placement
+        geometry, route with ``crit * delay + (1 - crit) * congestion``
+        costs, analyse the routed trees, then re-route critical nets for
+        delay until the refinement pass stops improving.
         """
         if isinstance(circuit, MappedDesign):
             mapped = self._check_premapped(circuit, circuit.name)
@@ -288,11 +380,23 @@ class CadFlow:
         result.packing = packing_summary(mapped)
         result.filling = filling_ratio(mapped)
 
+        model = self.options.timing_model
+        engine: TimingEngine | None = None
+        if self.options.timing_driven:
+            # Before placement the engine runs on flat default net delays,
+            # which already yields structural (depth-based) criticalities —
+            # enough signal for the annealer's blended cost.
+            engine = TimingEngine(mapped, model)
+            result.timing_driven = True
+
+        baseline_placement: Placement | None = None
         if self.options.run_placement:
             if placement is not None and placement.matches_design(mapped, self.fabric):
                 result.placement = placement
                 result.placement_cache_hit = True
             else:
+                # The baseline wirelength anneal — bit-identical to the
+                # non-timing-driven flow for the same seed/effort.
                 result.placement = place_design(
                     mapped,
                     self.fabric,
@@ -301,20 +405,138 @@ class CadFlow:
                 )
                 if placement is not None:
                     result.placement_cache_hit = False
+                if engine is not None:
+                    # Timing polish: a short low-temperature anneal under the
+                    # blended objective, warm-started from the baseline
+                    # layout.  Criticalities come from the baseline
+                    # placement's geometry (not just structure), and the
+                    # polish cannot tear up the routable layout the way a
+                    # full blended anneal can.
+                    baseline_placement = result.placement
+                    engine.estimate_from_placement(baseline_placement, self.fabric)
+                    objective = TimingObjective(
+                        engine.criticalities(exponent=CRITICALITY_EXPONENT),
+                        tradeoff=self.options.timing_tradeoff,
+                        wire_segment_delay_ps=model.wire_segment_delay_ps,
+                        switch_delay_ps=model.switch_delay_ps,
+                        cbox_delay_ps=model.cbox_delay_ps,
+                    )
+                    result.placement = place_design(
+                        mapped,
+                        self.fabric,
+                        seed=self.options.placement_seed,
+                        effort=self.options.placement_effort * 0.4,
+                        objective=objective,
+                        initial=baseline_placement,
+                        temperature_factor=0.02,
+                    )
 
         if self.options.run_routing and result.placement is not None:
-            result.routing = route_design(
-                mapped,
-                result.placement,
-                self.rr_graph,
-                max_iterations=self.options.router_max_iterations,
-            )
+            criticalities = None
+            if engine is not None:
+                # Re-estimate every inter-block net from its placed bounding
+                # box so the router sees geometry-aware criticalities.
+                engine.estimate_from_placement(result.placement, self.fabric)
+                criticalities = engine.criticalities(exponent=CRITICALITY_EXPONENT)
+            warm_start = self._resolve_routing_seed(routing_seed)
+
+            def attempt(
+                target: Placement,
+                crits: Mapping[str, float] | None,
+                seed: Mapping[str, Sequence[int]] | None,
+            ) -> RoutingResult:
+                return route_design(
+                    mapped,
+                    target,
+                    self.rr_graph,
+                    max_iterations=self.options.router_max_iterations,
+                    criticalities=crits,
+                    timing_model=model if crits is not None else None,
+                    warm_start=seed,
+                    # Timing-driven rungs are backed by this ladder itself;
+                    # only the final congestion rung keeps the router's
+                    # internal A*→Dijkstra restart (baseline semantics).
+                    restart_on_failure=crits is None,
+                )
+
+            routing = attempt(result.placement, criticalities, warm_start)
+            if warm_start and not routing.success:
+                # A stale seed must never cost routability: retry cold.
+                routing = attempt(result.placement, criticalities, None)
+            if (
+                engine is not None
+                and not routing.success
+                and baseline_placement is not None
+                and baseline_placement is not result.placement
+            ):
+                # The polished placement made a borderline fabric
+                # unroutable: fall back to the baseline layout (already in
+                # hand — no re-anneal), still routing timing-driven.
+                engine.estimate_from_placement(baseline_placement, self.fabric)
+                criticalities = engine.criticalities(exponent=CRITICALITY_EXPONENT)
+                retry = attempt(baseline_placement, criticalities, None)
+                if retry.success:
+                    result.placement = baseline_placement
+                    routing = retry
+            if criticalities is not None and not routing.success:
+                # Nor may timing-driven costs ever cost routability: finish
+                # on pure congestion negotiation (bit-identical to the
+                # baseline flow when the baseline placement is in use); the
+                # refinement pass below still recovers the delay
+                # optimisation on the legal result.
+                target = (
+                    baseline_placement
+                    if baseline_placement is not None
+                    else result.placement
+                )
+                retry = attempt(target, None, None)
+                if retry.success or target is not result.placement:
+                    result.placement = target
+                    routing = retry
+            result.routing = routing
+
+            if engine is not None and routing.success:
+                engine.update_from_routing(routing, self.rr_graph)
+                result.cycle_time_pre_refine_ps = engine.cycle_time_ps
+                # The refinement pass may displace non-critical nets onto
+                # longer paths; cap the growth at the repo-wide 2% quality
+                # budget relative to the negotiated routing.
+                wirelength_budget = int(routing.total_wirelength * 1.02)
+                improved_total = 0
+                best_cycle = engine.cycle_time_ps
+                for _refine_pass in range(3):
+                    # refine_critical_nets only rebinds dict entries to new
+                    # RoutedNet objects, so a shallow copy reverts fully.
+                    snapshot = dict(routing.routed)
+                    improved = refine_critical_nets(
+                        routing,
+                        self.rr_graph,
+                        engine.criticalities(),
+                        model,
+                        max_wirelength=wirelength_budget,
+                    )
+                    if not improved:
+                        break
+                    engine.update_from_routing(routing, self.rr_graph)
+                    if engine.cycle_time_ps > best_cycle:
+                        # A displaced net became the new critical path:
+                        # revert the pass and stop refining.
+                        routing.routed = snapshot
+                        routing.critical_reroutes -= improved
+                        engine.update_from_routing(routing, self.rr_graph)
+                        break
+                    best_cycle = engine.cycle_time_ps
+                    improved_total += improved
+                result.critical_nets_rerouted = improved_total
 
         result.timing = analyse_timing(
             mapped,
             routing=result.routing,
             graph=self.rr_graph if result.routing is not None else None,
-            model=self.options.timing_model,
+            model=model,
+            placement=result.placement if engine is not None else None,
+            fabric=self.fabric if engine is not None else None,
+            engine=engine,
         )
 
         if self.options.generate_bitstream and result.placement is not None:

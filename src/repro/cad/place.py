@@ -1,20 +1,31 @@
 """Placement: assigning packed PLBs to fabric sites and primary IOs to pads.
 
-The placer is a classic simulated-annealing engine over the half-perimeter
-wirelength (HPWL) of the inter-block nets.  Cost evaluation is **incremental**
-(VPR-style): a per-net cost cache plus a block→nets index mean that a move or
-swap re-evaluates only the nets touching the moved blocks, so the cost of one
-move is proportional to the moved blocks' fan-out, not to the design's net
-count.  Site and pad bookkeeping is O(1) per move (occupancy maps with
-swap-pop free lists) instead of list scans, and the acceptance test uses a
-per-batch precomputed inverse temperature.
+The placer is a classic simulated-annealing engine over a **pluggable per-net
+cost** of the inter-block nets:
+
+* the default objective is pure half-perimeter wirelength (HPWL);
+* :class:`TimingObjective` blends it with a criticality-weighted bounding-box
+  delay — ``(1 - tradeoff) * hpwl + tradeoff * crit * bbox_delay`` — which is
+  how the timing-driven flow pulls critical connections short.
+
+Cost evaluation is **incremental** (VPR-style) on two levels.  A per-net cost
+cache plus a block→nets index mean that a move or swap re-evaluates only the
+nets touching the moved blocks; and each net's bounding box is updated
+*incrementally* from the moved terminal's old/new coordinates (per-edge
+occupancy counts), so a touched net is only rescanned terminal-by-terminal
+when a terminal moves off a bounding-box edge it alone defined.  Site and pad
+bookkeeping is O(1) per move (occupancy maps with swap-pop free lists), and
+the acceptance test uses a per-batch precomputed inverse temperature.
 
 Determinism: for a given seed the anneal draws one fixed RNG stream —
-per-net costs are exact (HPWL sums of integer-valued coordinates, well below
-2**53, so float addition is exact in any order) and therefore the delta path
-accepts exactly the moves a full-recompute path would.  The invariant
-``HpwlCache.total == _hpwl(...)`` holds throughout the anneal and is enforced
-by tests (and on demand via ``place_design(..., audit_interval=N)``).
+per-net costs are exact in the default objective (HPWL sums of integer-valued
+coordinates, well below 2**53, so float addition is exact in any order) and
+therefore the delta path accepts exactly the moves a full-recompute path
+would.  The invariant ``NetCostCache.total == full recompute`` holds
+throughout the anneal and is enforced by tests (and on demand via
+``place_design(..., audit_interval=N)``); blended objectives multiply by
+non-integer weights, so their audit uses a tight relative tolerance instead
+of exact equality.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.cad.lemap import MappedDesign
 from repro.core.fabric import Fabric, IOPad
@@ -53,10 +64,14 @@ class Placement:
     ``io_sites`` maps primary input/output net names to IO pads.
 
     ``iterations`` counts proposed annealing moves, ``moves_accepted`` the
-    accepted ones, and ``net_evaluations`` every per-net HPWL bounding-box
-    computation (including the ``net_count`` evaluations of the initial full
-    sweep) — the incremental placer's headline counter: a full-recompute
-    annealer would have spent ``iterations * net_count`` evaluations.
+    accepted ones, and ``net_evaluations`` every full per-net terminal scan
+    (including the ``net_count`` scans of the initial sweep) — the
+    incremental placer's headline counter: a full-recompute annealer would
+    have spent ``iterations * net_count`` of them, and incremental
+    bounding-box updates (counted in ``bbox_updates``) avoid most of the
+    rest.  ``cost`` is the final objective value (equal to ``wirelength``
+    under the default HPWL objective); ``wirelength`` is always the pure
+    HPWL, whatever objective annealed.
 
     Placements serialize (:meth:`to_dict` / :meth:`from_dict`) so the sweep
     engine can cache them on disk and re-inject them into
@@ -72,6 +87,8 @@ class Placement:
     moves_accepted: int = 0
     net_evaluations: int = 0
     net_count: int = 0
+    wirelength: float = 0.0
+    bbox_updates: int = 0
 
     def site_of(self, plb_name: str) -> tuple[int, int]:
         return self.plb_sites[plb_name]
@@ -96,6 +113,8 @@ class Placement:
             "moves_accepted": self.moves_accepted,
             "net_evaluations": self.net_evaluations,
             "net_count": self.net_count,
+            "wirelength": self.wirelength,
+            "bbox_updates": self.bbox_updates,
         }
 
     @classmethod
@@ -119,6 +138,8 @@ class Placement:
             moves_accepted=int(data.get("moves_accepted", 0)),
             net_evaluations=int(data.get("net_evaluations", 0)),
             net_count=int(data.get("net_count", 0)),
+            wirelength=float(data.get("wirelength", data.get("cost", 0.0))),
+            bbox_updates=int(data.get("bbox_updates", 0)),
         )
 
     def matches_design(self, design: MappedDesign, fabric: Fabric) -> bool:
@@ -216,18 +237,91 @@ def _hpwl(
     return total
 
 
-class HpwlCache:
-    """Per-net HPWL costs with delta evaluation for annealing moves.
+# ----------------------------------------------------------------------
+# Objectives: what one net's bounding box costs
+# ----------------------------------------------------------------------
+class WirelengthObjective:
+    """The default per-net cost: half-perimeter wirelength ``dx + dy``."""
+
+    #: Whether per-net costs are exact floats (integer-valued sums), which
+    #: lets the audit demand exact equality with a full recompute.
+    exact = True
+
+    def bind(self, net_names: Sequence[str]) -> None:
+        """Called once by the cache with the net order (hook for subclasses)."""
+
+    def net_cost(self, index: int, dx: float, dy: float) -> float:
+        return dx + dy
+
+
+class TimingObjective(WirelengthObjective):
+    """Blend wirelength with criticality-weighted bounding-box delay.
+
+    ``cost = (1 - tradeoff) * (dx + dy) + tradeoff * crit * delay_norm`` where
+    ``delay_norm`` is the net's bounding-box delay estimate normalised by the
+    wire-segment delay, keeping both terms in HPWL units.  ``criticalities``
+    come from :class:`repro.cad.timing.TimingEngine`; the delay parameters
+    are passed as plain numbers so this module needs no timing import.
+    """
+
+    exact = False
+
+    def __init__(
+        self,
+        criticalities: Mapping[str, float],
+        tradeoff: float = 0.5,
+        wire_segment_delay_ps: int = 80,
+        switch_delay_ps: int = 20,
+        cbox_delay_ps: int = 30,
+    ) -> None:
+        if not 0.0 <= tradeoff <= 1.0:
+            raise ValueError(f"tradeoff must be in [0, 1], got {tradeoff}")
+        self.criticalities = dict(criticalities)
+        self.tradeoff = tradeoff
+        wire = float(wire_segment_delay_ps)
+        # bbox delay of a net spanning s hops ~ 2*cbox + (s+1)*wire + s*switch
+        # (repro.cad.timing.TimingModel.bbox_net_delay), normalised by wire.
+        self._per_hop = (wire_segment_delay_ps + switch_delay_ps) / wire
+        self._base = (2 * cbox_delay_ps + wire_segment_delay_ps) / wire
+        self._crit: list[float] = []
+
+    def bind(self, net_names: Sequence[str]) -> None:
+        self._crit = [self.criticalities.get(net, 0.0) for net in net_names]
+
+    def net_cost(self, index: int, dx: float, dy: float) -> float:
+        span = dx + dy
+        crit = self._crit[index]
+        return (1.0 - self.tradeoff) * span + self.tradeoff * crit * (
+            self._base + span * self._per_hop
+        )
+
+
+#: Per-net bounding box: extremes plus how many terminals sit on each extreme
+#: (the occupancy counts that make shrinking moves detectable in O(1)).
+#: ``None`` marks nets with fewer than two positioned terminals (cost 0).
+_Box = list  # [xmin, xmax, ymin, ymax, n_xmin, n_xmax, n_ymin, n_ymax]
+
+
+class NetCostCache:
+    """Per-net costs with delta evaluation for annealing moves.
 
     The cache holds live references to the caller's ``plb_sites`` and
-    ``io_positions`` dicts.  A move is evaluated in three steps: the caller
-    mutates the positions, calls :meth:`propose` with the affected net
-    indices (from :meth:`nets_of`), and then either :meth:`commit`\\ s the
-    pending per-net costs or reverts the positions and :meth:`reject`\\ s.
+    ``io_positions`` dicts.  Two proposal paths exist:
 
-    All terminal coordinates are integer-valued, so per-net costs and the
-    running :attr:`total` are exact floats: ``total`` equals a full
-    :func:`_hpwl` recompute at every step, not just approximately.
+    * :meth:`propose` (the original API) re-scans every affected net's
+      terminals against the already-mutated position dicts;
+    * :meth:`propose_moves` takes the moved terminals' old/new coordinates
+      and updates each affected net's bounding box **incrementally** — a full
+      terminal scan only happens when a terminal moves off a box edge it
+      alone occupied.
+
+    Either way the new per-net costs are held pending until :meth:`commit`
+    or :meth:`reject`; :attr:`total` is unchanged until then.
+
+    Under the default :class:`WirelengthObjective` all terminal coordinates
+    are integer-valued, so per-net costs and the running :attr:`total` are
+    exact floats: ``total`` equals a full recompute at every step, not just
+    approximately.
     """
 
     def __init__(
@@ -235,11 +329,15 @@ class HpwlCache:
         nets: dict[str, list[str]],
         plb_sites: dict[str, tuple[int, int]],
         io_positions: dict[str, tuple[float, float]],
+        objective: WirelengthObjective | None = None,
     ) -> None:
         self.nets = nets
+        self.net_names: list[str] = list(nets.keys())
         self.terminals: list[list[str]] = list(nets.values())
         self.plb_sites = plb_sites
         self.io_positions = io_positions
+        self.objective = objective if objective is not None else WirelengthObjective()
+        self.objective.bind(self.net_names)
         buckets: dict[str, list[int]] = {}
         for index, terminals in enumerate(self.terminals):
             for terminal in terminals:
@@ -248,11 +346,15 @@ class HpwlCache:
             terminal: tuple(indices) for terminal, indices in buckets.items()
         }
         self.evaluations = 0
+        self.bbox_updates = 0
+        self.boxes: list[_Box | None] = [
+            self._scan_box(index) for index in range(len(self.terminals))
+        ]
         self.costs: list[float] = [
-            self._net_cost(index) for index in range(len(self.terminals))
+            self._box_cost(index, box) for index, box in enumerate(self.boxes)
         ]
         self.total: float = sum(self.costs)
-        self._pending: list[tuple[int, float]] = []
+        self._pending: list[tuple[int, _Box | None, float]] = []
 
     @property
     def net_count(self) -> int:
@@ -271,51 +373,188 @@ class HpwlCache:
                     affected.append(index)
         return affected
 
-    def _net_cost(self, index: int) -> float:
+    # ------------------------------------------------------------------
+    # Bounding boxes
+    # ------------------------------------------------------------------
+    def _term_position(self, terminal: str) -> tuple[float, float] | None:
+        if terminal.startswith("io:"):
+            return self.io_positions.get(terminal[3:])
+        x, y = self.plb_sites[terminal]
+        return (float(x), float(y))
+
+    def _scan_box(self, index: int) -> _Box | None:
+        """Full terminal scan of one net (the costly path the counts avoid)."""
         self.evaluations += 1
         xs: list[float] = []
         ys: list[float] = []
         for terminal in self.terminals[index]:
-            if terminal.startswith("io:"):
-                position = self.io_positions.get(terminal[3:])
-                if position is None:
-                    continue
-                xs.append(position[0])
-                ys.append(position[1])
-            else:
-                x, y = self.plb_sites[terminal]
-                xs.append(float(x))
-                ys.append(float(y))
-        if len(xs) >= 2:
-            return (max(xs) - min(xs)) + (max(ys) - min(ys))
-        return 0.0
+            position = self._term_position(terminal)
+            if position is None:
+                continue
+            xs.append(position[0])
+            ys.append(position[1])
+        if len(xs) < 2:
+            return None
+        xmin, xmax = min(xs), max(xs)
+        ymin, ymax = min(ys), max(ys)
+        return [
+            xmin,
+            xmax,
+            ymin,
+            ymax,
+            xs.count(xmin),
+            xs.count(xmax),
+            ys.count(ymin),
+            ys.count(ymax),
+        ]
 
-    def propose(self, affected: Iterable[int]) -> float:
-        """Cost delta of re-evaluating *affected* nets against mutated positions.
+    def _box_cost(self, index: int, box: _Box | None) -> float:
+        if box is None:
+            return 0.0
+        return self.objective.net_cost(index, box[1] - box[0], box[3] - box[2])
 
-        The new per-net costs are held pending until :meth:`commit` or
-        :meth:`reject`; :attr:`total` is unchanged until then.
+    @staticmethod
+    def _shift_axis(box: _Box, low: int, high: int, old: float, new: float) -> bool:
+        """Move one terminal's coordinate on one axis; ``False`` needs a rescan.
+
+        ``low``/``high`` index the extreme slots (counts sit 4 positions
+        later).  Removing the old coordinate first, then inserting the new
+        one, keeps the counts exact; the only unresolvable case is removing
+        the last terminal from an extreme, which requires finding the
+        runner-up — that is the full-rescan path.
         """
-        pending = [(index, self._net_cost(index)) for index in affected]
+        if new == old:
+            return True
+        # Remove the old coordinate.
+        if old == box[low]:
+            if box[low + 4] == 1:
+                return False
+            box[low + 4] -= 1
+        if old == box[high]:
+            if box[high + 4] == 1:
+                return False
+            box[high + 4] -= 1
+        # Insert the new coordinate.
+        if new < box[low]:
+            box[low] = new
+            box[low + 4] = 1
+        elif new == box[low]:
+            box[low + 4] += 1
+        if new > box[high]:
+            box[high] = new
+            box[high + 4] = 1
+        elif new == box[high]:
+            box[high + 4] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+    def propose(self, affected: Iterable[int]) -> float:
+        """Cost delta of re-scanning *affected* nets against mutated positions."""
+        pending = [
+            (index, box, self._box_cost(index, box))
+            for index, box in ((index, self._scan_box(index)) for index in affected)
+        ]
         self._pending = pending
-        return sum(new for _index, new in pending) - sum(
-            self.costs[index] for index, _new in pending
+        return sum(cost for _index, _box, cost in pending) - sum(
+            self.costs[index] for index, _box, _cost in pending
+        )
+
+    def propose_moves(
+        self, moves: Sequence[tuple[str, tuple[float, float], tuple[float, float]]]
+    ) -> float:
+        """Cost delta of moving terminals ``(terminal, old_xy, new_xy)``.
+
+        Bounding boxes are updated incrementally from the coordinate change;
+        the position dicts must already reflect the new coordinates (they are
+        only consulted when an update degenerates into a rescan).
+        """
+        pending_boxes: dict[int, _Box | None] = {}
+        order: list[int] = []
+        # Nets whose pending box came from a full rescan: the scan read the
+        # *final* (already fully mutated) positions, so later moves touching
+        # the same net are already folded in and must not re-apply.
+        final: set[int] = set()
+        for terminal, old, new in moves:
+            for index in self._nets_of.get(terminal, ()):
+                if index in final:
+                    continue
+                if index in pending_boxes:
+                    base = pending_boxes[index]
+                else:
+                    base = self.boxes[index]
+                    order.append(index)
+                if base is None:
+                    pending_boxes[index] = self._scan_box(index)
+                    final.add(index)
+                    continue
+                candidate = list(base)
+                if self._shift_axis(candidate, 0, 1, old[0], new[0]) and self._shift_axis(
+                    candidate, 2, 3, old[1], new[1]
+                ):
+                    self.bbox_updates += 1
+                    pending_boxes[index] = candidate
+                else:
+                    pending_boxes[index] = self._scan_box(index)
+                    final.add(index)
+        pending = [
+            (index, pending_boxes[index], self._box_cost(index, pending_boxes[index]))
+            for index in order
+        ]
+        self._pending = pending
+        return sum(cost for _index, _box, cost in pending) - sum(
+            self.costs[index] for index, _box, _cost in pending
         )
 
     def commit(self) -> None:
         """Fold the pending per-net costs into the cache and the total."""
-        for index, new in self._pending:
-            self.total += new - self.costs[index]
-            self.costs[index] = new
+        for index, box, cost in self._pending:
+            self.total += cost - self.costs[index]
+            self.costs[index] = cost
+            self.boxes[index] = box
         self._pending = []
 
     def reject(self) -> None:
         """Drop the pending evaluation (caller has reverted the positions)."""
         self._pending = []
 
+    # ------------------------------------------------------------------
+    # Reference recomputes (audits / tests)
+    # ------------------------------------------------------------------
     def full_recompute(self) -> float:
-        """Reference :func:`_hpwl` over the current positions (audits/tests)."""
+        """The objective summed from fresh terminal scans (no state change)."""
+        total = 0.0
+        for index in range(len(self.terminals)):
+            xs: list[float] = []
+            ys: list[float] = []
+            for terminal in self.terminals[index]:
+                position = self._term_position(terminal)
+                if position is None:
+                    continue
+                xs.append(position[0])
+                ys.append(position[1])
+            if len(xs) >= 2:
+                total += self.objective.net_cost(
+                    index, max(xs) - min(xs), max(ys) - min(ys)
+                )
+        return total
+
+    def wirelength(self) -> float:
+        """Pure HPWL over the current positions, whatever the objective."""
         return _hpwl(self.nets, self.plb_sites, self.io_positions)
+
+    def audit_matches(self) -> bool:
+        """Whether :attr:`total` matches a full recompute (exact when possible)."""
+        reference = self.full_recompute()
+        if self.objective.exact:
+            return self.total == reference
+        return math.isclose(self.total, reference, rel_tol=1e-9, abs_tol=1e-6)
+
+
+#: Backwards-compatible name: the original HPWL-only cache is the generic
+#: cache under its default objective.
+HpwlCache = NetCostCache
 
 
 class _FreeList:
@@ -350,6 +589,9 @@ def place_design(
     seed: int = 1,
     effort: float = 1.0,
     audit_interval: int = 0,
+    objective: WirelengthObjective | None = None,
+    initial: Placement | None = None,
+    temperature_factor: float = 0.2,
 ) -> Placement:
     """Place a packed design on *fabric* with simulated annealing.
 
@@ -361,8 +603,21 @@ def place_design(
         Scales the number of annealing moves (1.0 is the default schedule).
     audit_interval:
         When ``> 0``, assert every N proposed moves that the incremental
-        cost cache equals a full :func:`_hpwl` recompute (tests/debugging;
-        the default skips the O(nets) audit entirely).
+        cost cache equals a full recompute (tests/debugging; the default
+        skips the O(nets) audit entirely).
+    objective:
+        The per-net cost (default: pure HPWL).  The timing-driven flow
+        passes a :class:`TimingObjective` built from the timing engine's
+        criticalities.
+    initial:
+        Warm-start the anneal from this placement instead of a random one
+        (must cover exactly this design on this fabric).  Combined with a
+        small *temperature_factor* and reduced *effort* this is the
+        timing-driven flow's **polish** pass: it nudges an already-good
+        layout toward the blended objective without tearing it up.
+    temperature_factor:
+        The starting temperature as a fraction of the initial cost (0.2 is
+        the classic full-anneal schedule; polish passes use ~0.02).
     """
     if not design.plbs:
         raise PlacementError("design has no packed PLBs; run pack_design first")
@@ -383,18 +638,31 @@ def place_design(
             f"design needs {len(io_nets)} IO pads but the fabric only has {len(pads)}"
         )
 
-    # Initial placement: PLBs on shuffled sites, IOs round-robin over the pads.
-    shuffled_sites = list(sites)
-    rng.shuffle(shuffled_sites)
-    plb_sites = {plb.name: shuffled_sites[index] for index, plb in enumerate(design.plbs)}
-    io_sites = {net: pads[index] for index, net in enumerate(io_nets)}
+    if initial is not None:
+        if not initial.matches_design(design, fabric):
+            raise PlacementError(
+                "initial placement does not cover this design on this fabric"
+            )
+        plb_sites = dict(initial.plb_sites)
+        pads_by_name = {pad.name: pad for pad in pads}
+        io_sites = {net: pads_by_name[pad.name] for net, pad in initial.io_sites.items()}
+    else:
+        # Initial placement: PLBs on shuffled sites, IOs round-robin over the pads.
+        shuffled_sites = list(sites)
+        rng.shuffle(shuffled_sites)
+        plb_sites = {
+            plb.name: shuffled_sites[index] for index, plb in enumerate(design.plbs)
+        }
+        io_sites = {net: pads[index] for index, net in enumerate(io_nets)}
     io_positions = {net: _pad_position(pad, fabric) for net, pad in io_sites.items()}
 
-    cache = HpwlCache(_build_net_terminals(design), plb_sites, io_positions)
+    cache = NetCostCache(
+        _build_net_terminals(design), plb_sites, io_positions, objective=objective
+    )
     initial_cost = cache.total
 
     moves = max(200, int(effort * 100 * (len(design.plbs) + len(io_nets)) ** 1.3))
-    temperature = max(1.0, cache.total * 0.2)
+    temperature = max(1.0, cache.total * temperature_factor)
     plb_names = [plb.name for plb in design.plbs]
 
     occupied = set(plb_sites.values())
@@ -413,6 +681,9 @@ def place_design(
         """Metropolis criterion at the current batch temperature."""
         return delta <= 0 or rng.random() < math.exp(-delta * inv_temperature)
 
+    def site_pos(site: tuple[int, int]) -> tuple[float, float]:
+        return (float(site[0]), float(site[1]))
+
     while iterations < moves:
         batch = min(TEMPERATURE_BATCH, moves - iterations)
         temperature = max(temperature * COOLING_RATE ** batch, MIN_TEMPERATURE)
@@ -420,8 +691,8 @@ def place_design(
         for _ in range(batch):
             iterations += 1
             if audit_interval > 0 and iterations % audit_interval == 0:
-                assert cache.total == cache.full_recompute(), (
-                    f"incremental HPWL drifted at move {iterations}: "
+                assert cache.audit_matches(), (
+                    f"incremental cost drifted at move {iterations}: "
                     f"cached {cache.total} != full {cache.full_recompute()}"
                 )
             if rng.random() < 0.7 and plb_names:
@@ -431,7 +702,9 @@ def place_design(
                 if free_sites and rng.random() < 0.5:
                     new_site = rng.choice(free_sites.items)
                     plb_sites[name] = new_site
-                    delta = cache.propose(cache.nets_of(name))
+                    delta = cache.propose_moves(
+                        [(name, site_pos(old_site), site_pos(new_site))]
+                    )
                     if accepts(delta):
                         cache.commit()
                         moves_accepted += 1
@@ -444,17 +717,20 @@ def place_design(
                     other = rng.choice(plb_names)
                     if other == name:
                         continue
-                    plb_sites[name], plb_sites[other] = plb_sites[other], plb_sites[name]
-                    delta = cache.propose(cache.nets_of(name, other))
+                    other_site = plb_sites[other]
+                    plb_sites[name], plb_sites[other] = other_site, old_site
+                    delta = cache.propose_moves(
+                        [
+                            (name, site_pos(old_site), site_pos(other_site)),
+                            (other, site_pos(other_site), site_pos(old_site)),
+                        ]
+                    )
                     if accepts(delta):
                         cache.commit()
                         moves_accepted += 1
                     else:
                         cache.reject()
-                        plb_sites[name], plb_sites[other] = (
-                            plb_sites[other],
-                            plb_sites[name],
-                        )
+                        plb_sites[name], plb_sites[other] = old_site, other_site
             else:
                 # Swap two IO pads (or move one to a free pad).
                 if not io_nets:
@@ -462,10 +738,12 @@ def place_design(
                 net = rng.choice(io_nets)
                 if free_pads and rng.random() < 0.6:
                     old_pad = io_sites[net]
+                    old_position = io_positions[net]
                     new_pad = rng.choice(free_pads.items)
+                    new_position = _pad_position(new_pad, fabric)
                     io_sites[net] = new_pad
-                    io_positions[net] = _pad_position(new_pad, fabric)
-                    delta = cache.propose(cache.nets_of(f"io:{net}"))
+                    io_positions[net] = new_position
+                    delta = cache.propose_moves([(f"io:{net}", old_position, new_position)])
                     if accepts(delta):
                         cache.commit()
                         moves_accepted += 1
@@ -474,23 +752,30 @@ def place_design(
                     else:
                         cache.reject()
                         io_sites[net] = old_pad
-                        io_positions[net] = _pad_position(old_pad, fabric)
+                        io_positions[net] = old_position
                 else:
                     other = rng.choice(io_nets)
                     if other == net:
                         continue
+                    net_position = io_positions[net]
+                    other_position = io_positions[other]
                     io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
-                    io_positions[net] = _pad_position(io_sites[net], fabric)
-                    io_positions[other] = _pad_position(io_sites[other], fabric)
-                    delta = cache.propose(cache.nets_of(f"io:{net}", f"io:{other}"))
+                    io_positions[net] = other_position
+                    io_positions[other] = net_position
+                    delta = cache.propose_moves(
+                        [
+                            (f"io:{net}", net_position, other_position),
+                            (f"io:{other}", other_position, net_position),
+                        ]
+                    )
                     if accepts(delta):
                         cache.commit()
                         moves_accepted += 1
                     else:
                         cache.reject()
                         io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
-                        io_positions[net] = _pad_position(io_sites[net], fabric)
-                        io_positions[other] = _pad_position(io_sites[other], fabric)
+                        io_positions[net] = net_position
+                        io_positions[other] = other_position
 
     return Placement(
         plb_sites=dict(plb_sites),
@@ -501,4 +786,6 @@ def place_design(
         moves_accepted=moves_accepted,
         net_evaluations=cache.evaluations,
         net_count=cache.net_count,
+        wirelength=cache.wirelength(),
+        bbox_updates=cache.bbox_updates,
     )

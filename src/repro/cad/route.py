@@ -1,22 +1,46 @@
-"""Routing: a negotiated-congestion (PathFinder) router.
+"""Routing: a timing-driven negotiated-congestion (PathFinder) router.
 
 Each logical net connecting placed blocks is routed as a tree over the
-routing-resource graph (:mod:`repro.core.rrgraph`): Dijkstra searches grow the
-tree towards every sink, and the classic PathFinder cost update (present +
-historical congestion) resolves overuse across iterations.
+routing-resource graph (:mod:`repro.core.rrgraph`): A*-accelerated Dijkstra
+searches grow the tree towards every sink, and the classic PathFinder cost
+update (present + historical congestion) resolves overuse across iterations.
+
+Three cost layers compose in the hot loop:
+
+* **congestion** -- ``base_cost * (1 + pres_fac * overuse) + hist_fac *
+  history``, the classic PathFinder node cost;
+* **timing** -- with per-net criticalities (from
+  :class:`repro.cad.timing.TimingEngine`) the node cost becomes the VPR-style
+  blend ``crit * delay + (1 - crit) * congestion``: critical nets chase short
+  (low-delay) trees, non-critical nets keep negotiating congestion;
+* **A\\*** -- an admissible geometric lower bound over the graph's flattened
+  coordinate arrays prunes the Dijkstra frontier: one switch-box or
+  connection-box hop moves at most one unit in each coordinate, so
+  ``manhattan / 2`` hops (times the cheapest possible per-node cost) never
+  over-estimates the remaining cost.  ``RoutingResult.node_pops`` counts heap
+  pops, the headline counter A* reduces.  Each search is additionally pruned
+  to the net's terminal bounding box (plus a margin); a net that cannot be
+  reached inside its box falls back to an unpruned search, so pruning never
+  costs routability.
 
 The router is **incremental**: the first iteration routes every net, but
 later iterations rip up and re-route only *dirty* nets — nets whose routed
 trees touch an overused node — escalating to full-recovery sweeps when the
-negotiation stalls (see ``route_design``).  The overused-node set itself is
-maintained incrementally as occupancies change (no full-graph scan per
-iteration), and the hot Dijkstra loop indexes the graph's flattened parallel
-arrays (``base_cost`` / ``capacity`` / CSR edges) instead of calling
-``graph.node()`` per edge relaxation.  ``route_design(..., incremental=
-False)`` restores the classic re-route-everything schedule; the parity tests
-hold the incremental mode to equal-or-better success and channel width on
-every registry circuit (it routes the paper's decomposed 2x2 multiplier at
-the default channel width 8, where full re-routing needs 10).
+negotiation stalls (see ``route_design``).  ``route_design(..., warm_start=
+...)`` additionally seeds iteration 1 with externally provided legal trees
+(the sweep engine's channel-width-ladder cache), routing only the nets whose
+seed trees do not validate on this graph.
+
+``route_design(..., incremental=False)`` restores the classic
+re-route-everything schedule; ``astar=False`` restores plain Dijkstra (the
+parity reference for the A* counters).
+
+After negotiation, :func:`refine_critical_nets` post-optimises a legal
+routing for cycle time: critical nets are ripped up one at a time and
+re-routed on a *pure-delay* cost under hard capacity constraints, keeping the
+new tree only when its delay actually improved — legality and every other
+net's delay are untouched, so the handshake cycle time is monotonically
+non-increasing.
 
 Before routing, logical PLB pins are assigned to physical pins: every external
 input net of a packed PLB gets one of the PLB's ``in*`` pins and every
@@ -28,11 +52,20 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.cad.lemap import MappedDesign
 from repro.cad.place import Placement
-from repro.core.fabric import Fabric
+from repro.cad.timing import TimingModel
 from repro.core.rrgraph import RoutingResourceGraph
+
+#: Criticality is capped below 1.0 so congestion never fully vanishes from a
+#: critical net's cost -- negotiation must stay able to resolve overuse.
+MAX_CRITICALITY = 0.98
+
+#: Default margin (in channel units) added around a net's terminal bounding
+#: box for search pruning; ``None`` disables pruning.
+DEFAULT_BBOX_MARGIN = 3
 
 
 class RoutingError(RuntimeError):
@@ -71,7 +104,10 @@ class RoutingResult:
     ``reroutes_per_iteration[i]`` is how many nets iteration ``i + 1``
     ripped up and re-routed; with incremental routing the tail entries are
     typically a small fraction of the net count (only nets touching overused
-    nodes), which is the router's headline perf counter.
+    nodes), which is the router's headline perf counter.  ``node_pops``
+    counts Dijkstra/A* heap pops over the whole run -- the counter the A*
+    lower bound reduces; ``warm_started_nets`` how many nets iteration 1
+    inherited from a warm-start seed instead of routing.
     """
 
     routed: dict[str, RoutedNet] = field(default_factory=dict)
@@ -80,6 +116,10 @@ class RoutingResult:
     success: bool = False
     overused_nodes: int = 0
     reroutes_per_iteration: list[int] = field(default_factory=list)
+    node_pops: int = 0
+    warm_started_nets: int = 0
+    bbox_fallbacks: int = 0
+    critical_reroutes: int = 0
 
     @property
     def total_wirelength(self) -> int:
@@ -197,6 +237,52 @@ def _collect_net_endpoints(
     return sources, sinks, assignments
 
 
+def _delay_costs(graph: RoutingResourceGraph, model: TimingModel) -> list[float]:
+    """Per-node delay cost in HPWL-comparable units (wire segments).
+
+    A wire node costs one segment plus one switch traversal; a pin node one
+    connection-box crossing.  Normalising by the wire-segment delay keeps the
+    timing term on the same scale as the congestion term (base cost 1.0 per
+    node), so the ``crit``-blend stays balanced.
+    """
+    wire = float(model.wire_segment_delay_ps)
+    wire_cost = (model.wire_segment_delay_ps + model.switch_delay_ps) / wire
+    pin_cost = model.cbox_delay_ps / wire
+    return [wire_cost if is_wire else pin_cost for is_wire in graph.is_wire]
+
+
+def _validate_warm_tree(
+    graph: RoutingResourceGraph,
+    nodes: Sequence[int],
+    source: int,
+    targets: set[int],
+) -> list[int] | None:
+    """The connected, orphan-free subtree of *nodes*, or ``None`` if unusable.
+
+    A warm-start tree (possibly mapped over from a different channel width)
+    is usable when every node id exists on this graph and the source still
+    reaches every sink through the tree's own nodes; nodes the source cannot
+    reach are dropped rather than occupied for nothing.
+    """
+    node_count = len(graph)
+    tree = {node_id for node_id in nodes if 0 <= node_id < node_count}
+    if source not in tree or not targets.issubset(tree):
+        return None
+    edge_starts = graph.edge_starts
+    edge_targets = graph.edge_targets
+    reachable = {source}
+    frontier = [source]
+    while frontier:
+        node_id = frontier.pop()
+        for neighbour in edge_targets[edge_starts[node_id] : edge_starts[node_id + 1]]:
+            if neighbour in tree and neighbour not in reachable:
+                reachable.add(neighbour)
+                frontier.append(neighbour)
+    if not targets.issubset(reachable):
+        return None
+    return sorted(reachable)
+
+
 def route_design(
     design: MappedDesign,
     placement: Placement,
@@ -206,6 +292,12 @@ def route_design(
     pres_fac_mult: float = 1.6,
     hist_fac: float = 0.4,
     incremental: bool = True,
+    criticalities: Mapping[str, float] | None = None,
+    timing_model: TimingModel | None = None,
+    astar: bool = True,
+    bbox_margin: int | None = DEFAULT_BBOX_MARGIN,
+    warm_start: Mapping[str, Sequence[int]] | None = None,
+    restart_on_failure: bool = True,
 ) -> RoutingResult:
     """PathFinder routing of all inter-block nets of a placed design.
 
@@ -213,6 +305,25 @@ def route_design(
     routed trees touch an overused node — are ripped up and re-routed after
     the first iteration; ``incremental=False`` re-routes every net each
     iteration (the classic schedule, kept as the parity/quality reference).
+
+    ``criticalities`` switches the node cost to the timing-driven blend
+    ``crit * delay + (1 - crit) * congestion`` (per-net criticality from the
+    timing engine, capped at :data:`MAX_CRITICALITY`); ``timing_model``
+    supplies the delay numbers (defaults to :class:`TimingModel`).
+
+    ``astar`` enables the admissible geometric lower bound (identical path
+    costs, fewer heap pops — see ``RoutingResult.node_pops``); ``bbox_margin``
+    prunes each search to the net's terminal bounding box plus that margin,
+    falling back to an unpruned search when the box turns out too tight.
+
+    ``warm_start`` maps net names to node-id trees (typically a neighbouring
+    channel width's legal routing): validating trees seed iteration 1, the
+    rest route normally.
+
+    ``restart_on_failure`` controls the built-in escalation: a failed A*
+    negotiation restarts once with plain Dijkstra ordering so enabling A*
+    can never cost routability.  Callers managing their own fallback ladder
+    (the timing-driven flow) disable it to avoid paying twice.
     """
     sources, sinks, assignments = _collect_net_endpoints(design, placement, graph)
 
@@ -229,7 +340,19 @@ def route_design(
     is_wire = graph.is_wire
     edge_starts = graph.edge_starts
     edge_targets = graph.edge_targets
+    node_x = graph.x
+    node_y = graph.y
     routes: dict[str, RoutedNet] = {}
+
+    timing_driven = criticalities is not None
+    if timing_driven:
+        model = timing_model if timing_model is not None else TimingModel()
+        delay_cost = _delay_costs(graph, model)
+        min_delay_cost = min(delay_cost)
+    else:
+        delay_cost = []
+        min_delay_cost = 0.0
+    min_base_cost = min(base_cost)
 
     # The overused-node set is maintained incrementally as tree occupancies
     # change, so no iteration ever scans all graph nodes for congestion.
@@ -251,23 +374,52 @@ def route_design(
     # develops on wires.
     pres_fac = pres_fac_initial
 
-    def route_net(net: str) -> RoutedNet:
+    use_astar = astar
+
+    def search(
+        net: str,
+        crit: float,
+        box: tuple[int, int, int, int] | None,
+    ) -> RoutedNet | None:
+        """Grow one net's tree; ``None`` when the pruning box was too tight."""
         source = sources[net]
         targets = set(sinks[net])
         tree: set[int] = {source}
         all_nodes: set[int] = {source}
         remaining = set(targets)
         infinity = float("inf")
+        anti_crit = 1.0 - crit
+        # The cheapest possible per-node cost, for the A* lower bound: every
+        # hop costs at least this much, and one hop shrinks the Manhattan
+        # distance to a sink by at most 2 (a diagonal switch-box step).
+        half_fac = 0.5 * (crit * min_delay_cost + anti_crit * min_base_cost)
+        pops = 0
         while remaining:
-            # Dijkstra from the current tree to the nearest remaining sink.
+            if use_astar:
+                sink_coords = [(node_x[s], node_y[s]) for s in remaining]
+
+                def lower_bound(node_id: int) -> float:
+                    nx = node_x[node_id]
+                    ny = node_y[node_id]
+                    return half_fac * min(
+                        abs(nx - sx) + abs(ny - sy) for sx, sy in sink_coords
+                    )
+
+            else:
+
+                def lower_bound(node_id: int) -> float:
+                    return 0.0
+
+            # Dijkstra/A* from the current tree to the nearest remaining sink.
             distances = {node_id: 0.0 for node_id in tree}
             previous: dict[int, int] = {}
-            heap = [(0.0, node_id) for node_id in tree]
+            heap = [(lower_bound(node_id), 0.0, node_id) for node_id in tree]
             heapq.heapify(heap)
             visited: set[int] = set()
             found: int | None = None
             while heap:
-                distance, node_id = heapq.heappop(heap)
+                _priority, distance, node_id = heapq.heappop(heap)
+                pops += 1
                 if node_id in visited:
                     continue
                 visited.add(node_id)
@@ -281,8 +433,14 @@ def route_design(
                     if not is_wire[neighbour]:
                         if neighbour not in remaining and neighbour != source:
                             continue
+                    elif box is not None and not (
+                        box[0] <= node_x[neighbour] <= box[1]
+                        and box[2] <= node_y[neighbour] <= box[3]
+                    ):
+                        continue
                     # Inlined PathFinder node cost: present congestion
-                    # (discounting this net's own usage) plus history.
+                    # (discounting this net's own usage) plus history, blended
+                    # with the node delay under the net's criticality.
                     usage = occupancy[neighbour]
                     if neighbour in all_nodes:
                         usage -= 1
@@ -291,13 +449,19 @@ def route_design(
                     if over > 0:
                         step *= 1.0 + pres_fac * over
                     step += hist_fac * history[neighbour]
+                    if timing_driven:
+                        step = crit * delay_cost[neighbour] + anti_crit * step
                     new_distance = distance + step
                     if new_distance < distances.get(neighbour, infinity):
                         distances[neighbour] = new_distance
                         previous[neighbour] = node_id
-                        heapq.heappush(heap, (new_distance, neighbour))
+                        heapq.heappush(
+                            heap,
+                            (new_distance + lower_bound(neighbour), new_distance, neighbour),
+                        )
             if found is None:
-                raise RoutingError(f"net {net!r} is unroutable (no path to a sink)")
+                result.node_pops += pops
+                return None
             # Back-trace the path into the tree.
             cursor = found
             while cursor not in tree:
@@ -305,15 +469,65 @@ def route_design(
                 tree.add(cursor)
                 cursor = previous[cursor]
             remaining.discard(found)
+        result.node_pops += pops
         return RoutedNet(net=net, source_node=source, sink_nodes=list(targets), nodes=sorted(all_nodes))
 
+    def net_box(net: str) -> tuple[int, int, int, int] | None:
+        if bbox_margin is None:
+            return None
+        terminals = [sources[net]] + sinks[net]
+        xs = [node_x[node_id] for node_id in terminals]
+        ys = [node_y[node_id] for node_id in terminals]
+        return (
+            min(xs) - bbox_margin,
+            max(xs) + bbox_margin,
+            min(ys) - bbox_margin,
+            max(ys) + bbox_margin,
+        )
+
+    def route_net(net: str) -> RoutedNet:
+        crit = (
+            min(MAX_CRITICALITY, max(0.0, criticalities.get(net, 0.0)))
+            if timing_driven
+            else 0.0
+        )
+        routed = search(net, crit, net_box(net))
+        if routed is None and bbox_margin is not None:
+            # The pruning box was too tight (congestion pushed the net out of
+            # its own bounding box): retry without pruning before declaring
+            # the net unroutable.
+            result.bbox_fallbacks += 1
+            routed = search(net, crit, None)
+        if routed is None:
+            raise RoutingError(f"net {net!r} is unroutable (no path to a sink)")
+        return routed
+
     net_order = sorted(sources)
+
+    warm_started: set[str] = set()
+    if warm_start:
+        for net in net_order:
+            seed = warm_start.get(net)
+            if not seed:
+                continue
+            tree = _validate_warm_tree(graph, seed, sources[net], set(sinks[net]))
+            if tree is None:
+                continue
+            routes[net] = RoutedNet(
+                net=net, source_node=sources[net], sink_nodes=list(sinks[net]), nodes=tree
+            )
+            occupy(tree)
+            warm_started.add(net)
+    result.warm_started_nets = len(warm_started)
+
     iteration = 0
     best_overuse: int | None = None
     stalled = 0
     full_recovery = False
     for iteration in range(1, max_iterations + 1):
-        if iteration == 1 or not incremental or full_recovery:
+        if iteration == 1:
+            dirty = [net for net in net_order if net not in warm_started]
+        elif not incremental or full_recovery:
             dirty = net_order
         else:
             # Only nets whose trees touch an overused node must move; the
@@ -370,4 +584,310 @@ def route_design(
     result.iterations = iteration
     result.success = False
     result.overused_nodes = len(overused)
+    if astar and restart_on_failure:
+        # A* is a search *accelerator*, not a quality knob: its tie-breaking
+        # steers equal-cost paths onto the geometric straight line, which
+        # can concentrate traffic enough to livelock a borderline-congested
+        # negotiation that classic frontier ordering resolves.  Rather than
+        # let the accelerator cost routability, restart the whole
+        # negotiation with plain Dijkstra — bit-identical to astar=False —
+        # and carry the counters over so the retry's cost stays visible.
+        retry = route_design(
+            design,
+            placement,
+            graph,
+            max_iterations=max_iterations,
+            pres_fac_initial=pres_fac_initial,
+            pres_fac_mult=pres_fac_mult,
+            hist_fac=hist_fac,
+            incremental=incremental,
+            criticalities=criticalities,
+            timing_model=timing_model,
+            astar=False,
+            bbox_margin=bbox_margin,
+            warm_start=warm_start,
+        )
+        retry.node_pops += result.node_pops
+        retry.bbox_fallbacks += result.bbox_fallbacks
+        retry.reroutes_per_iteration = (
+            result.reroutes_per_iteration + retry.reroutes_per_iteration
+        )
+        retry.iterations += result.iterations
+        return retry
     return result
+
+
+class _RefineRouter:
+    """Single-net searches over a live occupancy map (the refinement pass).
+
+    Three cost modes share one A* search:
+
+    * ``delay-hard`` — pure node delay, nodes that would become overused are
+      not expanded (legal by construction);
+    * ``delay-free`` — pure node delay with a *tiny* overuse tie-breaker:
+      finds the net's minimum-delay tree, preferring the variant that
+      displaces the fewest other nets;
+    * ``congestion-hard`` — plain base cost under hard capacity, used to
+      relocate the nets a critical net displaced.
+    """
+
+    def __init__(self, graph: RoutingResourceGraph, model: TimingModel, astar: bool) -> None:
+        self.graph = graph
+        self.model = model
+        self.astar = astar
+        self.delay_cost = _delay_costs(graph, model)
+        self.min_delay_cost = min(self.delay_cost)
+        self.min_base_cost = min(graph.base_cost)
+        self.occupancy = [0] * len(graph)
+        #: Which nets occupy each node (for displacement bookkeeping).
+        self.users: dict[int, set[str]] = {}
+        self.pops = 0
+
+    def occupy(self, net: str, nodes: Sequence[int]) -> None:
+        for node_id in nodes:
+            self.occupancy[node_id] += 1
+            self.users.setdefault(node_id, set()).add(net)
+
+    def release(self, net: str, nodes: Sequence[int]) -> None:
+        for node_id in nodes:
+            self.occupancy[node_id] -= 1
+            users = self.users.get(node_id)
+            if users is not None:
+                users.discard(net)
+
+    def search(
+        self, source: int, targets: set[int], mode: str
+    ) -> list[int] | None:
+        """The tree of one net under *mode*, or ``None`` when unreachable."""
+        graph = self.graph
+        capacity = graph.capacity
+        is_wire = graph.is_wire
+        base_cost = graph.base_cost
+        edge_starts = graph.edge_starts
+        edge_targets = graph.edge_targets
+        node_x = graph.x
+        node_y = graph.y
+        delay_cost = self.delay_cost
+        occupancy = self.occupancy
+        hard = mode != "delay-free"
+        delay_driven = mode != "congestion-hard"
+        min_step = self.min_delay_cost if delay_driven else self.min_base_cost
+
+        tree: set[int] = {source}
+        all_nodes: set[int] = {source}
+        remaining = set(targets)
+        infinity = float("inf")
+        while remaining:
+            sink_coords = [(node_x[s], node_y[s]) for s in remaining]
+            if self.astar:
+
+                def lower_bound(node_id: int) -> float:
+                    nx = node_x[node_id]
+                    ny = node_y[node_id]
+                    return (
+                        0.5
+                        * min_step
+                        * min(abs(nx - sx) + abs(ny - sy) for sx, sy in sink_coords)
+                    )
+
+            else:
+
+                def lower_bound(node_id: int) -> float:
+                    return 0.0
+
+            distances = {node_id: 0.0 for node_id in tree}
+            previous: dict[int, int] = {}
+            heap = [(lower_bound(node_id), 0.0, node_id) for node_id in tree]
+            heapq.heapify(heap)
+            visited: set[int] = set()
+            found: int | None = None
+            while heap:
+                _priority, distance, node_id = heapq.heappop(heap)
+                self.pops += 1
+                if node_id in visited:
+                    continue
+                visited.add(node_id)
+                if node_id in remaining:
+                    found = node_id
+                    break
+                for neighbour in edge_targets[edge_starts[node_id] : edge_starts[node_id + 1]]:
+                    if neighbour in visited:
+                        continue
+                    if not is_wire[neighbour]:
+                        if neighbour not in remaining and neighbour != source:
+                            continue
+                    usage = occupancy[neighbour]
+                    if neighbour in all_nodes:
+                        usage -= 1
+                    over = usage + 1 - capacity[neighbour]
+                    if hard and over > 0:
+                        continue
+                    step = delay_cost[neighbour] if delay_driven else base_cost[neighbour]
+                    if not hard and over > 0:
+                        # Minimum-delay stays the objective; the epsilon just
+                        # prefers the min-delay tree displacing fewest nets.
+                        step += 0.001 * over
+                    new_distance = distance + step
+                    if new_distance < distances.get(neighbour, infinity):
+                        distances[neighbour] = new_distance
+                        previous[neighbour] = node_id
+                        heapq.heappush(
+                            heap,
+                            (new_distance + lower_bound(neighbour), new_distance, neighbour),
+                        )
+            if found is None:
+                return None
+            cursor = found
+            while cursor not in tree:
+                all_nodes.add(cursor)
+                tree.add(cursor)
+                cursor = previous[cursor]
+            remaining.discard(found)
+        return sorted(all_nodes)
+
+
+def refine_critical_nets(
+    routing: RoutingResult,
+    graph: RoutingResourceGraph,
+    criticalities: Mapping[str, float],
+    timing_model: TimingModel | None = None,
+    crit_threshold: float = 0.6,
+    astar: bool = True,
+    displace: bool = True,
+    max_wirelength: int | None = None,
+) -> int:
+    """Re-route critical nets of a *legal* routing for delay, in place.
+
+    Nets with criticality >= *crit_threshold* are ripped up one at a time (in
+    decreasing criticality) and re-routed on a **pure-delay** cost.  Two
+    escalation levels keep the result legal by construction:
+
+    1. *hard-capacity* re-route: the new tree may only use free resources —
+       kept when its modelled delay strictly improves;
+    2. *displacement* (``displace=True``): when free resources don't suffice,
+       the net takes its minimum-delay tree anyway and every **less
+       critical** net squatting on it is relocated under hard capacity; the
+       whole bundle rolls back unless every displaced net finds a home, the
+       critical net's delay strictly improves, and the total wirelength stays
+       within *max_wirelength* (when given).
+
+    Returns the number of critical nets whose trees actually improved (also
+    accumulated on ``routing.critical_reroutes``); heap pops land on
+    ``routing.node_pops``.  Delays only ever decrease on the refined nets and
+    displaced nets stay legal, so iterating this pass (as the timing-driven
+    flow does) monotonically converges.
+    """
+    if not routing.success or not routing.routed:
+        return 0
+    model = timing_model if timing_model is not None else TimingModel()
+    router = _RefineRouter(graph, model, astar)
+    for net, routed in routing.routed.items():
+        router.occupy(net, routed.nodes)
+    capacity = graph.capacity
+
+    current_wirelength = routing.total_wirelength
+
+    candidates = sorted(
+        (net for net in routing.routed if criticalities.get(net, 0.0) >= crit_threshold),
+        key=lambda net: (-criticalities.get(net, 0.0), net),
+    )
+
+    improved = 0
+    for net in candidates:
+        crit = criticalities.get(net, 0.0)
+        old = routing.routed[net]
+        old_delay = model.routed_net_delay(graph, old.nodes)
+        source = old.source_node
+        targets = set(old.sink_nodes)
+        router.release(net, old.nodes)
+
+        accepted: list[int] | None = None
+        displaced_moves: list[tuple[str, list[int], list[int]]] = []
+
+        hard_tree = router.search(source, targets, "delay-hard")
+        if hard_tree is not None and model.routed_net_delay(graph, hard_tree) < old_delay:
+            accepted = hard_tree
+        elif displace:
+            free_tree = router.search(source, targets, "delay-free")
+            if (
+                free_tree is not None
+                and model.routed_net_delay(graph, free_tree) < old_delay
+            ):
+                # Who is in the way, and are they all less critical?
+                victims: set[str] = set()
+                blocked = False
+                for node_id in free_tree:
+                    if router.occupancy[node_id] + 1 > capacity[node_id]:
+                        for victim in router.users.get(node_id, ()):
+                            if criticalities.get(victim, 0.0) >= crit:
+                                blocked = True
+                                break
+                            victims.add(victim)
+                    if blocked:
+                        break
+                if not blocked:
+                    for victim in sorted(victims):
+                        router.release(victim, routing.routed[victim].nodes)
+                    router.occupy(net, free_tree)
+                    relocated: list[tuple[str, list[int], list[int]]] = []
+                    success = True
+                    for victim in sorted(victims):
+                        victim_old = routing.routed[victim]
+                        new_home = router.search(
+                            victim_old.source_node,
+                            set(victim_old.sink_nodes),
+                            "congestion-hard",
+                        )
+                        if new_home is None:
+                            success = False
+                            break
+                        router.occupy(victim, new_home)
+                        relocated.append((victim, victim_old.nodes, new_home))
+                    if success:
+                        new_total = (
+                            current_wirelength
+                            - len(old.nodes)
+                            + len(free_tree)
+                            + sum(
+                                len(new) - len(old_nodes)
+                                for _v, old_nodes, new in relocated
+                            )
+                        )
+                        if max_wirelength is not None and new_total > max_wirelength:
+                            success = False
+                    if success:
+                        accepted = free_tree
+                        displaced_moves = relocated
+                    else:
+                        # Roll back the bundle: re-seat every relocated
+                        # victim on its old tree and vacate the new one.
+                        for victim, old_nodes, new_home in relocated:
+                            router.release(victim, new_home)
+                        router.release(net, free_tree)
+                        for victim in sorted(victims):
+                            router.occupy(victim, routing.routed[victim].nodes)
+
+        if accepted is None:
+            router.occupy(net, old.nodes)
+            continue
+
+        if not displaced_moves:
+            router.occupy(net, accepted)
+        # (with displacement, occupancy was already updated in-flight)
+        routing.routed[net] = RoutedNet(
+            net=net, source_node=source, sink_nodes=list(old.sink_nodes), nodes=accepted
+        )
+        for victim, _old_nodes, new_home in displaced_moves:
+            victim_routed = routing.routed[victim]
+            routing.routed[victim] = RoutedNet(
+                net=victim,
+                source_node=victim_routed.source_node,
+                sink_nodes=list(victim_routed.sink_nodes),
+                nodes=new_home,
+            )
+        current_wirelength = routing.total_wirelength
+        improved += 1
+
+    routing.node_pops += router.pops
+    routing.critical_reroutes += improved
+    return improved

@@ -73,7 +73,7 @@ def _architectures(args: argparse.Namespace) -> list[ArchitectureParams]:
 
 
 def _options(args: argparse.Namespace) -> list[FlowOptions]:
-    """The options axis: one :class:`FlowOptions` per placement seed."""
+    """The options axis: seeds × placement efforts × timing tradeoffs."""
     seeds = args.seed or [1]
     if args.analysis_only:
         return [
@@ -85,7 +85,23 @@ def _options(args: argparse.Namespace) -> list[FlowOptions]:
             )
             for seed in seeds
         ]
-    return [FlowOptions(placement_seed=seed) for seed in seeds]
+    efforts = args.placement_effort or [1.0]
+    timing_driven = bool(args.timing_driven)
+    tradeoffs = args.timing_tradeoff or [0.5]
+    if args.timing_tradeoff and not timing_driven:
+        # An explicit tradeoff axis implies the timing-driven flow.
+        timing_driven = True
+    return [
+        FlowOptions(
+            placement_seed=seed,
+            placement_effort=effort,
+            timing_driven=timing_driven,
+            timing_tradeoff=tradeoff,
+        )
+        for seed in seeds
+        for effort in efforts
+        for tradeoff in tradeoffs
+    ]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -99,6 +115,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.store,
         executor=args.executor,
         placement_cache=not args.no_placement_cache,
+        routing_cache=args.routing_cache,
     )
     if args.csv:
         print(f"wrote {write_csv(report, args.csv)}")
@@ -216,6 +233,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--analysis-only",
         action="store_true",
         help="skip placement/routing/bitstream (map + pack + metrics only)",
+    )
+    run.add_argument(
+        "--placement-effort",
+        action="append",
+        type=float,
+        metavar="X",
+        help="annealing effort multiplier; repeatable axis (default: 1.0)",
+    )
+    run.add_argument(
+        "--timing-driven",
+        action="store_true",
+        help="run the timing-driven flow (criticality-fed placement/routing "
+        "+ critical-net re-route; adds cycle_time improvement columns)",
+    )
+    run.add_argument(
+        "--timing-tradeoff",
+        action="append",
+        type=float,
+        metavar="L",
+        help="placement blend weight lambda in [0,1]; repeatable axis "
+        "(implies --timing-driven; default: 0.5)",
+    )
+    run.add_argument(
+        "--routing-cache",
+        action="store_true",
+        help="warm-start PathFinder across channel-width ladders from cached "
+        "routing trees (requires --store; quality-gated, not bit-identical)",
     )
     run.add_argument("--workers", type=int, default=1, help="pool size (default: 1)")
     run.add_argument(

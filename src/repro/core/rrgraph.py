@@ -218,6 +218,11 @@ class RoutingResourceGraph:
         self.is_wire: list[bool] = [
             node.node_type is RRNodeType.WIRE for node in self.nodes
         ]
+        # Node coordinates, flattened for the router's A* lower bound (one
+        # switch-box or connection-box hop moves at most one unit in each
+        # coordinate, so Manhattan distance / 2 under-counts the hops left).
+        self.x: list[int] = [node.x for node in self.nodes]
+        self.y: list[int] = [node.y for node in self.nodes]
         starts = [0]
         targets: list[int] = []
         for node in self.nodes:

@@ -74,6 +74,14 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     placement cache before placing and persists any freshly computed
     placement after a successful flow.  Store writes are atomic, so parallel
     workers can share one directory.
+
+    A ``routing_store`` key (same directory convention) additionally enables
+    the **routing-tree warm-start cache**: under
+    :meth:`SweepPoint.routing_base_key` — the point minus its channel width —
+    the worker looks for a neighbouring width's legal routed trees (stored as
+    node *names*) and seeds PathFinder with them, then persists its own
+    trees after a successful route for the next rung of the ladder.  The
+    summary carries ``routing_warm_started`` whenever a seed actually fired.
     """
     # Imports stay inside the function so worker processes pay them lazily
     # and a broken optional subsystem cannot poison runner import time.
@@ -85,6 +93,7 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
 
     data = dict(point_data)
     placement_store_root = data.pop("placement_store", None)
+    routing_store_root = data.pop("routing_store", None)
     point = SweepPoint.from_dict(data)
     record: dict[str, object] = {
         "version": SWEEP_SCHEMA_VERSION,
@@ -96,6 +105,7 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     placement_store = (
         SweepResultStore(placement_store_root) if placement_store_root else None
     )
+    routing_store = SweepResultStore(routing_store_root) if routing_store_root else None
     try:
         circuit = build_circuit(point.circuit)
         flow = CadFlow(point.architecture, point.options)
@@ -111,7 +121,50 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
                 except (KeyError, TypeError, ValueError):
                     injected = None  # corrupt record: fall back to placing
 
-        result = flow.run(circuit, placement=injected)
+        routing_seed = None
+        routing_key: str | None = None
+        if (
+            routing_store is not None
+            and point.options.run_placement
+            and point.options.run_routing
+        ):
+            routing_key = point.routing_base_key()
+            cached_trees = routing_store.get(routing_key)
+            if (
+                cached_trees is not None
+                and cached_trees.get("kind") == "routing_trees"
+                and cached_trees.get("channel_width")
+                != point.architecture.routing.channel_width
+            ):
+                trees = cached_trees.get("trees")
+                if isinstance(trees, dict):
+                    # Trees are stored as node names; the flow remaps them
+                    # onto this width's RR graph and validates per net.
+                    routing_seed = trees
+
+        result = flow.run(circuit, placement=injected, routing_seed=routing_seed)
+
+        if (
+            routing_store is not None
+            and routing_key is not None
+            and result.routing is not None
+            and result.routing.success
+        ):
+            graph_nodes = flow.rr_graph.nodes
+            routing_store.put(
+                routing_key,
+                {
+                    "version": SWEEP_SCHEMA_VERSION,
+                    "kind": "routing_trees",
+                    "fingerprint": code_fingerprint(),
+                    "circuit": point.circuit,
+                    "channel_width": point.architecture.routing.channel_width,
+                    "trees": {
+                        net: [graph_nodes[node_id].name for node_id in routed.nodes]
+                        for net, routed in result.routing.routed.items()
+                    },
+                },
+            )
 
         if placement_store is not None and point.options.run_placement:
             if result.placement_cache_hit is None:
@@ -433,6 +486,15 @@ class SweepRunner:
         incrementally on routing-only option changes (adds the
         ``placement_cache_hit`` summary key on placement-running sweeps).
         Disable for summaries bit-identical to store-less runs.
+    routing_cache:
+        When a store is attached, additionally cache each point's legal
+        routed trees under :meth:`SweepPoint.routing_base_key` and seed
+        PathFinder with a neighbouring channel width's trees (the
+        **warm-start cache** for channel-width ladders).  Off by default:
+        warm-started routings are legal and quality-gated but not
+        bit-identical to cold ones, so enabling it trades strict summary
+        determinism for ladder throughput (the summary records the trade via
+        ``routing_warm_started``).
     """
 
     def __init__(
@@ -442,6 +504,7 @@ class SweepRunner:
         executor: str | None = None,
         config: RunnerConfig | None = None,
         placement_cache: bool = True,
+        routing_cache: bool = False,
     ) -> None:
         if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
             store = SweepResultStore(store)
@@ -454,6 +517,7 @@ class SweepRunner:
             )
         self.config = config
         self.placement_cache = placement_cache
+        self.routing_cache = routing_cache
 
     @property
     def workers(self) -> int:
@@ -506,11 +570,18 @@ class SweepRunner:
                 if self.store is not None and self.placement_cache
                 else None
             )
+            routing_store = (
+                str(self.store.root)
+                if self.store is not None and self.routing_cache
+                else None
+            )
             miss_payloads: list[dict[str, object]] = []
             for index in miss_indices:
                 payload = points[index].to_dict()
                 if placement_store is not None:
                     payload["placement_store"] = placement_store
+                if routing_store is not None:
+                    payload["routing_store"] = routing_store
                 miss_payloads.append(payload)
 
             # Points sharing a placement key must not race: if they all ran

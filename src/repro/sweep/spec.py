@@ -67,12 +67,17 @@ class SweepPoint:
         Placement depends on strictly less than the full point: the circuit
         (and the code that maps it, folded in via the fingerprint), the fabric
         *geometry* -- grid size, PLB parameters, IO pads per side -- the
-        annealing seed/effort and the mapping mode.  Routing-side knobs
-        (channel width, connection/switch-box topology, router iterations,
-        timing model, bitstream generation) are deliberately **excluded**:
-        two points differing only in those share one placement record, which
-        is what lets the runner re-route an options-only change without
-        re-placing (incremental re-route).
+        annealing seed/effort, the mapping mode, and the **timing-driven
+        knobs**: a timing-driven flow polishes the baseline placement under
+        the blended objective, so ``timing_driven`` / ``timing_tradeoff`` /
+        the timing model produce a genuinely different placement and must
+        split the cache slot (a cached timing placement *is* the polished
+        one, which is why the flow's cache-hit path may skip the polish).
+        Routing-side knobs (channel width, connection/switch-box topology,
+        router iterations, bitstream generation) are deliberately
+        **excluded**: two points differing only in those share one placement
+        record, which is what lets the runner re-route an options-only
+        change without re-placing (incremental re-route).
         """
         arch = self.architecture
         payload = {
@@ -88,8 +93,44 @@ class SweepPoint:
             "seed": self.options.placement_seed,
             "effort": self.options.placement_effort,
             "use_template_mapping": self.options.use_template_mapping,
+            "timing_driven": self.options.timing_driven,
+            # The blend weight and delay model only shape the polish pass,
+            # so they are irrelevant (normalised out) on baseline points.
+            "timing_tradeoff": (
+                self.options.timing_tradeoff if self.options.timing_driven else None
+            ),
+            "timing_model": (
+                self.options.timing_model.to_dict()
+                if self.options.timing_driven
+                else None
+            ),
         }
         return stable_digest(payload)
+
+    def routing_base_key(self) -> str:
+        """The content-address of this point's *routing-tree* cache slot.
+
+        The key hashes the full point **except the channel width**: every
+        step of a channel-width ladder (same circuit, same placement inputs,
+        same routing topology otherwise) shares one slot, which is what lets
+        the runner seed PathFinder with the previous width's legal trees
+        (the warm-start cache).  The stored record carries the width it was
+        routed at; a point whose own width matches simply would have hit the
+        flow-summary cache instead.
+        """
+        payload = self.to_dict()
+        architecture = dict(payload["architecture"])
+        routing = dict(architecture["routing"])
+        routing.pop("channel_width", None)
+        architecture["routing"] = routing
+        payload["architecture"] = architecture
+        return stable_digest(
+            {
+                "kind": "routing_trees",
+                "point": payload,
+                "code_fingerprint": code_fingerprint(),
+            }
+        )
 
     def label(self) -> str:
         """A short human-readable identifier for tables and logs."""

@@ -36,8 +36,19 @@ def test_harness_document_schema(tmp_path):
         assert routing["success"] is True
         assert sum(routing["reroutes_per_iteration"]) == routing["total_reroutes"]
         assert routing["reroutes_per_iteration"][0] == routing["nets"]
+        astar = design["astar"]
+        assert astar["parity"] is True
+        assert astar["pops"] > 0 and astar["dijkstra_pops"] > 0
+        assert astar["pop_reduction"] > 0
+        timing = design["timing"]
+        assert timing["cycle_time_ps"] > 0
+        assert timing["timing_driven_cycle_time_ps"] > 0
+        assert timing["timing_driven_flow_s"] > 0
+        assert timing["timing_driven_flows_per_s"] > 0
     headline = document["headline"]
     assert headline["largest_design"] == document["designs"][-1]["name"]
+    assert headline["astar_pop_reduction"] > 0
+    assert headline["timing_driven_flows_per_s"] > 0
 
 
 def test_floor_check_passes_and_fails_correctly():
@@ -66,6 +77,21 @@ def test_floor_check_passes_and_fails_correctly():
         broken, {"placement_moves_per_s": 1.0, "regression_factor": 3}
     )
     assert problems and "failed to route" in problems[0]
+    # A disabled / broken A* lower bound trips the pop-reduction guard.
+    problems = bench_cad_flow.check_floor(
+        document, {"placement_moves_per_s": 1.0, "min_astar_pop_reduction": 1e6}
+    )
+    assert problems and "pop reduction" in problems[0]
+    # A timing-driven mode 3x+ below its throughput floor trips the guard.
+    problems = bench_cad_flow.check_floor(
+        document,
+        {
+            "placement_moves_per_s": 1.0,
+            "timing_driven_flows_per_s": 1e9,
+            "regression_factor": 3,
+        },
+    )
+    assert problems and "timing-driven throughput" in problems[0]
 
 
 def test_checked_in_floor_file_is_well_formed():
@@ -75,3 +101,5 @@ def test_checked_in_floor_file_is_well_formed():
     assert floor["placement_moves_per_s"] > 0
     assert floor["regression_factor"] >= 1
     assert floor["min_eval_reduction"] >= 1
+    assert floor["min_astar_pop_reduction"] >= 1
+    assert floor["timing_driven_flows_per_s"] > 0

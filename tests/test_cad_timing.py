@@ -1,0 +1,422 @@
+"""The incremental timing engine and the timing-driven flow.
+
+Four families of guarantees introduced by the criticality-fed CAD refactor:
+
+* **engine invariants** — criticalities live in [0, 1] with the critical
+  path at exactly 1.0, delay updates are monotone (a slower net can only
+  become more critical and the cycle time can only grow), and recomputation
+  is lazy (queries after no update are free);
+* **golden cycle times** — the reported ``cycle_time_ps`` of registry
+  circuits on the paper-default fabric is locked, so a timing-model or
+  engine refactor that drifts the reproduced numbers must be deliberate;
+* **timing-driven quality gate** — at the paper-default channel width 8 the
+  timing-driven flow strictly reduces cycle time on several circuits
+  (including the decomposed 2×2 multiplier) with routed legality and at
+  most 2% total-wirelength regression;
+* **A\\* router** — routed parity with plain Dijkstra while popping fewer
+  heap nodes on the largest benchmarked fabric, and the warm-start seed
+  path reaches parity-quality routings while inheriting most trees.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.pack import pack_design
+from repro.cad.place import NetCostCache, TimingObjective, place_design
+from repro.cad.route import refine_critical_nets, route_design
+from repro.cad.timing import TimingEngine, TimingModel, analyse_timing
+from repro.circuits.registry import build_circuit
+from repro.core.fabric import Fabric
+from repro.core.params import ArchitectureParams, RoutingParams
+from repro.core.rrgraph import RoutingResourceGraph
+
+PAPER_ARCH = lambda: ArchitectureParams(routing=RoutingParams(channel_width=8))  # noqa: E731
+
+
+def _mapped(name):
+    circuit = build_circuit(name)
+    flow = CadFlow(PAPER_ARCH())
+    if hasattr(circuit, "mapped") and circuit.mapped.params == flow.architecture.plb:
+        design = circuit.mapped
+    else:
+        design = flow.map(circuit if not hasattr(circuit, "gate_circuit") else circuit.gate_circuit)
+    pack_design(design, flow.architecture.plb)
+    return design, flow
+
+
+# ----------------------------------------------------------------------
+# Engine invariants
+# ----------------------------------------------------------------------
+def test_criticalities_bounded_and_critical_path_at_one():
+    design, _flow = _mapped("qdi_full_adder")
+    engine = TimingEngine(design)
+    crits = engine.criticalities()
+    assert crits, "a mapped design must expose timed nets"
+    assert all(0.0 <= crit <= 1.0 for crit in crits.values())
+    assert max(crits.values()) == 1.0
+    assert engine.critical_path_ps > 0
+    assert engine.cycle_time_ps == 4 * engine.critical_path_ps
+
+
+def test_criticality_monotone_in_net_delay():
+    design, _flow = _mapped("qdi_full_adder")
+    engine = TimingEngine(design)
+    baseline_cycle = engine.cycle_time_ps
+    crits = engine.criticalities()
+    for net in sorted(crits)[:6]:
+        before = engine.criticality(net)
+        engine.set_net_delay(net, engine.net_delays_ps.get(net, 110) + 5000)
+        after = engine.criticality(net)
+        # Slowing a net down can only raise its own criticality ...
+        assert after >= before - 1e-9
+        # ... and can never shorten the handshake cycle.
+        assert engine.cycle_time_ps >= baseline_cycle
+        baseline_cycle = engine.cycle_time_ps
+
+
+def test_engine_recomputes_lazily():
+    design, _flow = _mapped("qdi_ripple_adder_2")
+    engine = TimingEngine(design)
+    engine.criticalities()
+    engine.criticalities()
+    engine.cycle_time_ps
+    assert engine.recomputes == 1  # queries without updates are free
+    engine.set_net_delay(next(iter(engine.criticalities())), 9999)
+    engine.criticalities()
+    engine.criticality("nonexistent")
+    assert engine.recomputes == 2
+
+
+def test_estimate_and_routed_delays_feed_the_engine():
+    design, flow = _mapped("qdi_full_adder")
+    placement = place_design(design, flow.fabric, seed=1)
+    engine = TimingEngine(design)
+    flat_cycle = engine.cycle_time_ps
+    estimates = engine.estimate_from_placement(placement, flow.fabric)
+    assert estimates and all(delay > 0 for delay in estimates.values())
+
+    routing = route_design(design, placement, flow.rr_graph)
+    assert routing.success
+    model = TimingModel()
+    exact = engine.update_from_routing(routing, flow.rr_graph)
+    assert exact.keys() == routing.routed.keys()
+    for net, routed in routing.routed.items():
+        assert exact[net] == model.routed_net_delay(flow.rr_graph, routed.nodes)
+    assert engine.cycle_time_ps > 0
+    assert flat_cycle > 0
+
+
+def test_analyse_timing_report_carries_criticalities():
+    design, flow = _mapped("qdi_full_adder")
+    report = analyse_timing(design)
+    assert report.criticalities
+    assert report.critical_path_ps == report.forward_latency_ps
+    assert report.cycle_time_ps == 4 * report.forward_latency_ps
+
+
+# ----------------------------------------------------------------------
+# Golden cycle times (paper-default fabric, channel width 8)
+# ----------------------------------------------------------------------
+GOLDEN_CYCLE_TIMES_PS = {
+    "qdi_full_adder": 13440,
+    "micropipeline_full_adder": 10880,
+    "qdi_ripple_adder_2": 22320,
+    "wchb_fifo_4": 30080,
+    "qdi_multiplier_2x2": 26720,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CYCLE_TIMES_PS))
+def test_golden_cycle_times(name):
+    flow = CadFlow(PAPER_ARCH(), FlowOptions(generate_bitstream=False))
+    result = flow.run(build_circuit(name))
+    summary = result.summary()
+    assert summary["routing_success"] is True
+    assert summary["cycle_time_ps"] == GOLDEN_CYCLE_TIMES_PS[name]
+
+
+# ----------------------------------------------------------------------
+# Timing-driven quality gate (the PR's acceptance criterion)
+# ----------------------------------------------------------------------
+#: Circuits whose handshake cycle the timing-driven flow must strictly
+#: improve at the paper-default channel width 8 (incl. one multiplier).
+TIMING_GATE_CIRCUITS = (
+    "qdi_full_adder",
+    "qdi_multiplier_2x2",
+    "micropipeline_full_adder",
+    "wchb_fifo_4",
+)
+
+
+def _assert_legal(routing, graph):
+    occupancy = [0] * len(graph)
+    for routed in routing.routed.values():
+        for node_id in routed.nodes:
+            occupancy[node_id] += 1
+    assert all(
+        occupancy[node_id] <= graph.capacity[node_id] for node_id in range(len(graph))
+    )
+
+
+@pytest.mark.parametrize("name", TIMING_GATE_CIRCUITS)
+def test_timing_driven_reduces_cycle_time_at_default_channel_width(name):
+    arch = PAPER_ARCH()
+    baseline = CadFlow(arch, FlowOptions(generate_bitstream=False)).run(
+        build_circuit(name)
+    )
+    flow = CadFlow(arch, FlowOptions(generate_bitstream=False, timing_driven=True))
+    timed = flow.run(build_circuit(name))
+    base_summary = baseline.summary()
+    timed_summary = timed.summary()
+
+    assert base_summary["routing_success"] is True
+    assert timed_summary["routing_success"] is True
+    _assert_legal(timed.routing, flow.rr_graph)
+    # Strict cycle-time reduction ...
+    assert timed_summary["cycle_time_ps"] < base_summary["cycle_time_ps"]
+    # ... within the 2% total-wirelength budget.
+    assert (
+        timed_summary["total_wirelength"]
+        <= base_summary["total_wirelength"] * 1.02
+    )
+    # The mode is visible in the summary contract.
+    assert timed_summary["timing_driven"] is True
+    assert timed_summary["critical_nets_rerouted"] >= 0
+    assert timed_summary["cycle_time_improvement_ps"] >= 0
+
+
+def test_timing_driven_summary_key_set():
+    from test_regression_golden import FULL_FLOW_SUMMARY_KEYS
+
+    result = CadFlow(
+        ArchitectureParams(width=5, height=5), FlowOptions(timing_driven=True)
+    ).run(build_circuit("qdi_full_adder"))
+    assert set(result.summary().keys()) == FULL_FLOW_SUMMARY_KEYS | {
+        "timing_driven",
+        "critical_nets_rerouted",
+        "cycle_time_improvement_ps",
+    }
+
+
+# ----------------------------------------------------------------------
+# Critical-net refinement
+# ----------------------------------------------------------------------
+def test_refine_critical_nets_improves_multiplier_and_stays_legal():
+    design, flow = _mapped("qdi_multiplier_2x2")
+    placement = place_design(design, flow.fabric, seed=1)
+    routing = route_design(design, placement, flow.rr_graph)
+    assert routing.success
+    model = TimingModel()
+    engine = TimingEngine(design, model)
+    engine.update_from_routing(routing, flow.rr_graph)
+    before_cycle = engine.cycle_time_ps
+    before_wirelength = routing.total_wirelength
+    before = {
+        net: model.routed_net_delay(flow.rr_graph, routed.nodes)
+        for net, routed in routing.routed.items()
+    }
+
+    improved = refine_critical_nets(
+        routing,
+        flow.rr_graph,
+        engine.criticalities(),
+        model,
+        max_wirelength=int(before_wirelength * 1.02),
+    )
+    assert improved > 0  # the displacement pass finds real detours to cut
+    assert routing.critical_reroutes == improved
+    _assert_legal(routing, flow.rr_graph)
+    assert routing.total_wirelength <= before_wirelength * 1.02
+    engine.update_from_routing(routing, flow.rr_graph)
+    assert engine.cycle_time_ps <= before_cycle
+    # Refined critical nets only ever got faster.
+    crits = engine.criticalities()
+    for net, routed in routing.routed.items():
+        after = model.routed_net_delay(flow.rr_graph, routed.nodes)
+        if crits.get(net, 0.0) >= 0.999:
+            assert after <= before[net]
+
+
+def test_refine_noop_on_failed_routing():
+    design, flow = _mapped("qdi_full_adder")
+    placement = place_design(design, flow.fabric, seed=1)
+    routing = route_design(design, placement, flow.rr_graph)
+    failed = copy.deepcopy(routing)
+    failed.success = False
+    assert refine_critical_nets(failed, flow.rr_graph, {"any": 1.0}) == 0
+
+
+# ----------------------------------------------------------------------
+# A*: routed parity with plain Dijkstra, fewer pops
+# ----------------------------------------------------------------------
+def _largest_fabric_route(astar: bool):
+    adder = build_circuit("qdi_ripple_adder_8")
+    design = adder.mapped
+    pack_design(design)
+    side = max(4, int(len(design.plbs) ** 0.5) + 2)
+    params = ArchitectureParams(
+        width=side, height=side, routing=RoutingParams(channel_width=10, io_pads_per_side=6)
+    )
+    fabric = Fabric(params)
+    graph = RoutingResourceGraph(fabric)
+    placement = place_design(design, fabric, seed=1)
+    return route_design(design, placement, graph, astar=astar), graph
+
+
+def test_astar_parity_and_pop_reduction_on_largest_fabric():
+    accelerated, graph = _largest_fabric_route(astar=True)
+    plain, _ = _largest_fabric_route(astar=False)
+    assert accelerated.success and plain.success
+    _assert_legal(accelerated, graph)
+    assert accelerated.routed.keys() == plain.routed.keys()
+    # Both orderings run cost-optimal searches; quality stays within the
+    # repo-wide 2% parity tolerance and the lower bound must actually prune.
+    assert accelerated.total_wirelength <= plain.total_wirelength * 1.02
+    assert accelerated.node_pops < plain.node_pops
+
+
+def test_astar_failure_restarts_with_dijkstra_parity():
+    # The knife-edge instance: the decomposed multiplier at channel width 8
+    # only converges under classic frontier ordering.  astar=True must reach
+    # the exact same routability via its internal restart.
+    design, flow = _mapped("qdi_multiplier_2x2")
+    placement = place_design(design, flow.fabric, seed=1)
+    accelerated = route_design(design, placement, flow.rr_graph, astar=True)
+    plain = route_design(design, placement, flow.rr_graph, astar=False)
+    assert accelerated.success == plain.success is True
+    assert accelerated.total_wirelength == plain.total_wirelength
+
+
+# ----------------------------------------------------------------------
+# Warm start (the sweep engine's channel-width ladder cache)
+# ----------------------------------------------------------------------
+def test_warm_start_inherits_trees_with_quality_parity(tmp_path):
+    from repro import api
+
+    architectures = [
+        ArchitectureParams(routing=RoutingParams(channel_width=width))
+        for width in (10, 9, 8)
+    ]
+    warm = api.run_sweep(
+        circuits=["qdi_ripple_adder_2"],
+        architectures=architectures,
+        cache_dir=str(tmp_path / "store"),
+        routing_cache=True,
+    )
+    cold = api.run_sweep(
+        circuits=["qdi_ripple_adder_2"], architectures=architectures
+    )
+    warm_by_label = {o.point.label(): o.summary for o in warm.outcomes}
+    cold_by_label = {o.point.label(): o.summary for o in cold.outcomes}
+    seeded = 0
+    for label, summary in warm_by_label.items():
+        assert summary["routing_success"] is True
+        reference = cold_by_label[label]
+        # Parity gate: warm-started quality within 2% of a cold route.
+        assert summary["total_wirelength"] <= reference["total_wirelength"] * 1.02
+        if summary.get("routing_warm_started"):
+            seeded += 1
+            assert summary["routing_warm_started"] > 0
+    # The second and third rung of the ladder must actually inherit trees.
+    assert seeded >= 2
+    # Cold runs never carry the marker.
+    assert all("routing_warm_started" not in s for s in cold_by_label.values())
+
+
+def test_warm_start_rejects_broken_seed_trees():
+    design, flow = _mapped("qdi_full_adder")
+    placement = place_design(design, flow.fabric, seed=1)
+    reference = route_design(design, placement, flow.rr_graph)
+    bogus = {net: [0, 1, 2] for net in reference.routed}
+    seeded = route_design(design, placement, flow.rr_graph, warm_start=bogus)
+    assert seeded.success
+    assert seeded.warm_started_nets == 0  # nothing validated, all routed fresh
+    assert seeded.total_wirelength == reference.total_wirelength
+
+
+def test_flow_routing_seed_roundtrip():
+    # Trees routed at channel width 10, re-injected (as node names) into a
+    # width-8 flow: the flow maps what exists, validates per net, and the
+    # result stays legal and successful.
+    wide = CadFlow(
+        ArchitectureParams(routing=RoutingParams(channel_width=10)),
+        FlowOptions(generate_bitstream=False),
+    )
+    wide_result = wide.run(build_circuit("qdi_ripple_adder_2"))
+    assert wide_result.routing is not None and wide_result.routing.success
+    trees = {
+        net: [wide.rr_graph.nodes[node_id].name for node_id in routed.nodes]
+        for net, routed in wide_result.routing.routed.items()
+    }
+    narrow = CadFlow(PAPER_ARCH(), FlowOptions(generate_bitstream=False))
+    seeded = narrow.run(build_circuit("qdi_ripple_adder_2"), routing_seed=trees)
+    assert seeded.routing is not None and seeded.routing.success
+    _assert_legal(seeded.routing, narrow.rr_graph)
+    assert seeded.routing.warm_started_nets > 0
+    assert seeded.summary()["routing_warm_started"] > 0
+
+
+# ----------------------------------------------------------------------
+# Blended placement objective
+# ----------------------------------------------------------------------
+def test_timing_objective_cache_tracks_full_recompute_under_random_moves():
+    rng = random.Random(7)
+    blocks = [f"b{index}" for index in range(5)]
+    nets = {
+        f"n{index}": rng.sample(blocks, rng.randint(2, len(blocks)))
+        for index in range(8)
+    }
+    plb_sites = {name: (rng.randrange(6), rng.randrange(6)) for name in blocks}
+    crits = {net: rng.random() for net in nets}
+    objective = TimingObjective(crits, tradeoff=0.6)
+    cache = NetCostCache(nets, plb_sites, {}, objective=objective)
+    for _ in range(120):
+        name = rng.choice(blocks)
+        old = plb_sites[name]
+        new = (rng.randrange(6), rng.randrange(6))
+        plb_sites[name] = new
+        cache.propose_moves(
+            [(name, (float(old[0]), float(old[1])), (float(new[0]), float(new[1])))]
+        )
+        if rng.random() < 0.5:
+            cache.commit()
+        else:
+            cache.reject()
+            plb_sites[name] = old
+        assert cache.audit_matches()
+
+
+def test_blended_placement_beats_wirelength_placement_on_timing_cost():
+    design, flow = _mapped("qdi_full_adder")
+    engine = TimingEngine(design)
+    objective = TimingObjective(engine.criticalities(), tradeoff=0.5)
+    plain = place_design(design, flow.fabric, seed=3)
+    polished = place_design(
+        design,
+        flow.fabric,
+        seed=3,
+        objective=objective,
+        initial=plain,
+        temperature_factor=0.02,
+        effort=0.4,
+    )
+    assert polished.matches_design(design, flow.fabric)
+    # The polish anneals the blended objective mostly downhill from the
+    # plain layout; the low temperature bounds any uphill wander tightly.
+    assert polished.cost <= plain_cost_under(objective, design, flow, plain) * 1.1
+    # Pure wirelength is tracked separately and stays available.
+    assert polished.wirelength > 0
+
+
+def plain_cost_under(objective, design, flow, placement):
+    from repro.cad.place import _build_net_terminals, _pad_position
+
+    nets = _build_net_terminals(design)
+    io_positions = {
+        net: _pad_position(pad, flow.fabric) for net, pad in placement.io_sites.items()
+    }
+    cache = NetCostCache(nets, dict(placement.plb_sites), io_positions, objective=objective)
+    return cache.total

@@ -136,6 +136,54 @@ def test_grid_and_channel_width_axes(tmp_path, capsys):
         parser.parse_args(["run", "--grid", "not-a-grid"])
 
 
+def test_timing_and_effort_axes(tmp_path, capsys):
+    csv_path = tmp_path / "timing.csv"
+    assert (
+        main(
+            RUN_ARGS[:3]  # run --circuit qdi_full_adder
+            + [
+                "--timing-tradeoff", "0.3",
+                "--timing-tradeoff", "0.6",
+                "--placement-effort", "0.5",
+                "--csv", str(csv_path),
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "points=2" in out  # two tradeoffs x one effort
+    with csv_path.open(encoding="utf-8", newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    for row in rows:
+        # --timing-tradeoff implies the timing-driven flow, and the timing
+        # columns land in the report.
+        assert row["timing_driven"] == "True"
+        assert int(row["cycle_time_ps"]) > 0
+        assert row["cycle_time_improvement_ps"] != ""
+
+
+def test_routing_cache_warm_starts_ladder(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    args = RUN_ARGS[:3] + [
+        "--channel-width", "10",
+        "--channel-width", "8",
+        "--store", store,
+        "--routing-cache",
+        "--quiet",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    report_csv = tmp_path / "ladder.csv"
+    assert main(["export", "--store", store, "--csv", str(report_csv)]) == 0
+    capsys.readouterr()
+    with report_csv.open(encoding="utf-8", newline="") as handle:
+        rows = {row["label"]: row for row in csv.DictReader(handle)}
+    assert rows["qdi_full_adder@6x6/cw8"]["routing_warm_started"] not in ("", "0")
+    assert rows["qdi_full_adder@6x6/cw8"]["routing_success"] == "True"
+
+
 def test_run_rejects_unknown_executor():
     with pytest.raises(SystemExit):
         main(["run", "--circuit", "qdi_full_adder", "--executor", "slurm"])

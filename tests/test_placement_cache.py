@@ -99,6 +99,29 @@ def test_placement_key_tracks_placement_inputs():
     assert len(keys) == 5
 
 
+def test_placement_key_tracks_timing_knobs():
+    # A timing-driven flow polishes the baseline placement under the
+    # blended objective, so the timing knobs produce genuinely different
+    # placements and must split the cache slot — otherwise a timing point
+    # would inherit (and route) a baseline placement, silently skipping
+    # the polish.
+    base = SweepPoint("qdi_full_adder", ARCH_CW8, FULL)
+    timed = SweepPoint("qdi_full_adder", ARCH_CW8, FlowOptions(timing_driven=True))
+    other_lambda = SweepPoint(
+        "qdi_full_adder",
+        ARCH_CW8,
+        FlowOptions(timing_driven=True, timing_tradeoff=0.3),
+    )
+    assert base.placement_key() != timed.placement_key()
+    assert timed.placement_key() != other_lambda.placement_key()
+    # The blend weight is polish-only: baseline points with different
+    # (unused) tradeoff values still share one placement record.
+    baseline_other_lambda = SweepPoint(
+        "qdi_full_adder", ARCH_CW8, FlowOptions(timing_tradeoff=0.3)
+    )
+    assert base.placement_key() == baseline_other_lambda.placement_key()
+
+
 # ----------------------------------------------------------------------
 # CadFlow placement injection
 # ----------------------------------------------------------------------

@@ -46,6 +46,7 @@ FULL_FLOW_SUMMARY_KEYS = {
     "routing_success",
     "router_iterations",
     "router_nets_rerouted",
+    "router_node_pops",
     "max_net_delay_ps",
     "le_levels",
     "forward_latency_ps",
