@@ -42,7 +42,10 @@ from repro.core.rrgraph import RoutingResourceGraph
 
 WIDTHS = (1, 2, 4)
 HARNESS_WIDTHS = (1, 2, 4, 8)
-BENCH_SCHEMA = 2
+#: Generator-family circuits the harness runs end to end (bitgen included)
+#: on their recommended fabrics, alongside the adder ladder.
+GENERATED_SPECS = ("gen:mult8x8@micropipeline",)
+BENCH_SCHEMA = 3
 DEFAULT_FLOOR_FILE = Path(__file__).with_name("perf_floor.json")
 
 
@@ -151,9 +154,40 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
     }
 
 
+def generated_flow_record(spec_name: str, seed: int = 1) -> dict[str, object]:
+    """Full flow (bitstream included) of one generated circuit.
+
+    The fabric comes from ``recommended_fabric``, so this also exercises the
+    architecture-sizing heuristic (grid side, PDE tap widening, channel-width
+    scaling) the generator layer ships with.
+    """
+    from repro.circuits.generate import recommended_fabric
+    from repro.circuits.specs import build_from_spec
+
+    bench = build_from_spec(spec_name)
+    params = recommended_fabric(bench)
+    t0 = time.perf_counter()
+    result = CadFlow(params, FlowOptions(placement_seed=seed)).run(bench)
+    flow_s = time.perf_counter() - t0
+    summary = result.summary()
+    return {
+        "name": spec_name,
+        "grid": f"{params.width}x{params.height}",
+        "channel_width": params.routing.channel_width,
+        "les": summary["les"],
+        "plbs": summary["plbs"],
+        "flow_s": round(flow_s, 6),
+        "routing_success": summary.get("routing_success", False),
+        "total_wirelength": summary.get("total_wirelength", 0),
+        "cycle_time_ps": summary.get("cycle_time_ps", 0),
+        "bitstream_bits_set": summary.get("bitstream_bits_set", 0),
+    }
+
+
 def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
     """The full ``BENCH_cad.json`` document for the given adder widths."""
     designs = [instrumented_flow(bits, seed=seed) for bits in widths]
+    generated = [generated_flow_record(spec, seed=seed) for spec in GENERATED_SPECS]
     largest = designs[-1]
     return {
         "schema": BENCH_SCHEMA,
@@ -163,6 +197,7 @@ def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
         "platform": platform.platform(),
         "seed": seed,
         "designs": designs,
+        "generated": generated,
         "headline": {
             "largest_design": largest["name"],
             "placement_moves_per_s": largest["placement"]["moves_per_s"],
@@ -194,6 +229,11 @@ def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[s
             problems.append(
                 f"{design['name']} failed to route — the throughput numbers "
                 "below would be measured on a broken router"
+            )
+    for design in document.get("generated", []):
+        if not design["routing_success"]:
+            problems.append(
+                f"{design['name']} failed to route on its recommended fabric"
             )
     headline = document["headline"]
     floor_moves = float(floor.get("placement_moves_per_s", 0.0))
@@ -268,6 +308,13 @@ def main(argv: list[str] | None = None) -> int:
         for design in document["designs"]
     ]
     print(format_table(rows))
+    for design in document["generated"]:
+        print(
+            f"generated {design['name']}: grid {design['grid']} "
+            f"cw {design['channel_width']}, {design['les']} LEs / "
+            f"{design['plbs']} PLBs, routed={design['routing_success']}, "
+            f"cycle {design['cycle_time_ps']} ps in {design['flow_s']:.2f}s"
+        )
     print(f"wrote {args.json}")
 
     if args.check_floor is not None:

@@ -34,6 +34,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sweep=repro.cli:main",
+            "repro-fuzz=repro.fuzz:main",
         ],
     },
 )

@@ -194,6 +194,11 @@ def _collect_net_endpoints(
         needs_routing = (
             (driven_by_plb and (consumed_by_plbs or is_primary_output))
             or (is_primary_input and consumers.get(net))
+            # Pad-to-pad pass-through: a primary input that is also a primary
+            # output with no PLB consumers still needs a fabric path from its
+            # pad's output pin back to its input pin (small CRC chains shift
+            # initial-vector bits straight out).
+            or (is_primary_input and is_primary_output)
         )
         if needs_routing:
             interesting_nets.append(net)
@@ -224,7 +229,9 @@ def _collect_net_endpoints(
             sink = graph.ipin(x, y, pin)
             assignments.append(PinAssignment(net, plb_name, pin, sink.node_id, False))
             net_sinks.append(sink.node_id)
-        if net in design.primary_outputs and net in driver_plb:
+        if net in design.primary_outputs and (
+            net in driver_plb or net in design.primary_inputs
+        ):
             pad = placement.pad_of(net)
             sink = graph.io_ipin(pad)
             assignments.append(PinAssignment(net, pad.name, "in", sink.node_id, False))

@@ -395,6 +395,21 @@ def _cell_output_table(netlist: Netlist, cell_name: str) -> TruthTable:
     rename = {pin: cell.connections[pin] for pin in cell.cell_type.inputs if pin in table.inputs}
     if STATE_VARIABLE in table.inputs:
         rename[STATE_VARIABLE] = output_net
+    targets = [rename.get(pin, pin) for pin in table.inputs]
+    if len(set(targets)) != len(targets):
+        # Several pins tied to the same net: collapse the duplicate columns
+        # into one variable (XOR(a, a) is the constant 0, not a 2-input
+        # function) instead of building a table with repeated input names.
+        distinct = list(dict.fromkeys(targets))
+        source = table
+
+        def tied(*values: int) -> int:
+            by_net = dict(zip(distinct, values))
+            return source.evaluate(
+                {pin: by_net[net] for pin, net in zip(source.inputs, targets)}
+            )
+
+        return TruthTable.from_function(distinct, tied, name=source.name)
     return table.rename(rename)
 
 

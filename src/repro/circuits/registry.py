@@ -3,6 +3,12 @@
 The benchmark harness and the examples look circuits up by name so sweeps can
 be written as plain lists of strings.  Every factory takes no arguments (the
 parameterised variants encode their parameters in the registered name).
+
+Besides the hand-built circuits the registry folds in the default size
+ladder of every generator family (``gen:mult4x4@qdi``-style names, see
+:mod:`repro.circuits.specs`); :func:`build_circuit` additionally accepts any
+well-formed ``gen:`` spec string, so sweeps can ask for sizes that are not
+pre-registered.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from repro.circuits.adders import micropipeline_ripple_adder, qdi_ripple_adder
 from repro.circuits.fifo import wchb_fifo
 from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder
 from repro.circuits.multiplier import qdi_multiplier, qdi_multiplier_4x4
+from repro.circuits.specs import GENERATOR_PREFIX, build_from_spec, default_spec_names
 
 
 def circuit_registry() -> dict[str, Callable[[], object]]:
@@ -36,12 +43,21 @@ def circuit_registry() -> dict[str, Callable[[], object]]:
         registry[f"micropipeline_ripple_adder_{bits}"] = (
             lambda bits=bits: micropipeline_ripple_adder(bits)
         )
+    for spec_name in default_spec_names():
+        registry[spec_name] = lambda spec_name=spec_name: build_from_spec(spec_name)
     return registry
 
 
 def build_circuit(name: str):
-    """Instantiate a registered circuit by name."""
+    """Instantiate a registered circuit by name.
+
+    ``gen:`` spec strings outside the registered default-size ladder are
+    parsed on the fly (``gen:mult8x8@micropipeline`` works without being
+    pre-registered); malformed specs surface the parser's ``ValueError``.
+    """
     registry = circuit_registry()
-    if name not in registry:
-        raise KeyError(f"unknown benchmark circuit {name!r}; known: {sorted(registry)}")
-    return registry[name]()
+    if name in registry:
+        return registry[name]()
+    if name.startswith(GENERATOR_PREFIX):
+        return build_from_spec(name)
+    raise KeyError(f"unknown benchmark circuit {name!r}; known: {sorted(registry)}")

@@ -1,0 +1,173 @@
+"""Declarative specs for the parameterised circuit-generator families.
+
+A *generator family* is a size-parameterised recipe for a benchmark circuit
+(an NxN multiplier, an N-bit ALU, ...) that can be rendered in either
+supported logic style.  A :class:`CircuitSpec` names one concrete member of a
+family; its canonical string form is what the CLI and the sweep engine use::
+
+    gen:<family><size>@<style>        e.g.  gen:alu4@qdi
+    gen:<family><N>x<N>@<style>       e.g.  gen:mult8x8@micropipeline
+
+The families themselves live in :mod:`repro.circuits.generate` and register
+here via :func:`register_family`; :func:`build_from_spec` turns a spec (or
+its string form) into a ready-to-map
+:class:`~repro.circuits.adders.BenchmarkCircuit`.  A default size ladder per
+family is folded into :func:`repro.circuits.registry.circuit_registry`, and
+``repro.circuits.registry.build_circuit`` falls back to this parser for any
+``gen:`` name, so arbitrary sizes work in sweeps without pre-registration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.circuits.adders import BenchmarkCircuit
+
+#: Prefix marking a generated-circuit name.
+GENERATOR_PREFIX = "gen:"
+
+#: Logic styles every family must support.
+GENERATOR_STYLES = ("qdi", "micropipeline")
+
+_SPEC_PATTERN = re.compile(
+    r"^(?P<family>[a-z]+)(?P<size>\d+)(?:x(?P<size2>\d+))?@(?P<style>[a-z_]+)$"
+)
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One concrete generated circuit: a family member at a size, in a style."""
+
+    family: str
+    size: int
+    style: str  # one of GENERATOR_STYLES
+
+    def __post_init__(self) -> None:
+        if self.style not in GENERATOR_STYLES:
+            raise ValueError(
+                f"unknown generator style {self.style!r}; supported: {GENERATOR_STYLES}"
+            )
+        if self.size < 1:
+            raise ValueError(f"generator size must be positive, got {self.size}")
+
+    def name(self) -> str:
+        """The canonical ``gen:...`` string for this spec."""
+        family = generator_families()[self.family]
+        size = f"{self.size}x{self.size}" if family.square else str(self.size)
+        return f"{GENERATOR_PREFIX}{self.family}{size}@{self.style}"
+
+
+@dataclass(frozen=True)
+class GeneratorFamily:
+    """A registered generator family: its builder plus registry defaults."""
+
+    name: str
+    builder: Callable[[CircuitSpec], "BenchmarkCircuit"]
+    description: str
+    default_sizes: tuple[int, ...]
+    #: Square families print their size as ``NxN`` (multipliers).
+    square: bool = False
+    min_size: int = 1
+
+
+_FAMILIES: dict[str, GeneratorFamily] = {}
+
+
+def register_family(
+    name: str,
+    builder: Callable[[CircuitSpec], "BenchmarkCircuit"],
+    description: str,
+    default_sizes: tuple[int, ...],
+    square: bool = False,
+    min_size: int = 1,
+) -> GeneratorFamily:
+    """Register a generator family (idempotent re-registration replaces)."""
+    if not re.fullmatch(r"[a-z]+", name):
+        raise ValueError(f"family names are lowercase letters only, got {name!r}")
+    family = GeneratorFamily(
+        name=name,
+        builder=builder,
+        description=description,
+        default_sizes=tuple(default_sizes),
+        square=square,
+        min_size=min_size,
+    )
+    _FAMILIES[name] = family
+    return family
+
+
+def generator_families() -> dict[str, GeneratorFamily]:
+    """All registered families, importing the built-in ones on first use."""
+    import repro.circuits.generate  # noqa: F401  (registers built-in families)
+
+    return dict(_FAMILIES)
+
+
+def parse_spec(text: str) -> CircuitSpec:
+    """Parse a ``gen:<family><size>@<style>`` string into a spec.
+
+    Raises ``ValueError`` with the list of known families / styles on any
+    malformed or unknown input, so CLI errors stay actionable.
+    """
+    if not text.startswith(GENERATOR_PREFIX):
+        raise ValueError(f"generator specs start with {GENERATOR_PREFIX!r}, got {text!r}")
+    families = generator_families()
+    body = text[len(GENERATOR_PREFIX):]
+    match = _SPEC_PATTERN.match(body)
+    if match is None:
+        raise ValueError(
+            f"malformed generator spec {text!r}; expected "
+            f"gen:<family><size>@<style> like gen:mult8x8@qdi "
+            f"(families: {sorted(families)}, styles: {GENERATOR_STYLES})"
+        )
+    family_name = match.group("family")
+    if family_name not in families:
+        raise ValueError(
+            f"unknown generator family {family_name!r}; known: {sorted(families)}"
+        )
+    family = families[family_name]
+    size = int(match.group("size"))
+    size2 = match.group("size2")
+    if family.square:
+        if size2 is not None and int(size2) != size:
+            raise ValueError(
+                f"family {family_name!r} generates square circuits; "
+                f"got {size}x{size2} in {text!r}"
+            )
+    elif size2 is not None:
+        raise ValueError(f"family {family_name!r} takes a single size, got {text!r}")
+    style = match.group("style")
+    if style not in GENERATOR_STYLES:
+        raise ValueError(
+            f"unknown generator style {style!r} in {text!r}; supported: {GENERATOR_STYLES}"
+        )
+    if size < family.min_size:
+        raise ValueError(
+            f"family {family_name!r} needs size >= {family.min_size}, got {size}"
+        )
+    return CircuitSpec(family=family_name, size=size, style=style)
+
+
+def build_from_spec(spec: CircuitSpec | str) -> "BenchmarkCircuit":
+    """Instantiate the circuit a spec (or its string form) describes."""
+    if isinstance(spec, str):
+        spec = parse_spec(spec)
+    families = generator_families()
+    if spec.family not in families:
+        raise ValueError(
+            f"unknown generator family {spec.family!r}; known: {sorted(families)}"
+        )
+    return families[spec.family].builder(spec)
+
+
+def default_spec_names() -> list[str]:
+    """Canonical names of the default size ladder of every family/style."""
+    names: list[str] = []
+    for family in generator_families().values():
+        for size in family.default_sizes:
+            for style in GENERATOR_STYLES:
+                names.append(CircuitSpec(family.name, size, style).name())
+    return names

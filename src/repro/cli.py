@@ -130,8 +130,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace) -> SweepResultStore:
+    """Open an existing store for inspection; never create one as a side effect."""
+    return SweepResultStore(args.store, create=False)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = SweepResultStore(args.store).stats()
+    try:
+        stats = _open_store(args).stats()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for key, value in stats.items():
         print(f"{key:>20}: {value}")
     return 0
@@ -139,9 +148,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_gc(args: argparse.Namespace) -> int:
     try:
-        outcome = SweepResultStore(args.store).gc(
+        outcome = _open_store(args).gc(
             keep_latest=args.keep_latest, dry_run=args.dry_run
         )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except StoreLockTimeout as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -159,7 +171,11 @@ def _cmd_gc(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.fingerprint import code_fingerprint
 
-    store = SweepResultStore(args.store)
+    try:
+        store = _open_store(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = report_from_records(
         store.records(),
         current_fingerprint=None if args.all_generations else code_fingerprint(),

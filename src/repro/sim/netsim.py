@@ -27,10 +27,10 @@ from repro.sim.scheduler import EventScheduler
 
 @dataclass
 class _PendingOutput:
-    """Book-keeping for the last value scheduled on a net."""
+    """The one in-flight scheduled change of a driven net."""
 
     value: int
-    time: int
+    sequence: int  # scheduler sequence of the event, for exact cancellation
 
 
 @dataclass
@@ -65,7 +65,17 @@ class GateLevelSimulator:
         self._traced: set[str] = set(netlist.nets) if trace_all else set(trace_nets or [])
         for name in self._traced:
             self.traces[name] = [(0, 0)]
+        # Driven nets carry at most ONE in-flight event: a newer driver
+        # evaluation supersedes (cancels) the older scheduled change instead
+        # of queueing behind it.  This is inertial-delay collapse — pulses
+        # narrower than the cell delay are absorbed — and it is what keeps
+        # state-holding cells stable: with both events queued, every
+        # own-output change re-evaluates the driver against the *other*
+        # event's value and schedules yet another correction, ping-ponging
+        # forever.  Primary-input nets are never driver outputs, so stimulus
+        # scheduled via :meth:`set_input` is unaffected.
         self._pending: dict[str, _PendingOutput] = {}
+        self._cancelled: set[int] = set()
         # Sink index: net name -> cells reading it.
         self._readers: dict[str, list[Cell]] = {name: [] for name in netlist.nets}
         for cell in netlist.iter_cells():
@@ -158,21 +168,27 @@ class GateLevelSimulator:
 
     def _schedule_output(self, cell: Cell, output_pin: str, value: int) -> None:
         net_name = cell.connections[output_pin]
-        delay = self._cell_delay(cell)
         pending = self._pending.get(net_name)
-        target_time = self.scheduler.now + delay
-        if pending is not None and pending.value == value and pending.time >= self.scheduler.now:
-            return  # identical change already in flight
-        if pending is None and self.values[net_name] == value:
-            return  # no change
-        self.scheduler.schedule(delay, net_name, value)
-        self._pending[net_name] = _PendingOutput(value=value, time=target_time)
+        if pending is not None:
+            if pending.value == value:
+                return  # identical change already in flight
+            # This evaluation saw newer input values than the in-flight one;
+            # cancel the stale event (last evaluation wins).
+            self._cancelled.add(pending.sequence)
+            self._pending.pop(net_name, None)
+        if self.values[net_name] == value:
+            return  # no change and nothing in flight
+        event = self.scheduler.schedule(self._cell_delay(cell), net_name, value)
+        self._pending[net_name] = _PendingOutput(value=value, sequence=event.sequence)
 
     def _handle_event(self, event) -> None:
+        if event.sequence in self._cancelled:
+            self._cancelled.discard(event.sequence)
+            return
         net_name = event.target
         value = event.value
         pending = self._pending.get(net_name)
-        if pending is not None and pending.time <= self.scheduler.now:
+        if pending is not None and pending.sequence == event.sequence:
             self._pending.pop(net_name, None)
         if self.values[net_name] == value:
             return

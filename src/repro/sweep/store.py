@@ -43,11 +43,21 @@ class StoreLockTimeout(RuntimeError):
 
 
 class SweepResultStore:
-    """A directory of ``<key[:2]>/<key>.json`` flow-summary records."""
+    """A directory of ``<key[:2]>/<key>.json`` flow-summary records.
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
+    ``create=False`` opens an existing store without touching the
+    filesystem and raises ``FileNotFoundError`` when the directory does not
+    exist — read-only consumers (``repro-sweep stats``/``export``/``gc
+    --dry-run``) use it so a mistyped ``--store`` path fails loudly instead
+    of silently conjuring an empty store.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], create: bool = True) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise FileNotFoundError(f"sweep result store does not exist: {self.root}")
 
     # ------------------------------------------------------------------
     # Addressing

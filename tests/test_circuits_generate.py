@@ -1,0 +1,306 @@
+"""Tests for the spec-driven circuit generator families.
+
+Three layers per family:
+
+* spec parsing / registry integration (``gen:`` names resolve everywhere a
+  registry circuit name does);
+* structural goldens at N=2 (LE and PLB counts, plus full place & route on
+  :func:`recommended_fabric` with a routed-channel-width golden);
+* simulation equivalence at N=2 in both styles, against the pure-Python
+  reference functions, through the four-phase handshake harnesses.
+"""
+
+import pytest
+
+from repro.asynclogic.channels import Channel
+from repro.asynclogic.encodings import DualRailEncoding
+from repro.cad.flow import CadFlow, FlowOptions
+from repro.cad.pack import pack_design
+from repro.circuits.generate import alu_reference, crc4_reference, recommended_fabric
+from repro.circuits.registry import build_circuit, circuit_registry
+from repro.circuits.specs import (
+    GENERATOR_STYLES,
+    CircuitSpec,
+    build_from_spec,
+    default_spec_names,
+    generator_families,
+    parse_spec,
+)
+from repro.sim import (
+    FourPhaseBundledConsumer,
+    FourPhaseBundledProducer,
+    FourPhaseDualRailProducer,
+    HandshakeHarness,
+)
+from repro.sim.handshake import PassiveDualRailConsumer
+from repro.sim.lesim import simulate_mapped_design
+
+ENC = DualRailEncoding()
+
+FAMILIES = ("mult", "alu", "crc", "mac")
+
+
+# ----------------------------------------------------------------------
+# Spec parsing and registry integration
+# ----------------------------------------------------------------------
+def test_parse_spec_round_trips():
+    spec = parse_spec("gen:mult4x4@qdi")
+    assert spec == CircuitSpec("mult", 4, "qdi")
+    assert spec.name() == "gen:mult4x4@qdi"
+    spec = parse_spec("gen:alu8@micropipeline")
+    assert spec == CircuitSpec("alu", 8, "micropipeline")
+    assert spec.name() == "gen:alu8@micropipeline"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "mult4x4@qdi",  # missing gen: prefix
+        "gen:frob4@qdi",  # unknown family
+        "gen:mult4x4@sync",  # unknown style
+        "gen:mult4x2@qdi",  # square family, non-square size
+        "gen:alu2x2@qdi",  # scalar family, NxN size
+        "gen:mult1x1@qdi",  # below min_size
+        "gen:mult@qdi",  # no size at all
+    ],
+)
+def test_parse_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_spec(bad)
+
+
+def test_every_family_registers_both_styles():
+    families = generator_families()
+    assert set(FAMILIES) <= set(families)
+    names = default_spec_names()
+    registry = circuit_registry()
+    for family in FAMILIES:
+        for style in GENERATOR_STYLES:
+            ladder = [
+                n for n in names if n.startswith(f"gen:{family}") and n.endswith(f"@{style}")
+            ]
+            assert ladder, f"{family}@{style} missing from the default ladder"
+            for name in ladder:
+                assert name in registry
+
+
+def test_build_circuit_falls_back_to_spec_parser():
+    # A size outside the default ladder still builds through the registry.
+    bench = build_circuit("gen:crc3@qdi")
+    assert bench.name == "gen:crc3@qdi"
+    assert bench.mapped.validate() == []
+    with pytest.raises(ValueError):
+        build_circuit("gen:frob4@qdi")
+
+
+# ----------------------------------------------------------------------
+# Structural goldens at N=2
+# ----------------------------------------------------------------------
+#: (family, style) -> (LE count, PLB count) at size 2.
+STRUCTURE_GOLDEN = {
+    ("mult", "qdi"): (27, 14),
+    ("mult", "micropipeline"): (6, 3),
+    ("alu", "qdi"): (65, 33),
+    ("alu", "micropipeline"): (4, 2),
+    ("crc", "qdi"): (15, 8),
+    ("crc", "micropipeline"): (5, 3),
+    ("mac", "qdi"): (13, 7),
+    ("mac", "micropipeline"): (4, 2),
+}
+
+
+@pytest.mark.parametrize("family,style", sorted(STRUCTURE_GOLDEN))
+def test_structure_golden(family, style):
+    bench = build_from_spec(CircuitSpec(family, 2, style))
+    assert bench.mapped.validate() == []
+    les, plbs = STRUCTURE_GOLDEN[(family, style)]
+    assert len(bench.mapped.les) == les
+    assert len(pack_design(bench.mapped).plbs) == plbs
+
+
+def _channel_width_used(flow, routing):
+    """Max number of distinct tracks used in any one channel segment."""
+    graph = flow.rr_graph
+    usage = {}
+    for routed in routing.routed.values():
+        for node_id in routed.nodes:
+            node = graph.node(node_id)
+            if node.node_type.value == "wire":
+                segment = node.name.rsplit("_t", 1)[0]
+                usage.setdefault(segment, set()).add(node.track)
+    return max(len(tracks) for tracks in usage.values())
+
+
+#: (family, style) -> (grid side, fabric channel width, max tracks used).
+FLOW_GOLDEN = {
+    ("mult", "qdi"): (5, 12, 10),
+    ("alu", "micropipeline"): (3, 10, 7),
+    ("crc", "qdi"): (4, 14, 8),
+    ("mac", "micropipeline"): (3, 8, 4),
+}
+
+
+@pytest.mark.parametrize("family,style", sorted(FLOW_GOLDEN))
+def test_full_flow_golden(family, style):
+    bench = build_from_spec(CircuitSpec(family, 2, style))
+    arch = recommended_fabric(bench)
+    side, channel_width, tracks_used = FLOW_GOLDEN[(family, style)]
+    assert (arch.width, arch.height) == (side, side)
+    assert arch.routing.channel_width == channel_width
+    flow = CadFlow(arch, FlowOptions(placement_seed=1))
+    result = flow.run(bench)
+    assert result.placement.matches_design(result.mapped, flow.fabric)
+    assert result.routing.success
+    assert _channel_width_used(flow, result.routing) == tracks_used
+    assert result.bitstream is not None
+    assert result.timing.cycle_time_ps > 0
+
+
+def test_crc_qdi_routes_passthrough_iv_rails():
+    # Regression: at n=2 the iv1 initial-vector rails flow PI -> PO without
+    # touching a LE; the router used to drop such pad-to-pad nets silently.
+    bench = build_from_spec("gen:crc2@qdi")
+    assert "iv1" in bench.metadata["state_channels"]
+    flow = CadFlow(recommended_fabric(bench), FlowOptions(placement_seed=1))
+    result = flow.run(bench)
+    assert result.routing.success
+    for rail in ("iv1_t", "iv1_f"):
+        assert rail in result.routing.routed
+
+
+# ----------------------------------------------------------------------
+# Simulation equivalence at N=2, QDI style
+# ----------------------------------------------------------------------
+def _run_qdi(bench, producers, output_names):
+    simulator = simulate_mapped_design(bench.mapped)
+    ack = bench.metadata["ack_net"]
+    consumers = [
+        PassiveDualRailConsumer(Channel(name, 1, ENC), ack) for name in output_names
+    ]
+    HandshakeHarness(simulator, producers + consumers).run()
+    return consumers
+
+
+def _bit_producers(names, values, ack):
+    return [
+        FourPhaseDualRailProducer(
+            Channel(name, 1, ENC), [(value >> bit) & 1 for value in values], ack
+        )
+        for bit, name in enumerate(names)
+    ]
+
+
+def test_qdi_mult_equivalence():
+    bench = build_from_spec("gen:mult2x2@qdi")
+    vectors = [(0, 0), (1, 2), (3, 3), (2, 1), (3, 1)]
+    ack = bench.metadata["ack_net"]
+    producers = _bit_producers(
+        bench.metadata["a_channels"], [a for a, _ in vectors], ack
+    ) + _bit_producers(bench.metadata["b_channels"], [b for _, b in vectors], ack)
+    consumers = _run_qdi(bench, producers, bench.metadata["product_channels"])
+    for index, (a, b) in enumerate(vectors):
+        product = sum(consumers[bit].received[index] << bit for bit in range(4))
+        assert product == a * b
+
+
+def test_qdi_alu_equivalence():
+    bench = build_from_spec("gen:alu2@qdi")
+    vectors = [(0, 3, 2), (1, 1, 3), (2, 3, 1), (3, 2, 1), (0, 3, 3), (1, 0, 1)]
+    ack = bench.metadata["ack_net"]
+    producers = [
+        FourPhaseDualRailProducer(Channel("op", 2, ENC), [op for op, _, _ in vectors], ack)
+    ]
+    producers += _bit_producers(["a0", "a1"], [a for _, a, _ in vectors], ack)
+    producers += _bit_producers(["b0", "b1"], [b for _, _, b in vectors], ack)
+    outputs = bench.metadata["result_channels"] + [bench.metadata["carry_channel"]]
+    consumers = _run_qdi(bench, producers, outputs)
+    for index, (op, a, b) in enumerate(vectors):
+        result = sum(consumers[bit].received[index] << bit for bit in range(2))
+        carry = consumers[2].received[index]
+        assert (result, carry) == alu_reference(op, a, b, 2)
+
+
+def test_qdi_crc_equivalence():
+    bench = build_from_spec("gen:crc2@qdi")
+    vectors = [(0b0000, (0, 0)), (0b1010, (1, 0)), (0b1111, (1, 1)), (0b0110, (0, 1))]
+    ack = bench.metadata["ack_net"]
+    producers = _bit_producers(
+        bench.metadata["iv_channels"], [iv for iv, _ in vectors], ack
+    ) + [
+        FourPhaseDualRailProducer(
+            Channel(name, 1, ENC), [message[step] for _, message in vectors], ack
+        )
+        for step, name in enumerate(bench.metadata["message_channels"])
+    ]
+    consumers = _run_qdi(bench, producers, bench.metadata["state_channels"])
+    for index, (iv, message) in enumerate(vectors):
+        state = sum(consumers[bit].received[index] << bit for bit in range(4))
+        assert state == crc4_reference(iv, message)
+
+
+def test_qdi_mac_equivalence():
+    bench = build_from_spec("gen:mac2@qdi")
+    vectors = [(0, 0), (3, 3), (1, 3), (2, 2), (3, 1)]
+    ack = bench.metadata["ack_net"]
+    producers = _bit_producers(
+        bench.metadata["x_channels"], [x for x, _ in vectors], ack
+    ) + _bit_producers(bench.metadata["w_channels"], [w for _, w in vectors], ack)
+    consumers = _run_qdi(bench, producers, bench.metadata["sum_channels"])
+    for index, (x, w) in enumerate(vectors):
+        total = sum(
+            consumers[bit].received[index] << bit for bit in range(len(consumers))
+        )
+        assert total == bin(x & w).count("1")
+
+
+# ----------------------------------------------------------------------
+# Simulation equivalence at N=2, micropipeline style
+# ----------------------------------------------------------------------
+def _run_micropipeline(bench, encoded_inputs):
+    simulator = simulate_mapped_design(bench.mapped)
+    input_channel = bench.metadata["input_channel"]
+    output_channel = bench.metadata["output_channel"]
+    producer = FourPhaseBundledProducer(
+        input_channel, encoded_inputs, input_channel.ack_wire
+    )
+    consumer = FourPhaseBundledConsumer(
+        output_channel, output_channel.req_wire, output_channel.ack_wire
+    )
+    HandshakeHarness(simulator, [producer, consumer]).run()
+    return consumer.received
+
+
+def test_micropipeline_mult_equivalence():
+    bench = build_from_spec("gen:mult2x2@micropipeline")
+    vectors = [(0, 0), (1, 2), (3, 3), (2, 3)]
+    received = _run_micropipeline(bench, [a | (b << 2) for a, b in vectors])
+    assert received == [a * b for a, b in vectors]
+
+
+def test_micropipeline_alu_equivalence():
+    bench = build_from_spec("gen:alu2@micropipeline")
+    vectors = [(0, 3, 2), (1, 1, 3), (2, 3, 1), (3, 2, 1)]
+    received = _run_micropipeline(
+        bench, [a | (b << 2) | (op << 4) for op, a, b in vectors]
+    )
+    expected = []
+    for op, a, b in vectors:
+        result, carry = alu_reference(op, a, b, 2)
+        expected.append(result | (carry << 2))
+    assert received == expected
+
+
+def test_micropipeline_crc_equivalence():
+    bench = build_from_spec("gen:crc2@micropipeline")
+    vectors = [(0b0000, (0, 0)), (0b1010, (1, 0)), (0b1111, (1, 1))]
+    received = _run_micropipeline(
+        bench, [iv | (message[0] << 4) | (message[1] << 5) for iv, message in vectors]
+    )
+    assert received == [crc4_reference(iv, message) for iv, message in vectors]
+
+
+def test_micropipeline_mac_equivalence():
+    bench = build_from_spec("gen:mac2@micropipeline")
+    vectors = [(0, 0), (3, 3), (1, 3), (2, 2)]
+    received = _run_micropipeline(bench, [x | (w << 2) for x, w in vectors])
+    assert received == [bin(x & w).count("1") for x, w in vectors]

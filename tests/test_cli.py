@@ -194,3 +194,27 @@ def test_stats_reports_current_fingerprint(tmp_path, capsys):
     SweepResultStore(store_dir)  # create empty
     assert main(["stats", "--store", store_dir]) == 0
     assert code_fingerprint() in capsys.readouterr().out
+
+def test_readonly_commands_fail_on_missing_store(tmp_path, capsys):
+    # Regression: stats/export/gc used to silently create an empty store at
+    # a mistyped --store path and exit 0.  They must fail and not mkdir.
+    missing = tmp_path / "no-such-store"
+    for argv in (
+        ["stats", "--store", str(missing)],
+        ["export", "--store", str(missing)],
+        ["gc", "--store", str(missing), "--dry-run"],
+    ):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert "sweep result store does not exist" in captured.err
+        assert not missing.exists(), argv
+
+
+def test_store_create_false_requires_existing_directory(tmp_path):
+    missing = tmp_path / "absent"
+    with pytest.raises(FileNotFoundError):
+        SweepResultStore(missing, create=False)
+    assert not missing.exists()
+    SweepResultStore(missing)  # default still creates
+    assert missing.is_dir()
+    SweepResultStore(missing, create=False)  # and then opens read-only fine
