@@ -35,6 +35,7 @@ setup(
         "console_scripts": [
             "repro-sweep=repro.cli:main",
             "repro-fuzz=repro.fuzz:main",
+            "repro-lint=repro.verify.cli:main",
         ],
     },
 )

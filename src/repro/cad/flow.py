@@ -73,6 +73,11 @@ class FlowOptions(SerializableParams):
     #: 1.0 pure criticality-weighted bounding-box delay.  Only meaningful
     #: with ``timing_driven=True``.
     timing_tradeoff: float = 0.5
+    #: Run the static verifier (:mod:`repro.verify`) over every produced
+    #: stage artifact and the bitstream at the end of the flow.  The gate
+    #: never raises; findings land in ``FlowResult.lint_findings`` and the
+    #: summary gains ``lint_errors``/``lint_warnings`` counts.
+    verify_stages: bool = False
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "FlowOptions":
@@ -108,6 +113,9 @@ class FlowResult:
     #: Handshake cycle time right after negotiation, before the refinement
     #: pass — the baseline of the reported improvement delta.
     cycle_time_pre_refine_ps: int | None = None
+    #: Findings of the ``verify_stages`` lint gate (``None`` when the gate
+    #: did not run); each is a :class:`repro.verify.Finding`.
+    lint_findings: list | None = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -169,6 +177,10 @@ class FlowResult:
             Timing report (see :mod:`repro.cad.timing`).
         ``bitstream_bits_set``, ``bitstream_bits_total``
             Configuration bits programmed vs available on the fabric.
+        ``lint_errors``, ``lint_warnings``
+            Only when ``FlowOptions.verify_stages`` ran the static verifier
+            over the flow's artifacts: error and warning finding counts
+            (see ``docs/lint.md``).
         """
         data: dict[str, object] = {
             "circuit": self.circuit_name,
@@ -224,6 +236,15 @@ class FlowResult:
         if self.bitstream is not None:
             data["bitstream_bits_set"] = self.bitstream.used_bits()
             data["bitstream_bits_total"] = self.bitstream.total_bits
+        if self.lint_findings is not None:
+            # Only present when the verify_stages gate ran, so plain flows
+            # keep their historical key set.
+            data["lint_errors"] = sum(
+                1 for finding in self.lint_findings if finding.severity == "error"
+            )
+            data["lint_warnings"] = sum(
+                1 for finding in self.lint_findings if finding.severity == "warning"
+            )
         return data
 
     def report(self) -> str:
@@ -543,6 +564,21 @@ class CadFlow:
             result.bitstream, result.configured_plbs = generate_bitstream(
                 mapped, result.placement, self.architecture
             )
+
+        if self.options.verify_stages:
+            # Lazy import: repro.verify consumes flow artifacts, so a
+            # module-level import would be circular.
+            from repro.verify.lint import lint_flow_artifacts
+
+            styled = None
+            if isinstance(circuit, StyledCircuit):
+                styled = circuit
+            else:
+                gate = getattr(circuit, "gate_circuit", None)
+                if isinstance(gate, StyledCircuit):
+                    styled = gate
+            report = lint_flow_artifacts(result, self, styled=styled)
+            result.lint_findings = list(report.findings)
 
         return result
 

@@ -41,7 +41,7 @@ from typing import Mapping, Sequence
 from repro.cad.lemap import MappedDesign
 from repro.cad.pack import pack_design
 from repro.cad.place import Placement, place_design
-from repro.cad.route import RoutingResult, _collect_net_endpoints, route_design
+from repro.cad.route import RoutingResult, route_design
 from repro.cad.techmap import generic_map
 from repro.cad.timing import analyse_timing
 from repro.core.fabric import Fabric
@@ -50,6 +50,15 @@ from repro.netlist.celltypes import STANDARD_LIBRARY
 from repro.netlist.netlist import Netlist, PortDirection
 from repro.sim.lesim import simulate_mapped_design
 from repro.sim.netsim import evaluate_combinational
+from repro.verify.invariants import (
+    le_budget_problems,
+    mapping_problems,
+    packing_capacity_problems,
+    packing_coverage_problem,
+    placement_problem,
+    routing_problem,
+    timing_problem,
+)
 
 #: Serialization format version of corpus entries.
 CORPUS_FORMAT = 1
@@ -311,52 +320,11 @@ def _check_equivalence(
     return None
 
 
-def _check_placement(design: MappedDesign, placement: Placement, fabric: Fabric) -> str | None:
-    if not placement.matches_design(design, fabric):
-        return "placement does not legally cover the packed design"
-    return None
-
-
-def _check_routing(
-    design: MappedDesign,
-    placement: Placement,
-    graph: RoutingResourceGraph,
-    result: RoutingResult,
-) -> str | None:
-    if not result.success:
-        return f"routing failed with {result.overused_nodes} overused nodes on a generous fabric"
-    sources, sinks, _ = _collect_net_endpoints(design, placement, graph)
-    missing = sorted(set(sources) - set(result.routed))
-    if missing:
-        return f"nets with endpoints never routed: {missing}"
-    usage: dict[int, int] = {}
-    for routed in result.routed.values():
-        tree = set(routed.nodes)
-        if routed.source_node not in tree:
-            return f"net {routed.net!r}: routed tree misses its source node"
-        for sink in routed.sink_nodes:
-            if sink not in tree:
-                return f"net {routed.net!r}: routed tree misses sink node {sink}"
-        # Connectivity: every tree node reachable from the source inside the tree.
-        reached = {routed.source_node}
-        frontier = deque(reached)
-        while frontier:
-            node = frontier.popleft()
-            for neighbour in graph.node(node).edges:
-                if neighbour in tree and neighbour not in reached:
-                    reached.add(neighbour)
-                    frontier.append(neighbour)
-        if reached != tree:
-            return f"net {routed.net!r}: routed tree is disconnected"
-        for node in routed.nodes:
-            usage[node] = usage.get(node, 0) + 1
-    for node, count in usage.items():
-        if count > graph.node(node).capacity:
-            return (
-                f"node {graph.node(node).name!r} used by {count} nets "
-                f"(capacity {graph.node(node).capacity})"
-            )
-    return None
+# The per-stage invariant checks live in :mod:`repro.verify.invariants`
+# (shared with ``repro-lint`` and the ``verify_stages`` flow gate); these
+# aliases keep the fuzzer's historical entry points importable.
+_check_placement = placement_problem
+_check_routing = routing_problem
 
 
 def run_pipeline(
@@ -381,12 +349,12 @@ def run_pipeline(
         mapped = generic_map(netlist)
     except Exception:
         return fail("map", "exception", traceback.format_exc(limit=4))
-    issues = mapped.validate()
+    issues = mapping_problems(mapped)
     if issues:
-        return fail("map", "validate", "; ".join(str(issue) for issue in issues))
-    for le in mapped.les:
-        if not le.fits(mapped.params):
-            return fail("map", "le-budget", f"LE {le.name} exceeds the LE budget")
+        return fail("map", "validate", "; ".join(issues))
+    budget_problems = le_budget_problems(mapped)
+    if budget_problems:
+        return fail("map", "le-budget", budget_problems[0])
 
     guard("equivalence")
     try:
@@ -406,12 +374,12 @@ def run_pipeline(
         pack_design(mapped)
     except Exception:
         return fail("pack", "exception", traceback.format_exc(limit=4))
-    packed_les = [le.name for plb in mapped.plbs for le in plb.les]
-    if sorted(packed_les) != sorted(le.name for le in mapped.les):
-        return fail("pack", "coverage", "packed PLBs do not cover the LEs exactly once")
-    for plb in mapped.plbs:
-        if len(plb.les) > mapped.params.les_per_plb:
-            return fail("pack", "capacity", f"PLB {plb.name} holds {len(plb.les)} LEs")
+    coverage = packing_coverage_problem(mapped)
+    if coverage:
+        return fail("pack", "coverage", coverage)
+    capacity = packing_capacity_problems(mapped)
+    if capacity:
+        return fail("pack", "capacity", capacity[0])
 
     guard("place")
     try:
@@ -419,7 +387,7 @@ def run_pipeline(
         placement = place_design(mapped, fabric, seed=placement_seed)
     except Exception:
         return fail("place", "exception", traceback.format_exc(limit=4))
-    problem = _check_placement(mapped, placement, fabric)
+    problem = placement_problem(mapped, placement, fabric)
     if problem:
         return fail("place", "legality", problem)
 
@@ -429,7 +397,7 @@ def run_pipeline(
         routing = route_design(mapped, placement, graph)
     except Exception:
         return fail("route", "exception", traceback.format_exc(limit=4))
-    problem = _check_routing(mapped, placement, graph, routing)
+    problem = routing_problem(mapped, placement, graph, routing)
     if problem:
         return fail("route", "invariant", problem)
 
@@ -438,8 +406,9 @@ def run_pipeline(
         report = analyse_timing(mapped, routing=routing, graph=graph)
     except Exception:
         return fail("timing", "exception", traceback.format_exc(limit=4))
-    if mapped.les and report.cycle_time_ps <= 0:
-        return fail("timing", "cycle-time", f"non-positive cycle time {report.cycle_time_ps}")
+    problem = timing_problem(mapped, report)
+    if problem:
+        return fail("timing", "cycle-time", problem)
 
     guard("bitgen")
     try:

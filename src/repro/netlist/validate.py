@@ -1,10 +1,18 @@
-"""Structural lint checks on netlists.
+"""Structural lint checks on netlists (compatibility shim).
 
-The checks here catch the mistakes that matter for the rest of the flow:
-undriven nets feeding logic, dangling outputs, combinational loops that do not
-go through a state-holding cell (those are almost always bugs -- intentional
-memory-by-looping is expressed with the sequential library cells or, after
-mapping, with explicit LE feedback), and unknown cell types.
+The checks themselves now live in the rule-based verifier
+(:mod:`repro.verify.netlist_rules`, rules ``NET001``–``NET005``); this
+module keeps the historical entry points stable:
+
+* :func:`validate_netlist` keeps its signature and the exact legacy codes
+  and messages (``undriven-net``, ``dangling-net``, ``undriven-output``,
+  ``unused-input``, ``combinational-loop``);
+* :class:`NetlistIssue` additionally carries the stable rule code of the
+  verifier rule that produced it (``issue.rule``, e.g. ``"NET001"``).
+
+One behavioural improvement rides along: the combinational-loop finding now
+reports the cycle's actual cell path (``u1 -> u2 -> u1``) instead of just
+the set of cells stuck on it.
 """
 
 from __future__ import annotations
@@ -12,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.netlist.netlist import Netlist
+
+#: The verifier rules this shim exposes, in legacy reporting order.
+_LEGACY_RULES = ("NET001", "NET002", "NET003", "NET004", "NET005")
 
 
 @dataclass(frozen=True)
@@ -21,6 +32,8 @@ class NetlistIssue:
     severity: str  # "error" or "warning"
     code: str
     message: str
+    #: Stable rule code in the :mod:`repro.verify` registry (e.g. "NET005").
+    rule: str = ""
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.severity}] {self.code}: {self.message}"
@@ -32,83 +45,25 @@ def validate_netlist(netlist: Netlist, allow_dangling_outputs: bool = True) -> l
     Errors indicate the netlist cannot be meaningfully simulated or mapped;
     warnings are suspicious but tolerated constructs.
     """
-    issues: list[NetlistIssue] = []
+    from repro.verify.core import LintConfig, LintContext, run_rules
 
-    issues.extend(_check_drivers(netlist))
-    issues.extend(_check_dangling(netlist, allow_dangling_outputs))
-    issues.extend(_check_ports(netlist))
-    issues.extend(_check_combinational_loops(netlist))
-
-    return issues
+    config = LintConfig(
+        enabled=frozenset(_LEGACY_RULES),
+        severity_overrides={} if allow_dangling_outputs else {"NET002": "error"},
+    )
+    report = run_rules(LintContext(name=netlist.name, netlist=netlist), config)
+    order = {code: index for index, code in enumerate(_LEGACY_RULES)}
+    findings = sorted(report.findings, key=lambda f: order.get(f.rule, len(order)))
+    return [
+        NetlistIssue(
+            severity=finding.severity,
+            code=finding.name,
+            message=finding.message,
+            rule=finding.rule,
+        )
+        for finding in findings
+    ]
 
 
 def has_errors(issues: list[NetlistIssue]) -> bool:
     return any(issue.severity == "error" for issue in issues)
-
-
-def _check_drivers(netlist: Netlist) -> list[NetlistIssue]:
-    issues = []
-    for net in netlist.iter_nets():
-        if net.driver is None and not net.is_primary_input and net.sinks:
-            issues.append(
-                NetlistIssue(
-                    severity="error",
-                    code="undriven-net",
-                    message=f"net {net.name!r} has sinks but no driver and is not a primary input",
-                )
-            )
-    return issues
-
-
-def _check_dangling(netlist: Netlist, allow_dangling_outputs: bool) -> list[NetlistIssue]:
-    issues = []
-    for net in netlist.iter_nets():
-        if net.driver is not None and not net.sinks and not net.is_primary_output:
-            severity = "warning" if allow_dangling_outputs else "error"
-            issues.append(
-                NetlistIssue(
-                    severity=severity,
-                    code="dangling-net",
-                    message=f"net {net.name!r} is driven but read by nothing",
-                )
-            )
-    return issues
-
-
-def _check_ports(netlist: Netlist) -> list[NetlistIssue]:
-    issues = []
-    for name in netlist.primary_outputs:
-        net = netlist.net(name)
-        if net.driver is None and not net.is_primary_input:
-            issues.append(
-                NetlistIssue(
-                    severity="error",
-                    code="undriven-output",
-                    message=f"primary output {name!r} is not driven",
-                )
-            )
-    for name in netlist.primary_inputs:
-        net = netlist.net(name)
-        if not net.sinks and not net.is_primary_output:
-            issues.append(
-                NetlistIssue(
-                    severity="warning",
-                    code="unused-input",
-                    message=f"primary input {name!r} is not read",
-                )
-            )
-    return issues
-
-
-def _check_combinational_loops(netlist: Netlist) -> list[NetlistIssue]:
-    try:
-        netlist.topological_order(ignore_sequential_feedback=True)
-    except ValueError as exc:
-        return [
-            NetlistIssue(
-                severity="error",
-                code="combinational-loop",
-                message=str(exc),
-            )
-        ]
-    return []

@@ -1,0 +1,161 @@
+"""The ``repro-lint`` console script.
+
+Exit codes: ``0`` when no rule reported an error (warnings are tolerated
+unless ``--strict``), ``1`` when findings fail the run, ``2`` on usage
+errors (unknown circuit, no circuit selected, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.verify.core import LintConfig, LintReport, rule_registry
+from repro.verify.lint import lint_circuit
+
+#: Version stamp of the ``--json`` report envelope.
+JSON_FORMAT = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Rule-based static verifier for QDI/micropipeline netlists and "
+            "CAD flow artifacts"
+        ),
+    )
+    parser.add_argument(
+        "circuits",
+        nargs="*",
+        help="registry circuit names (including gen:<family><size>@<style> specs)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="lint every circuit in the registry"
+    )
+    parser.add_argument(
+        "--stages",
+        action="store_true",
+        help="also run the full CAD flow and audit every stage artifact and the bitstream",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 1) on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "--enable",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rules (code or name; repeatable)",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rules (code or name; repeatable)",
+    )
+    parser.add_argument(
+        "--fanout-limit",
+        type=int,
+        default=LintConfig.isochronic_fanout_limit,
+        help="isochronic-fork fanout bound checked by NET008",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for code, rule in rule_registry().items():
+        print(f"{code}  {rule.name:<20} {rule.tier:<9} {rule.severity:<7} {rule.description}")
+    return 0
+
+
+def _known_rule_keys() -> set[str]:
+    keys: set[str] = set()
+    for code, rule in rule_registry().items():
+        keys.add(code)
+        keys.add(rule.name)
+    return keys
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    known = _known_rule_keys()
+    for key in list(args.enable) + list(args.suppress):
+        if key not in known:
+            print(f"error: unknown rule {key!r}", file=sys.stderr)
+            return 2
+
+    names = list(args.circuits)
+    if args.all:
+        from repro.circuits.registry import circuit_registry
+
+        names.extend(sorted(n for n in circuit_registry() if n not in names))
+    if not names:
+        parser.print_usage(sys.stderr)
+        print("error: no circuits given (name some or pass --all)", file=sys.stderr)
+        return 2
+
+    config = LintConfig(
+        enabled=frozenset(args.enable) if args.enable else None,
+        suppressed=frozenset(args.suppress),
+        isochronic_fanout_limit=args.fanout_limit,
+    )
+
+    reports: list[LintReport] = []
+    for name in names:
+        try:
+            # Report under the name the user asked for (registry keys can
+            # differ from the built circuit's own name).
+            report = lint_circuit(name, config=config, stages=args.stages, name=name)
+        except KeyError:
+            print(f"error: unknown circuit {name!r}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        print(report.render_text())
+
+    errors = sum(report.error_count for report in reports)
+    warnings = sum(report.warning_count for report in reports)
+    print(f"linted {len(reports)} circuit(s): {errors} error(s), {warnings} warning(s)")
+
+    if args.json is not None:
+        envelope = {
+            "format": JSON_FORMAT,
+            "stages": bool(args.stages),
+            "errors": errors,
+            "warnings": warnings,
+            "reports": [report.to_json() for report in reports],
+        }
+        blob = json.dumps(envelope, indent=2, sort_keys=True)
+        if str(args.json) == "-":
+            print(blob)
+        else:
+            args.json.write_text(blob + "\n", encoding="utf-8")
+
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -101,6 +101,19 @@ def test_golden_analysis_only_summary_key_set():
     assert set(result.summary().keys()) == ANALYSIS_ONLY_SUMMARY_KEYS
 
 
+def test_golden_summary_keys_with_verify_stages_gate():
+    # The lint gate adds exactly two conditional keys; the locked base set
+    # is otherwise untouched (sweep pickles from older runs stay loadable).
+    arch = ArchitectureParams(width=5, height=5)
+    result = CadFlow(arch, FlowOptions(verify_stages=True)).run(qdi_full_adder())
+    assert set(result.summary().keys()) == FULL_FLOW_SUMMARY_KEYS | {
+        "lint_errors",
+        "lint_warnings",
+    }
+    assert result.summary()["lint_errors"] == 0
+    assert result.summary()["lint_warnings"] == 0
+
+
 # ----------------------------------------------------------------------
 # Wide-function decomposition: multiplier LE/PLB counts and summary keys
 # ----------------------------------------------------------------------
