@@ -82,6 +82,7 @@ def run_sweep(
     executor: str | None = None,
     placement_cache: bool = True,
     routing_cache: bool = False,
+    artifact_dir: str | os.PathLike[str] | None = None,
 ) -> SweepReport:
     """Run a (circuit × architecture × options) grid through the batch engine.
 
@@ -109,8 +110,13 @@ def run_sweep(
         while keeping the summary cache.
     routing_cache:
         Set ``True`` to additionally cache legal routed trees and warm-start
-        PathFinder across channel-width ladders (quality-gated but not
-        bit-identical to cold routing; see ``docs/sweep.md``).
+        PathFinder across channel-width and grid-size ladders (quality-gated
+        but not bit-identical to cold routing; see ``docs/sweep.md``).
+    artifact_dir:
+        Directory of a stage-artifact store: each executed flow then
+        checkpoints its stage boundaries there for bitstream re-rendering,
+        lint audits and resumes (see ``docs/artifacts.md``).  Summaries and
+        cache keys are unaffected.
 
     Returns
     -------
@@ -133,6 +139,7 @@ def run_sweep(
         executor=executor,
         placement_cache=placement_cache,
         routing_cache=routing_cache,
+        artifacts=str(artifact_dir) if artifact_dir is not None else None,
     )
     return runner.run(spec)
 

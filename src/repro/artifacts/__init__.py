@@ -1,0 +1,47 @@
+"""Serializable stage artifacts: the store and schemas behind resumable flows.
+
+Every stage boundary of :meth:`repro.cad.flow.CadFlow.run` — mapped design,
+packed design, placement, routing, timing snapshot, bitstream — serializes
+through a versioned ``to_dict``/``from_dict`` pair on the stage class itself.
+This package provides the persistence layer on top:
+
+* :class:`ArtifactStore` — a content-addressed, flock-guarded, size-bounded
+  JSON store (the sweep store's discipline, specialised for bulky payloads);
+* :func:`flow_artifact_key` / :func:`stage_key` — the addressing scheme
+  (circuit + architecture + options + code fingerprint);
+* :func:`load_flow_artifacts` — the read side: group a store's records into
+  per-flow :class:`StoredFlowArtifacts` views for lint audits and bitstream
+  re-rendering.
+
+See ``docs/artifacts.md`` for the schema-version catalogue, the store
+layout, the GC policy and the resume semantics.
+"""
+
+from repro.artifacts.schemas import (
+    ARTIFACT_SCHEMA,
+    STAGES,
+    StoredFlowArtifacts,
+    decode_envelope,
+    encode_envelope,
+    flow_artifact_key,
+    load_flow_artifacts,
+    stage_key,
+)
+from repro.artifacts.store import DEFAULT_MAX_BYTES, ArtifactStore
+from repro.core.schema import ArtifactError, CorruptArtifactError, UnknownSchemaError
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "STAGES",
+    "ArtifactError",
+    "ArtifactStore",
+    "CorruptArtifactError",
+    "DEFAULT_MAX_BYTES",
+    "StoredFlowArtifacts",
+    "UnknownSchemaError",
+    "decode_envelope",
+    "encode_envelope",
+    "flow_artifact_key",
+    "load_flow_artifacts",
+    "stage_key",
+]

@@ -1,0 +1,75 @@
+"""The content-addressed stage-artifact store.
+
+:class:`ArtifactStore` is a :class:`~repro.sweep.store.SweepResultStore`
+specialisation: same sharded ``<key[:2]>/<key>.json`` layout, same atomic
+writes, same flock-guarded maintenance, same fingerprint-retirement GC.  It
+adds the one policy stage artifacts need that flow summaries do not: a
+**size bound**.  Stage payloads (full routing trees, bitstream bytes) are
+orders of magnitude bigger than sweep summaries, so every checkpointed flow
+ends by calling :meth:`ArtifactStore.enforce_size_bound`, which evicts
+oldest-mtime records until the store fits ``max_bytes`` — the store behaves
+like a bounded LRU-by-write-time cache rather than an append-only log.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sweep.store import SweepResultStore
+
+#: Default on-disk footprint bound — roomy enough for thousands of
+#: small-fabric flow executions while keeping a forgotten store from
+#: swallowing a disk.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ArtifactStore(SweepResultStore):
+    """A size-bounded store of per-stage flow artifacts.
+
+    ``max_bytes=None`` disables the bound (the sweep store's behaviour).
+    Eviction only ever costs a resume the re-computation of the evicted
+    stage — correctness never depends on a record being present.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        create: bool = True,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+    ) -> None:
+        super().__init__(root, create=create)
+        self.max_bytes = max_bytes
+
+    def gc(
+        self,
+        current_fingerprint: str | None = None,
+        keep_latest: int = 0,
+        dry_run: bool = False,
+        max_bytes: int | None = None,
+    ) -> dict[str, object]:
+        """Fingerprint-retirement GC plus the store's own size bound.
+
+        Identical policy to :meth:`SweepResultStore.gc`; the only difference
+        is that the size bound defaults to this store's ``max_bytes`` instead
+        of unbounded.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes
+        return super().gc(
+            current_fingerprint=current_fingerprint,
+            keep_latest=keep_latest,
+            dry_run=dry_run,
+            max_bytes=max_bytes,
+        )
+
+    def enforce_size_bound(self, dry_run: bool = False) -> tuple[int, int]:
+        """Evict oldest-mtime records until the store fits ``max_bytes``.
+
+        Returns ``(records_evicted, bytes_evicted)``; a no-op when the bound
+        is disabled.  Runs under the store lock like every multi-file
+        maintenance operation.
+        """
+        if self.max_bytes is None:
+            return (0, 0)
+        with self.lock():
+            return self._evict_to_size_locked(self.max_bytes, dry_run)

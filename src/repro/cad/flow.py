@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.cad.bitgen import ConfiguredPLB, generate_bitstream
+from repro.cad.bitgen import ConfiguredPLB, configure_plb, generate_bitstream
 from repro.cad.lemap import MappedDesign
 from repro.cad.metrics import FillingRatioReport, filling_ratio
 from repro.cad.pack import pack_design, packing_summary
@@ -78,6 +78,32 @@ class FlowOptions(SerializableParams):
     #: never raises; findings land in ``FlowResult.lint_findings`` and the
     #: summary gains ``lint_errors``/``lint_warnings`` counts.
     verify_stages: bool = False
+    #: Directory of an :class:`repro.artifacts.ArtifactStore`: when set,
+    #: :meth:`CadFlow.run` checkpoints every stage boundary there and
+    #: ``run(resume_from=...)`` can skip already-computed prefixes.
+    #: **Execution-side knob**: excluded from :meth:`to_dict`, equality and
+    #: hashing (``compare=False``) — where results are persisted must never
+    #: change what they are, so no cache or artifact key may depend on it.
+    artifact_store: str | None = field(default=None, compare=False)
+    #: Which stage boundaries to checkpoint (a subset of
+    #: :data:`repro.artifacts.STAGES`; ``None`` means all of them).  Only
+    #: meaningful with ``artifact_store``; excluded from :meth:`to_dict`
+    #: like it.
+    checkpoint_stages: tuple[str, ...] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_stages is not None and not isinstance(self.checkpoint_stages, tuple):
+            # Normalise JSON-borne lists so the dataclass stays hashable.
+            object.__setattr__(self, "checkpoint_stages", tuple(self.checkpoint_stages))
+
+    def to_dict(self) -> dict[str, object]:
+        data = super().to_dict()
+        # The artifact knobs steer persistence, not semantics: dropping them
+        # keeps sweep keys, flow keys and stable_hash() byte-stable whether
+        # or not a run checkpoints.
+        del data["artifact_store"]
+        del data["checkpoint_stages"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "FlowOptions":
@@ -267,6 +293,112 @@ class FlowResult:
         return "\n".join(lines)
 
 
+class _ArtifactSession:
+    """One run's bridge to the artifact store: checkpoint writes, resume reads.
+
+    All ``repro.artifacts`` imports stay inside methods — that package pulls
+    in :mod:`repro.sweep.store`, whose package ``__init__`` imports this
+    module, so a top-level import would be circular.
+    """
+
+    def __init__(
+        self,
+        architecture: ArchitectureParams,
+        options: FlowOptions,
+        circuit_name: str,
+    ) -> None:
+        from repro.artifacts import schemas
+        from repro.artifacts.store import ArtifactStore
+
+        self._schemas = schemas
+        self.architecture = architecture
+        self.options = options
+        self.circuit = circuit_name
+        self.store = ArtifactStore(options.artifact_store)
+        self.flow_key = schemas.flow_artifact_key(circuit_name, architecture, options)
+        if options.checkpoint_stages is None:
+            self.stages = set(schemas.STAGES)
+        else:
+            unknown = sorted(set(options.checkpoint_stages) - set(schemas.STAGES))
+            if unknown:
+                raise ValueError(
+                    f"unknown checkpoint stages {unknown}; "
+                    f"expected a subset of {schemas.STAGES}"
+                )
+            self.stages = set(options.checkpoint_stages)
+        self.saved = 0
+
+    def load(self, stage: str) -> dict[str, object] | None:
+        """The decoded payload stored for *stage*, or ``None`` on a miss.
+
+        A missing or unreadable record is a cache miss (the stage recomputes
+        deterministically); a record that *decodes* wrongly raises the typed
+        schema errors so corruption never mis-deserializes silently.
+        """
+        record = self.store.get(self._schemas.stage_key(self.flow_key, stage))
+        if record is None:
+            return None
+        return self._schemas.decode_envelope(record, stage)
+
+    def load_resume(self, resume_from: str) -> dict[str, dict[str, object]]:
+        """The stage payloads a resume may consume.
+
+        ``"auto"`` loads the longest contiguous prefix of stored stages;
+        an explicit stage name loads every stored stage up to and including
+        it and raises a typed error when that stage itself is absent.
+        Stages missing from the middle of an explicit prefix simply
+        recompute — the flow is deterministic, so recomputation is
+        bit-identical to a load.
+        """
+        from repro.core.schema import ArtifactError
+
+        stages = self._schemas.STAGES
+        if resume_from == "auto":
+            loaded: dict[str, dict[str, object]] = {}
+            for stage in stages:
+                payload = self.load(stage)
+                if payload is None:
+                    break
+                loaded[stage] = payload
+            return loaded
+        if resume_from not in stages:
+            raise ValueError(
+                f"unknown resume stage {resume_from!r}; expected 'auto' or one of {stages}"
+            )
+        prefix = stages[: stages.index(resume_from) + 1]
+        loaded = {}
+        for stage in prefix:
+            payload = self.load(stage)
+            if payload is not None:
+                loaded[stage] = payload
+        if resume_from not in loaded:
+            raise ArtifactError(
+                f"cannot resume {self.circuit!r} from {resume_from!r}: no stored artifact "
+                f"under flow key {self.flow_key[:12]}… (stored: {sorted(loaded) or 'none'})"
+            )
+        return loaded
+
+    def checkpoint(
+        self,
+        stage: str,
+        loaded: Mapping[str, Mapping[str, object]],
+        payload: Mapping[str, object],
+    ) -> None:
+        """Persist *payload* unless the stage was loaded or deselected."""
+        if stage not in self.stages or stage in loaded:
+            return
+        record = self._schemas.encode_envelope(
+            stage, self.flow_key, self.circuit, self.architecture, self.options, payload
+        )
+        self.store.put(self._schemas.stage_key(self.flow_key, stage), record)
+        self.saved += 1
+
+    def finish(self) -> None:
+        """Apply the store's size bound once per run (cheaper than per put)."""
+        if self.saved:
+            self.store.enforce_size_bound()
+
+
 class CadFlow:
     """Run the complete flow for one architecture instance."""
 
@@ -341,6 +473,7 @@ class CadFlow:
         circuit: StyledCircuit | Netlist | MappedDesign | object,
         placement: Placement | None = None,
         routing_seed: Mapping[str, Sequence[str]] | None = None,
+        resume_from: str | None = None,
     ) -> FlowResult:
         """Execute mapping → packing → placement → routing → analysis.
 
@@ -374,12 +507,49 @@ class CadFlow:
         geometry, route with ``crit * delay + (1 - crit) * congestion``
         costs, analyse the routed trees, then re-route critical nets for
         delay until the refinement pass stops improving.
+
+        With ``options.artifact_store`` set, the flow **checkpoints** each
+        stage boundary (``options.checkpoint_stages``, default all of
+        :data:`repro.artifacts.STAGES`) into a content-addressed
+        :class:`~repro.artifacts.ArtifactStore` after computing it, and
+        ``resume_from`` **resumes** from those checkpoints: ``"auto"``
+        consumes the longest stored contiguous stage prefix, an explicit
+        stage name consumes the stored prefix up to that stage (raising a
+        typed :class:`~repro.core.schema.ArtifactError` when it is absent).
+        Artifacts are keyed by circuit, architecture, options and code
+        fingerprint, and every stage is deterministic given its inputs, so a
+        resumed run produces bit-identical results to a straight-through
+        one — including the final bitstream bytes and ``summary()``.  (Sole
+        corner: a timing-driven flow whose *entire* routing fallback ladder
+        failed stores only its final placement, so resuming it explicitly
+        from ``"placement"`` reproduces the final failed routing rather than
+        replaying the ladder's intermediate attempts.)
         """
+        # The registry name must resolve *before* mapping: stage artifacts
+        # are addressed by (circuit name, architecture, options, code
+        # fingerprint), and a resume skips mapping entirely.
         if isinstance(circuit, MappedDesign):
-            mapped = self._check_premapped(circuit, circuit.name)
-            name = mapped.name
+            name = circuit.name
         elif not isinstance(circuit, (StyledCircuit, Netlist)) and hasattr(circuit, "mapped"):
             name = getattr(circuit, "name", circuit.mapped.name)
+        else:
+            name = circuit.name if isinstance(circuit, (StyledCircuit, Netlist)) else str(circuit)
+
+        session: _ArtifactSession | None = None
+        if self.options.artifact_store is not None:
+            session = _ArtifactSession(self.architecture, self.options, name)
+        elif resume_from is not None:
+            raise ValueError("resume_from requires options.artifact_store to be set")
+        loaded: dict[str, dict[str, object]] = {}
+        if session is not None and resume_from is not None:
+            loaded = session.load_resume(resume_from)
+
+        if "packed" in loaded or "mapped" in loaded:
+            stored_design = loaded.get("packed") or loaded["mapped"]
+            mapped = MappedDesign.from_dict(stored_design)
+        elif isinstance(circuit, MappedDesign):
+            mapped = self._check_premapped(circuit, name)
+        elif not isinstance(circuit, (StyledCircuit, Netlist)) and hasattr(circuit, "mapped"):
             gate = getattr(circuit, "gate_circuit", None)
             needs_remap = (
                 circuit.mapped.params != self.architecture.plb
@@ -390,12 +560,22 @@ class CadFlow:
             else:
                 mapped = self._check_premapped(circuit.mapped, name)
         else:
-            name = circuit.name if isinstance(circuit, (StyledCircuit, Netlist)) else str(circuit)
             mapped = self.map(circuit)
         problems = mapped.validate()
         if problems:
             raise RuntimeError(f"mapping of {name!r} is inconsistent: {problems}")
-        pack_design(mapped, self.architecture.plb)
+        if session is not None:
+            # The mapped boundary is the pre-pack design; template-built
+            # circuits arrive with PLBs already assigned from an earlier
+            # pack, so the checkpoint strips them rather than freezing
+            # stale assignments into the artifact.
+            mapped_payload = mapped.to_dict()
+            mapped_payload["plbs"] = []
+            session.checkpoint("mapped", loaded, mapped_payload)
+        if "packed" not in loaded:
+            pack_design(mapped, self.architecture.plb)
+            if session is not None:
+                session.checkpoint("packed", loaded, mapped.to_dict())
 
         result = FlowResult(circuit_name=name, architecture=self.architecture, mapped=mapped)
         result.packing = packing_summary(mapped)
@@ -410,9 +590,13 @@ class CadFlow:
             engine = TimingEngine(mapped, model)
             result.timing_driven = True
 
+        placement_resumed = False
         baseline_placement: Placement | None = None
         if self.options.run_placement:
-            if placement is not None and placement.matches_design(mapped, self.fabric):
+            if "placement" in loaded:
+                result.placement = Placement.from_dict(loaded["placement"])
+                placement_resumed = True
+            elif placement is not None and placement.matches_design(mapped, self.fabric):
                 result.placement = placement
                 result.placement_cache_hit = True
             else:
@@ -451,8 +635,31 @@ class CadFlow:
                         initial=baseline_placement,
                         temperature_factor=0.02,
                     )
+            if session is not None and result.placement is not None:
+                session.checkpoint("placement", loaded, result.placement.to_dict())
 
-        if self.options.run_routing and result.placement is not None:
+        if (
+            self.options.run_routing
+            and result.placement is not None
+            and "routing" in loaded
+        ):
+            stored_routing = loaded["routing"]
+            result.routing = RoutingResult.from_dict(
+                stored_routing.get("routing"), self.rr_graph
+            )
+            pre_refine = stored_routing.get("cycle_time_pre_refine_ps")
+            result.cycle_time_pre_refine_ps = (
+                int(pre_refine) if pre_refine is not None else None
+            )
+            reroutes = stored_routing.get("critical_nets_rerouted")
+            result.critical_nets_rerouted = int(reroutes) if reroutes is not None else None
+            if engine is not None:
+                # Reproduce the straight-through engine state: bounding-box
+                # estimates for every terminal net (update_from_routing only
+                # *merges* routed-net delays over them), then the routed
+                # trees folded in by analyse_timing below.
+                engine.estimate_from_placement(result.placement, self.fabric)
+        elif self.options.run_routing and result.placement is not None:
             criticalities = None
             if engine is not None:
                 # Re-estimate every inter-block net from its placed bounding
@@ -511,7 +718,10 @@ class CadFlow:
                     else result.placement
                 )
                 retry = attempt(target, None, None)
-                if retry.success or target is not result.placement:
+                # `placement_resumed`: a resumed final placement IS the
+                # baseline-equivalent target even though no polish object
+                # pair exists to compare identities against.
+                if retry.success or target is not result.placement or placement_resumed:
                     result.placement = target
                     routing = retry
             result.routing = routing
@@ -550,20 +760,46 @@ class CadFlow:
                     improved_total += improved
                 result.critical_nets_rerouted = improved_total
 
-        result.timing = analyse_timing(
-            mapped,
-            routing=result.routing,
-            graph=self.rr_graph if result.routing is not None else None,
-            model=model,
-            placement=result.placement if engine is not None else None,
-            fabric=self.fabric if engine is not None else None,
-            engine=engine,
-        )
+        if session is not None and result.routing is not None:
+            session.checkpoint(
+                "routing",
+                loaded,
+                {
+                    "routing": result.routing.to_dict(self.rr_graph),
+                    "cycle_time_pre_refine_ps": result.cycle_time_pre_refine_ps,
+                    "critical_nets_rerouted": result.critical_nets_rerouted,
+                },
+            )
+
+        if "timing" in loaded:
+            result.timing = TimingReport.from_dict(loaded["timing"])
+        else:
+            result.timing = analyse_timing(
+                mapped,
+                routing=result.routing,
+                graph=self.rr_graph if result.routing is not None else None,
+                model=model,
+                placement=result.placement if engine is not None else None,
+                fabric=self.fabric if engine is not None else None,
+                engine=engine,
+            )
+            if session is not None:
+                session.checkpoint("timing", loaded, result.timing.to_dict())
 
         if self.options.generate_bitstream and result.placement is not None:
-            result.bitstream, result.configured_plbs = generate_bitstream(
-                mapped, result.placement, self.architecture
-            )
+            if "bitstream" in loaded:
+                result.bitstream = Bitstream.from_dict(loaded["bitstream"])
+                # configure_plb is pure, so the per-PLB views accompanying a
+                # stored bitstream are recomputed rather than serialized.
+                result.configured_plbs = {
+                    plb.name: configure_plb(plb, self.architecture) for plb in mapped.plbs
+                }
+            else:
+                result.bitstream, result.configured_plbs = generate_bitstream(
+                    mapped, result.placement, self.architecture
+                )
+                if session is not None:
+                    session.checkpoint("bitstream", loaded, result.bitstream.to_dict())
 
         if self.options.verify_stages:
             # Lazy import: repro.verify consumes flow artifacts, so a
@@ -580,6 +816,8 @@ class CadFlow:
             report = lint_flow_artifacts(result, self, styled=styled)
             result.lint_findings = list(report.findings)
 
+        if session is not None:
+            session.finish()
         return result
 
     # ------------------------------------------------------------------

@@ -19,11 +19,17 @@ the LE-level simulator all consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.core.params import PLBParams
+from repro.core.schema import CorruptArtifactError, decoding, require_version
 from repro.logic.truthtable import TruthTable
 from repro.styles.base import LogicStyle
+
+#: Schema version of :meth:`MappedDesign.to_dict` payloads.  The same codec
+#: serves both the "mapped" boundary (``plbs`` empty) and the "packed"
+#: boundary (``plbs`` populated): packing only groups existing LEs/PDEs.
+MAPPED_DESIGN_SCHEMA = 1
 
 
 @dataclass
@@ -56,6 +62,21 @@ class LEFunction:
     @property
     def external_inputs(self) -> tuple[str, ...]:
         return tuple(net for net in self.table.inputs if net != self.output_net)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "output_net": self.output_net,
+            "table": self.table.to_dict(),
+            "role": self.role,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LEFunction":
+        return cls(
+            output_net=str(data["output_net"]),
+            table=TruthTable.from_dict(data["table"]),
+            role=str(data.get("role", "logic")),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         feedback = "+fb" if self.has_feedback else ""
@@ -137,6 +158,22 @@ class MappedLE:
             "validity_outputs_total": le.validity_lut_outputs,
         }
 
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "functions": [function.to_dict() for function in self.functions],
+            "validity": self.validity.to_dict() if self.validity is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MappedLE":
+        validity = data.get("validity")
+        return cls(
+            name=str(data["name"]),
+            functions=[LEFunction.from_dict(entry) for entry in data["functions"]],
+            validity=LEFunction.from_dict(validity) if validity is not None else None,
+        )
+
 
 @dataclass
 class MappedPDE:
@@ -146,6 +183,23 @@ class MappedPDE:
     input_net: str
     output_net: str
     delay_ps: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "input_net": self.input_net,
+            "output_net": self.output_net,
+            "delay_ps": self.delay_ps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MappedPDE":
+        return cls(
+            name=str(data["name"]),
+            input_net=str(data["input_net"]),
+            output_net=str(data["output_net"]),
+            delay_ps=int(data["delay_ps"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MappedPDE({self.input_net!r} -> {self.output_net!r}, {self.delay_ps} ps)"
@@ -292,6 +346,75 @@ class MappedDesign:
             "primary_inputs": len(self.primary_inputs),
             "primary_outputs": len(self.primary_outputs),
         }
+
+    # ------------------------------------------------------------------
+    # Serialization (the "mapped" and "packed" stage artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-safe, schema-versioned rendering (inverse of :meth:`from_dict`).
+
+        PLBs reference LEs/PDEs *by name* — the payload carries no duplicated
+        objects, and :meth:`from_dict` restores the identity sharing the
+        packer establishes (a PLB's LEs are the same objects as the design's).
+        """
+        return {
+            "schema": MAPPED_DESIGN_SCHEMA,
+            "name": self.name,
+            "params": self.params.to_dict(),
+            "les": [le.to_dict() for le in self.les],
+            "pdes": [pde.to_dict() for pde in self.pdes],
+            "plbs": [
+                {
+                    "name": plb.name,
+                    "les": [le.name for le in plb.les],
+                    "pde": plb.pde.name if plb.pde is not None else None,
+                }
+                for plb in self.plbs
+            ],
+            "primary_inputs": list(self.primary_inputs),
+            "primary_outputs": list(self.primary_outputs),
+            "style": self.style.value if self.style is not None else None,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MappedDesign":
+        require_version(data, "mapped design", MAPPED_DESIGN_SCHEMA)
+        with decoding("mapped design"):
+            les = [MappedLE.from_dict(entry) for entry in data["les"]]
+            pdes = [MappedPDE.from_dict(entry) for entry in data["pdes"]]
+            le_by_name = {le.name: le for le in les}
+            pde_by_name = {pde.name: pde for pde in pdes}
+            plbs: list[MappedPLB] = []
+            for entry in data["plbs"]:
+                member_names = [str(name) for name in entry["les"]]
+                missing = [name for name in member_names if name not in le_by_name]
+                pde_name = entry.get("pde")
+                if pde_name is not None and pde_name not in pde_by_name:
+                    missing.append(str(pde_name))
+                if missing:
+                    raise CorruptArtifactError(
+                        f"mapped design: PLB {entry['name']!r} references unknown members {missing}"
+                    )
+                plbs.append(
+                    MappedPLB(
+                        name=str(entry["name"]),
+                        les=[le_by_name[name] for name in member_names],
+                        pde=pde_by_name[str(pde_name)] if pde_name is not None else None,
+                    )
+                )
+            style = data.get("style")
+            return cls(
+                name=str(data["name"]),
+                params=PLBParams.from_dict(data["params"]),
+                les=les,
+                pdes=pdes,
+                plbs=plbs,
+                primary_inputs=[str(net) for net in data["primary_inputs"]],
+                primary_outputs=[str(net) for net in data["primary_outputs"]],
+                style=LogicStyle(style) if style is not None else None,
+                metadata=dict(data.get("metadata", {})),
+            )
 
 
 def merge_mapped_designs(name: str, designs: Iterable[MappedDesign]) -> MappedDesign:

@@ -37,6 +37,11 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.cad.lemap import MappedDesign
 from repro.core.fabric import Fabric, IOPad
+from repro.core.schema import decoding, require_version
+
+#: Schema version of :meth:`Placement.to_dict` payloads (version 0 = the
+#: unstamped PR-3 placement-cache layout, still accepted on read).
+PLACEMENT_SCHEMA = 1
 
 #: Moves per temperature step: the annealer precomputes ``1 / temperature``
 #: once per batch and keeps it fixed for the whole batch.
@@ -102,6 +107,7 @@ class Placement:
     def to_dict(self) -> dict[str, object]:
         """A JSON-serializable rendering (inverse of :meth:`from_dict`)."""
         return {
+            "schema": PLACEMENT_SCHEMA,
             "plb_sites": {name: list(site) for name, site in self.plb_sites.items()},
             "io_sites": {
                 net: {"side": pad.side, "position": pad.position, "index": pad.index}
@@ -119,6 +125,14 @@ class Placement:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Placement":
+        # legacy=True: PR-3 placement-cache records predate schema stamping
+        # and are still readable (version 0 and 1 share the payload layout).
+        require_version(data, "placement", PLACEMENT_SCHEMA, legacy=True)
+        with decoding("placement"):
+            return cls._from_payload(data)
+
+    @classmethod
+    def _from_payload(cls, data: Mapping[str, object]) -> "Placement":
         plb_sites = {
             str(name): (int(site[0]), int(site[1]))
             for name, site in dict(data["plb_sites"]).items()

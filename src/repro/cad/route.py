@@ -58,6 +58,12 @@ from repro.cad.lemap import MappedDesign
 from repro.cad.place import Placement
 from repro.cad.timing import TimingModel
 from repro.core.rrgraph import RoutingResourceGraph
+from repro.core.schema import CorruptArtifactError, decoding, require_version
+
+#: Schema version of :meth:`RoutingResult.to_dict` payloads.  Node ids are
+#: serialized as RR-graph node *names* (stable per fabric across processes);
+#: object identity never crosses the boundary.
+ROUTING_SCHEMA = 1
 
 #: Criticality is capped below 1.0 so congestion never fully vanishes from a
 #: critical net's cost -- negotiation must stay able to resolve overuse.
@@ -129,6 +135,93 @@ class RoutingResult:
     def total_reroutes(self) -> int:
         """Net-route operations summed over all iterations."""
         return sum(self.reroutes_per_iteration)
+
+    # ------------------------------------------------------------------
+    # Serialization (the "routing" stage artifact)
+    # ------------------------------------------------------------------
+    def to_dict(self, graph: RoutingResourceGraph) -> dict[str, object]:
+        """A JSON-safe, schema-versioned rendering keyed by RR node names."""
+        nodes = graph.nodes
+
+        def name_of(node_id: int) -> str:
+            return nodes[node_id].name
+
+        return {
+            "schema": ROUTING_SCHEMA,
+            "routed": {
+                net: {
+                    "source": name_of(tree.source_node),
+                    "sinks": [name_of(node) for node in tree.sink_nodes],
+                    "nodes": [name_of(node) for node in tree.nodes],
+                }
+                for net, tree in self.routed.items()
+            },
+            "pin_assignments": [
+                {
+                    "net": pin.net,
+                    "block": pin.block,
+                    "pin": pin.pin,
+                    "node": name_of(pin.node_id),
+                    "is_driver": pin.is_driver,
+                }
+                for pin in self.pin_assignments
+            ],
+            "iterations": self.iterations,
+            "success": self.success,
+            "overused_nodes": self.overused_nodes,
+            "reroutes_per_iteration": list(self.reroutes_per_iteration),
+            "node_pops": self.node_pops,
+            "warm_started_nets": self.warm_started_nets,
+            "bbox_fallbacks": self.bbox_fallbacks,
+            "critical_reroutes": self.critical_reroutes,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], graph: RoutingResourceGraph
+    ) -> "RoutingResult":
+        require_version(data, "routing", ROUTING_SCHEMA)
+        with decoding("routing"):
+
+            def id_of(name: str) -> int:
+                try:
+                    return graph.node_by_name(str(name)).node_id
+                except KeyError:
+                    raise CorruptArtifactError(
+                        f"routing: node {name!r} does not exist on this fabric"
+                    ) from None
+
+            routed = {
+                str(net): RoutedNet(
+                    net=str(net),
+                    source_node=id_of(entry["source"]),
+                    sink_nodes=[id_of(name) for name in entry["sinks"]],
+                    nodes=[id_of(name) for name in entry["nodes"]],
+                )
+                for net, entry in dict(data["routed"]).items()
+            }
+            pin_assignments = [
+                PinAssignment(
+                    net=str(entry["net"]),
+                    block=str(entry["block"]),
+                    pin=str(entry["pin"]),
+                    node_id=id_of(entry["node"]),
+                    is_driver=bool(entry["is_driver"]),
+                )
+                for entry in data["pin_assignments"]
+            ]
+            return cls(
+                routed=routed,
+                pin_assignments=pin_assignments,
+                iterations=int(data["iterations"]),
+                success=bool(data["success"]),
+                overused_nodes=int(data["overused_nodes"]),
+                reroutes_per_iteration=[int(n) for n in data["reroutes_per_iteration"]],
+                node_pops=int(data["node_pops"]),
+                warm_started_nets=int(data["warm_started_nets"]),
+                bbox_fallbacks=int(data["bbox_fallbacks"]),
+                critical_reroutes=int(data["critical_reroutes"]),
+            )
 
     def channel_occupancy(self, graph: RoutingResourceGraph) -> dict[int, int]:
         """Usage count per wire node (diagnostics / fabric-exploration bench)."""

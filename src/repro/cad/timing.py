@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 from repro.cad.lemap import MappedDesign
 from repro.core.params import SerializableParams
 from repro.core.rrgraph import RoutingResourceGraph
+from repro.core.schema import decoding, require_version
 
 if TYPE_CHECKING:  # imported only for type checking: route imports this module
     from repro.cad.place import Placement
@@ -96,6 +97,10 @@ class TimingModel(SerializableParams):
         return self.wire_segment_delay_ps + self.cbox_delay_ps
 
 
+#: Schema version of :meth:`TimingReport.to_dict` payloads.
+TIMING_SCHEMA = 1
+
+
 @dataclass
 class TimingReport:
     """Result of :func:`analyse_timing`."""
@@ -121,6 +126,44 @@ class TimingReport:
             "forward_latency_ps": self.forward_latency_ps,
             "cycle_time_ps": self.cycle_time_ps,
         }
+
+    # ------------------------------------------------------------------
+    # Serialization (the "timing" stage artifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": TIMING_SCHEMA,
+            "net_delays_ps": dict(self.net_delays_ps),
+            "max_net_delay_ps": self.max_net_delay_ps,
+            "le_levels": self.le_levels,
+            "forward_latency_ps": self.forward_latency_ps,
+            "cycle_time_ps": self.cycle_time_ps,
+            "matched_delays": {net: dict(entry) for net, entry in self.matched_delays.items()},
+            "notes": list(self.notes),
+            "criticalities": dict(self.criticalities),
+            "critical_path_ps": self.critical_path_ps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TimingReport":
+        require_version(data, "timing", TIMING_SCHEMA)
+        with decoding("timing"):
+            return cls(
+                net_delays_ps={str(net): int(d) for net, d in dict(data["net_delays_ps"]).items()},
+                max_net_delay_ps=int(data["max_net_delay_ps"]),
+                le_levels=int(data["le_levels"]),
+                forward_latency_ps=int(data["forward_latency_ps"]),
+                cycle_time_ps=int(data["cycle_time_ps"]),
+                matched_delays={
+                    str(net): {str(k): int(v) for k, v in dict(entry).items()}
+                    for net, entry in dict(data["matched_delays"]).items()
+                },
+                notes=[str(note) for note in data["notes"]],
+                criticalities={
+                    str(net): float(c) for net, c in dict(data["criticalities"]).items()
+                },
+                critical_path_ps=int(data["critical_path_ps"]),
+            )
 
 
 def _logic_depth(design: MappedDesign) -> int:

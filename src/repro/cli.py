@@ -116,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         placement_cache=not args.no_placement_cache,
         routing_cache=args.routing_cache,
+        artifact_dir=args.artifacts,
     )
     if args.csv:
         print(f"wrote {write_csv(report, args.csv)}")
@@ -149,7 +150,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_gc(args: argparse.Namespace) -> int:
     try:
         outcome = _open_store(args).gc(
-            keep_latest=args.keep_latest, dry_run=args.dry_run
+            keep_latest=args.keep_latest,
+            dry_run=args.dry_run,
+            max_bytes=args.max_bytes,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -158,24 +161,79 @@ def _cmd_gc(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     verb = "would remove" if args.dry_run else "removed"
-    print(
-        f"{verb} {outcome['removed']} retired record(s) "
+    message = (
+        f"{verb} {outcome['removed']} record(s) "
         f"({outcome['bytes_freed']} bytes) across "
-        f"{outcome['generations_removed']} generation(s); "
+        f"{outcome['generations_removed']} retired generation(s); "
         f"kept {outcome['kept_current']} current + "
         f"{outcome['kept_retired']} spared retired record(s)"
     )
+    if args.max_bytes is not None:
+        message += f"; {outcome['size_evicted']} evicted for the size bound"
+    print(message)
+    return 0
+
+
+def _export_bitstreams(args: argparse.Namespace) -> int:
+    """Render one ``.bit`` file per stored flow from its stage artifacts."""
+    import re
+    from pathlib import Path
+
+    from repro.artifacts import ArtifactStore, load_flow_artifacts
+
+    try:
+        artifact_store = ArtifactStore(args.artifacts, create=False)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    views = load_flow_artifacts(artifact_store)
+    outdir = Path(args.bitstreams)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    skipped = 0
+    for view in views:
+        bitstream = view.render_bitstream()
+        if bitstream is None:
+            skipped += 1
+            continue
+        arch = view.architecture
+        circuit = re.sub(r"[^A-Za-z0-9_.-]+", "_", view.circuit)
+        name = (
+            f"{circuit}_{arch.width}x{arch.height}"
+            f"_cw{arch.routing.channel_width}_{view.flow_key[:12]}.bit"
+        )
+        (outdir / name).write_bytes(bitstream.to_bytes())
+        written += 1
+    if not written:
+        print(
+            "no renderable flow artifacts in the store for the current "
+            "code fingerprint"
+        )
+        return 1
+    message = f"wrote {written} bitstream(s) to {outdir}"
+    if skipped:
+        message += f" ({skipped} flow(s) lacked renderable artifacts)"
+    print(message)
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.fingerprint import code_fingerprint
 
+    if args.bitstreams and not args.artifacts:
+        print("error: --bitstreams requires --artifacts DIR", file=sys.stderr)
+        return 2
     try:
         store = _open_store(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.bitstreams:
+        code = _export_bitstreams(args)
+        if code:
+            return code
+        if not (args.csv or args.json or args.text):
+            return 0
     report = report_from_records(
         store.records(),
         current_fingerprint=None if args.all_generations else code_fingerprint(),
@@ -285,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--store", metavar="DIR", help="result-store directory (enables caching)")
     run.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="stage-artifact store directory: checkpoint every executed "
+        "flow's stage boundaries there (enables export --bitstreams, "
+        "repro-lint --artifacts and flow resumes)",
+    )
+    run.add_argument(
         "--no-placement-cache",
         action="store_true",
         help="disable placement caching / incremental re-route",
@@ -313,6 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="spare the N most recently written retired generations",
     )
     gc.add_argument("--dry-run", action="store_true", help="report without deleting")
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="after the fingerprint pass, evict oldest records until the "
+        "store fits N bytes (artifact stores apply this bound themselves)",
+    )
     gc.set_defaults(handler=_cmd_gc)
 
     export = subparsers.add_parser(
@@ -329,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument(
         "--text", action="store_true", help="print the text table (default when no file given)"
+    )
+    export.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="stage-artifact store directory (required by --bitstreams)",
+    )
+    export.add_argument(
+        "--bitstreams",
+        metavar="OUTDIR",
+        help="write one .bit file per stored flow, re-rendered from the "
+        "stage artifacts in --artifacts when no bitstream was checkpointed",
     )
     export.set_defaults(handler=_cmd_export)
 

@@ -17,9 +17,14 @@ serialisation and round-trip support.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.core.fabric import Fabric
 from repro.core.params import ArchitectureParams
+from repro.core.schema import CorruptArtifactError, decoding, require_version
+
+#: Schema version of :meth:`Bitstream.to_dict` payloads.
+BITSTREAM_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -164,6 +169,43 @@ class Bitstream:
                 cursor += 1
             bitstream.set_region(region.name, bits)
         return bitstream
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-safe, schema-versioned rendering (inverse of :meth:`from_dict`).
+
+        The payload carries the architecture parameters alongside the raw
+        bytes, so a reader can rebuild the :class:`BitstreamBudget` (and hence
+        the region layout) without any out-of-band context.
+        """
+        return {
+            "schema": BITSTREAM_SCHEMA,
+            "architecture": self.budget.params.to_dict(),
+            "total_bits": self.total_bits,
+            "data": self.to_bytes().hex(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], budget: BitstreamBudget | None = None
+    ) -> "Bitstream":
+        """Rebuild from :meth:`to_dict` output.
+
+        Pass *budget* to reuse an already-computed budget; it must match the
+        payload's ``total_bits`` (a mismatch means the payload belongs to a
+        different architecture and raises :class:`CorruptArtifactError`).
+        """
+        require_version(data, "bitstream", BITSTREAM_SCHEMA)
+        with decoding("bitstream"):
+            if budget is None:
+                params = ArchitectureParams.from_dict(data["architecture"])
+                budget = BitstreamBudget.for_architecture(params)
+            total_bits = int(data["total_bits"])
+            if budget.total_bits != total_bits:
+                raise CorruptArtifactError(
+                    f"bitstream: payload has {total_bits} bits but the "
+                    f"architecture budgets {budget.total_bits}"
+                )
+            return cls.from_bytes(budget, bytes.fromhex(str(data["data"])))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitstream):

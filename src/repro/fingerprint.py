@@ -9,9 +9,10 @@ the semantics that produced them.
 
 :func:`code_fingerprint` folds the package version and a stable hash of the
 behaviour-bearing package sources (everything in :data:`FINGERPRINT_PACKAGES`:
-:mod:`repro.asynclogic`, :mod:`repro.cad`, :mod:`repro.circuits`,
-:mod:`repro.core`, :mod:`repro.logic`, :mod:`repro.netlist`,
-:mod:`repro.styles`) into one short digest.  Any edit to those sources changes
+:mod:`repro.artifacts`, :mod:`repro.asynclogic`, :mod:`repro.cad`,
+:mod:`repro.circuits`, :mod:`repro.core`, :mod:`repro.logic`,
+:mod:`repro.netlist`, :mod:`repro.styles`) into one short digest.  Any edit
+to those sources changes
 the digest, every sweep key embedding it, and therefore retires every cached
 record produced by the old code -- no manual schema-version bump needed.
 
@@ -44,6 +45,7 @@ import repro
 #: flow and circuit factories plus everything they build on (truth tables,
 #: netlists/gate library, channels/encodings, style generators, parameters).
 FINGERPRINT_PACKAGES = (
+    "repro.artifacts",
     "repro.asynclogic",
     "repro.cad",
     "repro.circuits",

@@ -63,6 +63,36 @@ from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepPoint, SweepSpec, as_poi
 from repro.sweep.store import SweepResultStore
 
 
+def _seed_trees_from_record(record: Mapping[str, object]) -> dict[str, list[str]] | None:
+    """Warm-start trees (node names per net) from a routing-cache record.
+
+    Current records embed the schema-versioned
+    :meth:`~repro.cad.route.RoutingResult.to_dict` payload under
+    ``"routing"``; records written before the artifact schema stored a bare
+    ``"trees"`` mapping, which is still honoured so a pre-upgrade store keeps
+    seeding.  Returns ``None`` when neither layout yields trees.
+    """
+    routing = record.get("routing")
+    if isinstance(routing, Mapping):
+        routed = routing.get("routed")
+        if isinstance(routed, Mapping):
+            trees = {
+                str(net): [str(name) for name in entry.get("nodes", [])]
+                for net, entry in routed.items()
+                if isinstance(entry, Mapping)
+            }
+            if trees:
+                return trees
+    legacy = record.get("trees")
+    if isinstance(legacy, Mapping):
+        return {
+            str(net): [str(name) for name in names]
+            for net, names in legacy.items()
+            if isinstance(names, (list, tuple))
+        } or None
+    return None
+
+
 def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     """Run one sweep point (given as a plain dict) and return its record.
 
@@ -77,14 +107,24 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
 
     A ``routing_store`` key (same directory convention) additionally enables
     the **routing-tree warm-start cache**: under
-    :meth:`SweepPoint.routing_base_key` — the point minus its channel width —
-    the worker looks for a neighbouring width's legal routed trees (stored as
-    node *names*) and seeds PathFinder with them, then persists its own
-    trees after a successful route for the next rung of the ladder.  The
-    summary carries ``routing_warm_started`` whenever a seed actually fired.
+    :meth:`SweepPoint.routing_base_key` — the point minus its swept fabric
+    geometry (channel width and grid size) — the worker looks for a
+    neighbouring fabric's legal routed trees (stored as node *names*) and
+    seeds PathFinder with them, then persists its own trees after a
+    successful route for the next rung of the ladder.  The summary carries
+    ``routing_warm_started`` whenever a seed actually fired.
+
+    An ``artifact_store`` key (a directory path) makes the worker checkpoint
+    every stage boundary of each executed flow into a
+    :class:`~repro.artifacts.ArtifactStore` there (see ``docs/artifacts.md``).
+    The path is injected into the executed :class:`FlowOptions` only — it is
+    excluded from ``FlowOptions.to_dict`` and therefore never perturbs cache
+    keys or stored records.
     """
     # Imports stay inside the function so worker processes pay them lazily
     # and a broken optional subsystem cannot poison runner import time.
+    import dataclasses
+
     from repro.cad.flow import CadFlow
     from repro.cad.place import Placement
     from repro.cad.techmap import MappingError
@@ -94,6 +134,7 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     data = dict(point_data)
     placement_store_root = data.pop("placement_store", None)
     routing_store_root = data.pop("routing_store", None)
+    artifact_store_root = data.pop("artifact_store", None)
     point = SweepPoint.from_dict(data)
     record: dict[str, object] = {
         "version": SWEEP_SCHEMA_VERSION,
@@ -108,7 +149,12 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     routing_store = SweepResultStore(routing_store_root) if routing_store_root else None
     try:
         circuit = build_circuit(point.circuit)
-        flow = CadFlow(point.architecture, point.options)
+        flow_options = point.options
+        if artifact_store_root:
+            flow_options = dataclasses.replace(
+                flow_options, artifact_store=str(artifact_store_root)
+            )
+        flow = CadFlow(point.architecture, flow_options)
 
         injected: Placement | None = None
         placement_key: str | None = None
@@ -130,16 +176,21 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
         ):
             routing_key = point.routing_base_key()
             cached_trees = routing_store.get(routing_key)
-            if (
-                cached_trees is not None
-                and cached_trees.get("kind") == "routing_trees"
-                and cached_trees.get("channel_width")
-                != point.architecture.routing.channel_width
-            ):
-                trees = cached_trees.get("trees")
-                if isinstance(trees, dict):
+            if cached_trees is not None and cached_trees.get("kind") == "routing_trees":
+                # Seed only across a genuine geometry step (channel width or
+                # grid size); a record from the identical fabric means the
+                # point would have hit the flow-summary cache anyway.
+                # Legacy records predate the width/height keys, hence .get.
+                same_geometry = (
+                    cached_trees.get("channel_width")
+                    == point.architecture.routing.channel_width
+                    and cached_trees.get("width") == point.architecture.width
+                    and cached_trees.get("height") == point.architecture.height
+                )
+                trees = _seed_trees_from_record(cached_trees)
+                if not same_geometry and trees:
                     # Trees are stored as node names; the flow remaps them
-                    # onto this width's RR graph and validates per net.
+                    # onto this fabric's RR graph and validates per net.
                     routing_seed = trees
 
         result = flow.run(circuit, placement=injected, routing_seed=routing_seed)
@@ -150,7 +201,6 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
             and result.routing is not None
             and result.routing.success
         ):
-            graph_nodes = flow.rr_graph.nodes
             routing_store.put(
                 routing_key,
                 {
@@ -159,10 +209,12 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
                     "fingerprint": code_fingerprint(),
                     "circuit": point.circuit,
                     "channel_width": point.architecture.routing.channel_width,
-                    "trees": {
-                        net: [graph_nodes[node_id].name for node_id in routed.nodes]
-                        for net, routed in result.routing.routed.items()
-                    },
+                    "width": point.architecture.width,
+                    "height": point.architecture.height,
+                    # The full schema-versioned routing artifact; seed trees
+                    # are extracted from it on read (the pre-artifact
+                    # "trees" layout is still honoured there).
+                    "routing": result.routing.to_dict(flow.rr_graph),
                 },
             )
 
@@ -495,6 +547,13 @@ class SweepRunner:
         bit-identical to cold ones, so enabling it trades strict summary
         determinism for ladder throughput (the summary records the trade via
         ``routing_warm_started``).
+    artifacts:
+        Directory of an :class:`~repro.artifacts.ArtifactStore`; each
+        executed flow then checkpoints its stage boundaries there (mapped /
+        packed / placement / routing / timing / bitstream), enabling
+        ``repro-sweep export --bitstreams``, ``repro-lint --artifacts`` and
+        out-of-band flow resumes.  Purely additive: summaries, records and
+        cache keys are byte-identical with or without it.
     """
 
     def __init__(
@@ -505,6 +564,7 @@ class SweepRunner:
         config: RunnerConfig | None = None,
         placement_cache: bool = True,
         routing_cache: bool = False,
+        artifacts: str | None = None,
     ) -> None:
         if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
             store = SweepResultStore(store)
@@ -518,6 +578,7 @@ class SweepRunner:
         self.config = config
         self.placement_cache = placement_cache
         self.routing_cache = routing_cache
+        self.artifacts = str(artifacts) if artifacts is not None else None
 
     @property
     def workers(self) -> int:
@@ -582,6 +643,8 @@ class SweepRunner:
                     payload["placement_store"] = placement_store
                 if routing_store is not None:
                     payload["routing_store"] = routing_store
+                if self.artifacts is not None:
+                    payload["artifact_store"] = self.artifacts
                 miss_payloads.append(payload)
 
             # Points sharing a placement key must not race: if they all ran

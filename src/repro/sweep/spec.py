@@ -110,16 +110,22 @@ class SweepPoint:
     def routing_base_key(self) -> str:
         """The content-address of this point's *routing-tree* cache slot.
 
-        The key hashes the full point **except the channel width**: every
-        step of a channel-width ladder (same circuit, same placement inputs,
-        same routing topology otherwise) shares one slot, which is what lets
-        the runner seed PathFinder with the previous width's legal trees
-        (the warm-start cache).  The stored record carries the width it was
-        routed at; a point whose own width matches simply would have hit the
-        flow-summary cache instead.
+        The key hashes the full point **except the fabric geometry being
+        swept**: channel width and grid size (width/height).  Every step of
+        a channel-width *or* grid-size ladder (same circuit, same placement
+        inputs, same routing topology otherwise) then shares one slot, which
+        is what lets the runner seed PathFinder with a neighbouring
+        fabric's legal trees (the warm-start cache).  Trees are stored as
+        node *names*, and a smaller grid's wire/pin names all exist on a
+        larger grid, so cross-grid seeds resolve meaningfully; names that do
+        not exist are dropped during seed resolution.  The stored record
+        carries the exact geometry it was routed at; a point whose own
+        geometry matches would have hit the flow-summary cache instead.
         """
         payload = self.to_dict()
         architecture = dict(payload["architecture"])
+        architecture.pop("width", None)
+        architecture.pop("height", None)
         routing = dict(architecture["routing"])
         routing.pop("channel_width", None)
         architecture["routing"] = routing

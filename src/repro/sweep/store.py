@@ -284,6 +284,7 @@ class SweepResultStore:
         current_fingerprint: str | None = None,
         keep_latest: int = 0,
         dry_run: bool = False,
+        max_bytes: int | None = None,
     ) -> dict[str, object]:
         """Delete records whose code fingerprint is not *current*.
 
@@ -299,6 +300,13 @@ class SweepResultStore:
         misses, counted as retired by :meth:`stats`) are always collected,
         never spared.  ``dry_run`` reports without deleting.
 
+        ``max_bytes=N`` additionally bounds the store's footprint: after the
+        fingerprint pass, surviving records are evicted oldest-mtime-first
+        until at most N bytes remain (this is the size bound the artifact
+        store enforces after every checkpointed flow).  Size eviction ignores
+        fingerprints — a current-generation record can be evicted once the
+        store outgrows the bound, which only ever costs a cache miss.
+
         Concurrent ``gc`` invocations serialize on :meth:`lock` (so their
         reclaim reports never double-count a file), and a record deleted
         under our feet by anything else is skipped, not an error.
@@ -308,7 +316,45 @@ class SweepResultStore:
 
             current_fingerprint = code_fingerprint()
         with self.lock():
-            return self._gc_locked(current_fingerprint, keep_latest, dry_run)
+            outcome = self._gc_locked(current_fingerprint, keep_latest, dry_run)
+            if max_bytes is not None:
+                evicted, evicted_bytes = self._evict_to_size_locked(max_bytes, dry_run)
+                outcome["removed"] = int(outcome["removed"]) + evicted
+                outcome["bytes_freed"] = int(outcome["bytes_freed"]) + evicted_bytes
+                outcome["size_evicted"] = evicted
+            return outcome
+
+    def _evict_to_size_locked(self, max_bytes: int, dry_run: bool) -> tuple[int, int]:
+        """Evict oldest-mtime records until at most *max_bytes* remain.
+
+        Returns ``(records_evicted, bytes_evicted)``.  In a dry run the
+        would-be evictions are counted against the current sizes without
+        deleting anything.
+        """
+        entries: list[tuple[float, int, str]] = []
+        total = 0
+        for key in self.keys():
+            try:
+                stat = self.path_for(key).stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, key))
+            total += stat.st_size
+        entries.sort()
+        evicted = 0
+        evicted_bytes = 0
+        for mtime, size, key in entries:
+            if total <= max_bytes:
+                break
+            try:
+                if not dry_run:
+                    self.path_for(key).unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        return evicted, evicted_bytes
 
     def _gc_locked(
         self,

@@ -42,6 +42,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the full CAD flow and audit every stage artifact and the bitstream",
     )
     parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="audit stored stage artifacts from this artifact-store directory "
+        "instead of running flows (bitstreams are re-rendered from the "
+        "stored stages when not checkpointed; positional names filter by "
+        "circuit, default: every stored flow)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="fail (exit 1) on warnings too, not just errors",
@@ -106,16 +116,6 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: unknown rule {key!r}", file=sys.stderr)
             return 2
 
-    names = list(args.circuits)
-    if args.all:
-        from repro.circuits.registry import circuit_registry
-
-        names.extend(sorted(n for n in circuit_registry() if n not in names))
-    if not names:
-        parser.print_usage(sys.stderr)
-        print("error: no circuits given (name some or pass --all)", file=sys.stderr)
-        return 2
-
     config = LintConfig(
         enabled=frozenset(args.enable) if args.enable else None,
         suppressed=frozenset(args.suppress),
@@ -123,16 +123,60 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
 
     reports: list[LintReport] = []
-    for name in names:
+    if args.artifacts is not None:
+        from repro.artifacts import ArtifactStore, load_flow_artifacts
+        from repro.verify.lint import lint_stored_artifacts
+
         try:
-            # Report under the name the user asked for (registry keys can
-            # differ from the built circuit's own name).
-            report = lint_circuit(name, config=config, stages=args.stages, name=name)
-        except KeyError:
-            print(f"error: unknown circuit {name!r}", file=sys.stderr)
+            store = ArtifactStore(args.artifacts, create=False)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        reports.append(report)
-        print(report.render_text())
+        wanted = set(args.circuits)
+        views = load_flow_artifacts(store)
+        if wanted:
+            views = [view for view in views if view.circuit in wanted]
+            missing = wanted - {view.circuit for view in views}
+            if missing:
+                print(
+                    "error: no stored artifacts for "
+                    f"{', '.join(sorted(repr(name) for name in missing))} "
+                    "(current code fingerprint)",
+                    file=sys.stderr,
+                )
+                return 2
+        if not views:
+            print(
+                "error: the artifact store holds no flows for the current "
+                "code fingerprint",
+                file=sys.stderr,
+            )
+            return 2
+        for view in views:
+            report = lint_stored_artifacts(view, config=config)
+            reports.append(report)
+            print(report.render_text())
+    else:
+        names = list(args.circuits)
+        if args.all:
+            from repro.circuits.registry import circuit_registry
+
+            names.extend(sorted(n for n in circuit_registry() if n not in names))
+        if not names:
+            parser.print_usage(sys.stderr)
+            print("error: no circuits given (name some or pass --all)", file=sys.stderr)
+            return 2
+
+        for name in names:
+            try:
+                # Report under the name the user asked for (registry keys can
+                # differ from the built circuit's own name).
+                report = lint_circuit(name, config=config, stages=args.stages, name=name)
+            except KeyError:
+                print(f"error: unknown circuit {name!r}", file=sys.stderr)
+                return 2
+            reports.append(report)
+            print(report.render_text())
 
     errors = sum(report.error_count for report in reports)
     warnings = sum(report.warning_count for report in reports)

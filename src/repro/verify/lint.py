@@ -9,6 +9,11 @@ Two entry points:
 * :func:`lint_flow_artifacts` — audit the artifacts of an already executed
   :class:`~repro.cad.flow.FlowResult`; this is what the
   ``FlowOptions.verify_stages`` gate calls at the end of ``CadFlow.run``.
+* :func:`lint_stored_artifacts` — audit a
+  :class:`~repro.artifacts.StoredFlowArtifacts` view rehydrated from an
+  artifact store, re-deriving the fabric, RR graph, bitstream and per-PLB
+  configurations from the stored payloads; this is what ``repro-lint
+  --artifacts DIR`` runs.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro.verify.core import LintConfig, LintContext, LintReport, run_rules
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.artifacts import StoredFlowArtifacts
     from repro.cad.flow import CadFlow, FlowResult
     from repro.styles.base import StyledCircuit
 
@@ -133,4 +139,45 @@ def lint_flow_artifacts(
         context.styled = styled
         context.netlist = styled.netlist
     _fill_from_flow(context, flow, result)
+    return run_rules(context, config)
+
+
+def lint_stored_artifacts(
+    view: "StoredFlowArtifacts",
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Audit one stored flow's stage artifacts without re-running the flow.
+
+    Everything transient is re-derived from the payloads: the fabric and RR
+    graph from the stored architecture, the per-PLB configurations from the
+    packed design (``configure_plb`` is pure), and — when no bitstream was
+    checkpointed — the bitstream itself from packed + placement.  Rules
+    whose inputs are absent from the store are skipped as usual, so a
+    shallow checkpoint (e.g. ``mapped`` only) lints what it can.
+    """
+    from repro.cad.bitgen import configure_plb
+    from repro.core.fabric import Fabric
+    from repro.core.rrgraph import RoutingResourceGraph
+
+    context = LintContext(name=view.circuit)
+    context.mapped = view.design()
+    context.architecture = view.architecture
+    fabric = Fabric(view.architecture)
+    context.fabric = fabric
+    context.placement = view.placement()
+    if "routing" in view.payloads:
+        graph = RoutingResourceGraph(fabric)
+        context.graph = graph
+        context.routing = view.routing(graph)
+    context.timing = view.timing()
+    context.bitstream = view.render_bitstream()
+    if (
+        context.bitstream is not None
+        and context.mapped is not None
+        and context.mapped.plbs
+    ):
+        context.configured_plbs = {
+            plb.name: configure_plb(plb, view.architecture)
+            for plb in context.mapped.plbs
+        }
     return run_rules(context, config)

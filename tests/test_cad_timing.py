@@ -359,6 +359,68 @@ def test_flow_routing_seed_roundtrip():
     assert seeded.summary()["routing_warm_started"] > 0
 
 
+def test_cross_grid_seed_warm_starts_routing():
+    # Grid-size ladder rung: trees and placement from a 6x6 fabric carry to
+    # an 8x8 one.  A smaller grid's PLB sites, pad names and wire names all
+    # exist on the larger grid, so with the placement transferred the seed
+    # trees validate and PathFinder warm-starts (ROADMAP carry-over: the
+    # warm-start cache used to be keyed on exact geometry minus channel
+    # width only, which made cross-grid rungs miss).
+    small = CadFlow(
+        ArchitectureParams(width=6, height=6, routing=RoutingParams(channel_width=8)),
+        FlowOptions(generate_bitstream=False),
+    )
+    small_result = small.run(build_circuit("qdi_full_adder"))
+    assert small_result.routing is not None and small_result.routing.success
+    trees = {
+        net: [small.rr_graph.nodes[node_id].name for node_id in routed.nodes]
+        for net, routed in small_result.routing.routed.items()
+    }
+    large = CadFlow(
+        ArchitectureParams(width=8, height=8, routing=RoutingParams(channel_width=8)),
+        FlowOptions(generate_bitstream=False),
+    )
+    seeded = large.run(
+        build_circuit("qdi_full_adder"),
+        placement=small_result.placement,
+        routing_seed=trees,
+    )
+    assert seeded.routing is not None and seeded.routing.success
+    _assert_legal(seeded.routing, large.rr_graph)
+    assert seeded.routing.warm_started_nets > 0
+    assert seeded.summary()["placement_cache_hit"] is True
+
+
+def test_routing_cache_key_shared_across_grid_sizes():
+    # The routing-tree cache slot must hash out grid size as well as channel
+    # width, so grid-size ladders share trees the way channel-width ladders do.
+    from repro.sweep.spec import SweepPoint
+
+    def point(width, height, channel_width):
+        return SweepPoint(
+            circuit="qdi_full_adder",
+            architecture=ArchitectureParams(
+                width=width,
+                height=height,
+                routing=RoutingParams(channel_width=channel_width),
+            ),
+            options=FlowOptions(),
+        )
+
+    base = point(6, 6, 8)
+    assert base.routing_base_key() == point(8, 8, 8).routing_base_key()
+    assert base.routing_base_key() == point(6, 6, 10).routing_base_key()
+    # Everything else still differentiates the slot.
+    other_circuit = SweepPoint(
+        circuit="qdi_ripple_adder_2",
+        architecture=ArchitectureParams(width=6, height=6),
+        options=FlowOptions(),
+    )
+    assert base.routing_base_key() != other_circuit.routing_base_key()
+    # And the flow-summary key keeps geometry, so the slots stay distinct.
+    assert base.key() != point(8, 8, 8).key()
+
+
 # ----------------------------------------------------------------------
 # Blended placement objective
 # ----------------------------------------------------------------------

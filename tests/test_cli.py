@@ -218,3 +218,67 @@ def test_store_create_false_requires_existing_directory(tmp_path):
     SweepResultStore(missing)  # default still creates
     assert missing.is_dir()
     SweepResultStore(missing, create=False)  # and then opens read-only fine
+
+
+def test_run_artifacts_and_bitstream_export(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    artifacts = str(tmp_path / "arts")
+    outdir = tmp_path / "bits"
+    args = ["run", "--circuit", "qdi_full_adder", "--store", store_dir,
+            "--artifacts", artifacts, "--quiet"]
+    assert main(args) == 0
+    capsys.readouterr()
+
+    # --bitstreams without --artifacts is a usage error.
+    assert main(["export", "--store", store_dir, "--bitstreams", str(outdir)]) == 2
+    assert "--artifacts" in capsys.readouterr().err
+    # A mistyped artifact directory fails without creating it.
+    missing = tmp_path / "no-such-arts"
+    assert main(
+        ["export", "--store", store_dir, "--artifacts", str(missing),
+         "--bitstreams", str(outdir)]
+    ) == 2
+    assert not missing.exists()
+    capsys.readouterr()
+
+    assert main(
+        ["export", "--store", store_dir, "--artifacts", artifacts,
+         "--bitstreams", str(outdir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote 1 bitstream(s)" in out
+    written = sorted(outdir.glob("*.bit"))
+    assert len(written) == 1
+    assert "qdi_full_adder" in written[0].name
+
+    # The rendered file is bit-identical to a direct flow on the stored
+    # architecture and options.
+    from repro.artifacts import ArtifactStore, load_flow_artifacts
+    from repro.cad.flow import CadFlow
+    from repro.circuits.registry import build_circuit
+
+    view = load_flow_artifacts(ArtifactStore(artifacts))[0]
+    assert view.flow_key[:12] in written[0].name
+    direct = CadFlow(view.architecture, view.options).run(build_circuit(view.circuit))
+    assert written[0].read_bytes() == direct.bitstream.to_bytes()
+
+
+def test_gc_max_bytes_reports_size_evictions(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main(RUN_ARGS + ["--store", store_dir, "--quiet"]) == 0
+    capsys.readouterr()
+    store = SweepResultStore(store_dir)
+    assert store.stats()["records"] == 2
+
+    assert main(["gc", "--store", store_dir, "--dry-run", "--max-bytes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "would remove 2" in out and "2 evicted for the size bound" in out
+    assert store.stats()["records"] == 2  # dry run deleted nothing
+
+    assert main(["gc", "--store", store_dir, "--max-bytes", "1"]) == 0
+    assert "2 evicted for the size bound" in capsys.readouterr().out
+    assert store.stats()["records"] == 0
+
+    # Without --max-bytes the size-bound clause stays out of the message.
+    assert main(["gc", "--store", store_dir]) == 0
+    assert "size bound" not in capsys.readouterr().out

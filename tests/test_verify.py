@@ -276,3 +276,59 @@ def test_flow_verify_stages_gate():
     plain = CadFlow(architecture, FlowOptions()).run(circuit)
     assert plain.lint_findings is None
     assert "lint_errors" not in plain.summary()
+
+
+# ----------------------------------------------------------------------
+# repro-lint --artifacts: auditing stored stage artifacts
+# ----------------------------------------------------------------------
+def _checkpointed_store(tmp_path):
+    from repro.cad.flow import CadFlow, FlowOptions
+    from repro.circuits.generate import recommended_fabric
+    from repro.cad.techmap import template_map
+    from types import SimpleNamespace
+
+    circuit = build_circuit("qdi_full_adder")
+    architecture = recommended_fabric(
+        SimpleNamespace(mapped=template_map(circuit)), slack=2
+    )
+    store_dir = tmp_path / "arts"
+    options = FlowOptions(artifact_store=str(store_dir))
+    CadFlow(architecture, options).run(circuit)
+    return store_dir
+
+
+def test_cli_artifacts_exit_0_on_clean_store(tmp_path, capsys):
+    store_dir = _checkpointed_store(tmp_path)
+    report_path = tmp_path / "report.json"
+    assert lint_main(["--artifacts", str(store_dir), "--json", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "qdi_full_adder" in out
+    document = json.loads(report_path.read_text(encoding="utf-8"))
+    (report,) = document["reports"]
+    # The stage and bitstream tiers must actually run on the stored flow.
+    for code in ("STG001", "STG007", "BIT001", "BIT004"):
+        assert code in report["rules_run"]
+    assert report["findings"] == []
+
+    # Positional names filter the stored flows.
+    assert lint_main(["--artifacts", str(store_dir), "qdi_full_adder"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_artifacts_exit_2_on_usage_errors(tmp_path, capsys):
+    missing = tmp_path / "no-such-store"
+    assert lint_main(["--artifacts", str(missing)]) == 2
+    assert not missing.exists()
+    capsys.readouterr()
+
+    store_dir = _checkpointed_store(tmp_path)
+    assert lint_main(["--artifacts", str(store_dir), "wchb_fifo_4"]) == 2
+    assert "no stored artifacts" in capsys.readouterr().err
+
+    # An existing but artifact-free store has nothing to audit.
+    from repro.artifacts import ArtifactStore
+
+    empty = tmp_path / "empty"
+    ArtifactStore(empty)
+    assert lint_main(["--artifacts", str(empty)]) == 2
+    assert "holds no flows" in capsys.readouterr().err
