@@ -21,13 +21,13 @@ walk-throughs.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.cad.flow import CadFlow, FlowOptions, FlowResult
 from repro.circuits.fulladder import micropipeline_full_adder, qdi_full_adder, reference_sum_carry
 from repro.core.params import ArchitectureParams
-from repro.sweep.runner import SweepReport, SweepRunner
+from repro.sweep.runner import RetryPolicy, RunnerConfig, SweepReport, SweepRunner
 from repro.sweep.spec import SweepSpec
 from repro.sim.handshake import (
     FourPhaseBundledConsumer,
@@ -83,6 +83,11 @@ def run_sweep(
     placement_cache: bool = True,
     routing_cache: bool = False,
     artifact_dir: str | os.PathLike[str] | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.0,
+    fail_fast: bool = False,
+    fallback: Iterable[str] = (),
 ) -> SweepReport:
     """Run a (circuit × architecture × options) grid through the batch engine.
 
@@ -117,6 +122,22 @@ def run_sweep(
         checkpoints its stage boundaries there for bitstream re-rendering,
         lint audits and resumes (see ``docs/artifacts.md``).  Summaries and
         cache keys are unaffected.
+    timeout:
+        Per-point wall-clock budget in seconds; overruns record
+        ``status="timeout"`` and are never cached (``docs/robustness.md``).
+    retries:
+        Total attempts per point for transient failures and timeouts
+        (``1`` = no retries); maps to
+        :attr:`repro.sweep.RetryPolicy.max_attempts`.
+    backoff:
+        Base delay in seconds of the deterministic exponential backoff
+        between attempts; ``0`` retries immediately.
+    fail_fast:
+        Stop submitting after the first non-ok point; the rest of the grid
+        records ``status="skipped"``.
+    fallback:
+        Opt-in executor degradation ladder (e.g. ``("thread", "serial")``)
+        engaged after repeated worker-pool failures.
 
     Returns
     -------
@@ -133,10 +154,17 @@ def run_sweep(
             architectures if architectures is not None else ArchitectureParams(),
             options,
         )
+    config = RunnerConfig.from_workers(workers, executor)
+    config = replace(
+        config,
+        timeout_s=timeout,
+        retry=RetryPolicy(max_attempts=max(1, int(retries)), backoff_s=backoff),
+        fail_fast=fail_fast,
+        fallback=tuple(fallback),
+    )
     runner = SweepRunner(
         store=cache_dir,
-        workers=workers,
-        executor=executor,
+        config=config,
         placement_cache=placement_cache,
         routing_cache=routing_cache,
         artifacts=str(artifact_dir) if artifact_dir is not None else None,

@@ -1,17 +1,25 @@
 """``repro-sweep``: the command-line interface to the batch sweep engine.
 
-Five subcommands over :func:`repro.api.run_sweep` and
+Six subcommands over :func:`repro.api.run_sweep` and
 :class:`repro.sweep.SweepResultStore`:
 
 * ``run``    -- execute a (circuit × architecture × options) grid, optionally
-  cached, parallel and exported to CSV/JSON;
-* ``stats``  -- store observability: record counts, on-disk bytes, and how
-  many records belong to retired code fingerprints;
+  cached, parallel and exported to CSV/JSON; ``--timeout`` / ``--retries`` /
+  ``--backoff`` / ``--fail-fast`` drive the supervision layer
+  (``docs/robustness.md``);
+* ``stats``  -- store observability: record counts, on-disk bytes, how many
+  records belong to retired code fingerprints, per-status breakdowns and the
+  quarantine;
 * ``gc``     -- delete retired-fingerprint records (``--keep-latest N``
-  spares the N most recent retired generations; ``--dry-run`` previews);
+  spares the N most recent retired generations; ``--dry-run`` previews) and
+  reap the quarantine;
 * ``export`` -- render a populated store to CSV / JSON / a text table
   without re-running anything;
-* ``clear``  -- delete every record.
+* ``clear``  -- delete every record;
+* ``chaos``  -- run a seeded fault-injection campaign
+  (:func:`repro.sweep.chaos.run_campaign`) and verify every recovery path:
+  crashes retried, repeat-killers poisoned, torn writes quarantined,
+  unaffected summaries bit-identical to a fault-free run.
 
 Installed as a console script by ``setup.py``; also runnable without
 installation as ``python -m repro.cli``.  See ``docs/sweep.md`` for a
@@ -47,6 +55,44 @@ def _parse_grid(text: str) -> tuple[int, int]:
         raise argparse.ArgumentTypeError(
             f"grid must look like WIDTHxHEIGHT (e.g. 6x6), got {text!r}"
         ) from None
+
+
+def _positive_float(text: str) -> float:
+    """A strictly positive float; violations exit 2 like any usage error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
+def _probability(text: str) -> float:
+    value = _nonnegative_float(text)
+    if value > 1:
+        raise argparse.ArgumentTypeError(f"must be a probability in [0, 1], got {text!r}")
+    return value
+
+
+def _attempts(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
 
 
 def _architectures(args: argparse.Namespace) -> list[ArchitectureParams]:
@@ -117,6 +163,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         placement_cache=not args.no_placement_cache,
         routing_cache=args.routing_cache,
         artifact_dir=args.artifacts,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        fail_fast=args.fail_fast,
+        fallback=tuple(args.fallback or ()),
     )
     if args.csv:
         print(f"wrote {write_csv(report, args.csv)}")
@@ -255,6 +306,86 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault-injection campaign and audit its recovery paths."""
+    import json as json_module
+
+    from repro.sweep.chaos import FaultPlan, run_campaign
+    from repro.sweep.runner import RetryPolicy
+    from repro.sweep.spec import SweepSpec
+
+    widths = args.channel_width or [8, 10]
+    architectures = [
+        ArchitectureParams(routing=RoutingParams(channel_width=width))
+        for width in widths
+    ]
+    options = (
+        FlowOptions(run_placement=False, run_routing=False, generate_bitstream=False)
+        if args.analysis_only
+        else FlowOptions()
+    )
+    spec = SweepSpec.build(args.circuit or ["qdi_full_adder"], architectures, options)
+    labels = [point.label() for point in spec.points()]
+    unknown = [label for label in (args.poison or []) if label not in labels]
+    if unknown:
+        print(
+            f"error: --poison label(s) {', '.join(unknown)} not in the grid "
+            f"({', '.join(labels)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    plan = FaultPlan.build(
+        seed=args.seed,
+        p_crash=args.crash,
+        p_hang=args.hang,
+        p_oserror=args.oserror,
+        p_torn_write=args.torn,
+        faulted_attempts=args.faulted_attempts,
+        poison=args.poison or (),
+    )
+    outcome = run_campaign(
+        spec,
+        plan,
+        store=args.store,
+        executor=args.executor,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        max_point_crashes=args.max_point_crashes,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(outcome, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    print(json_module.dumps(outcome, indent=1, sort_keys=True))
+
+    failures: list[str] = []
+    if not outcome["completed"]:
+        failures.append("the campaign did not produce a record for every point")
+    if not outcome["summaries_match"]:
+        failures.append(
+            "surviving summaries diverged from the fault-free baseline: "
+            + ", ".join(outcome["summary_mismatches"])  # type: ignore[arg-type]
+        )
+    poisoned = outcome["statuses"]["poisoned"]  # type: ignore[index]
+    if args.poison and poisoned < len(args.poison):
+        failures.append(
+            f"expected >= {len(args.poison)} poisoned point(s), got {poisoned}"
+        )
+    if outcome["torn_keys"] and outcome["quarantined"] < len(outcome["torn_keys"]):  # type: ignore[arg-type]
+        failures.append(
+            f"{len(outcome['torn_keys'])} torn write(s) but only "  # type: ignore[arg-type]
+            f"{outcome['quarantined']} quarantined file(s)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos: all recovery paths held")
+    return 0
+
+
 def _cmd_clear(args: argparse.Namespace) -> int:
     try:
         removed = SweepResultStore(args.store).clear()
@@ -354,6 +485,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable placement caching / incremental re-route",
     )
+    run.add_argument(
+        "--timeout",
+        type=_positive_float,
+        metavar="SECONDS",
+        help="per-point wall-clock budget; overruns record status=timeout "
+        "and are never cached",
+    )
+    run.add_argument(
+        "--retries",
+        type=_attempts,
+        default=1,
+        metavar="N",
+        help="total attempts per point for transient failures and timeouts "
+        "(default: 1 = no retries)",
+    )
+    run.add_argument(
+        "--backoff",
+        type=_nonnegative_float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base delay of the deterministic exponential backoff between "
+        "attempts (default: 0 = retry immediately)",
+    )
+    run.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop submitting after the first non-ok point; the rest of the "
+        "grid records status=skipped",
+    )
+    run.add_argument(
+        "--fallback",
+        action="append",
+        choices=("serial", "thread", "process"),
+        metavar="NAME",
+        help="executor degradation ladder, engaged in order after repeated "
+        "worker-pool failures; repeatable (e.g. --fallback thread "
+        "--fallback serial)",
+    )
     run.add_argument("--csv", metavar="PATH", help="also write the report as CSV")
     run.add_argument("--json", metavar="PATH", help="also write the report as JSON")
     run.add_argument("--quiet", action="store_true", help="print only the stats footer")
@@ -418,6 +587,111 @@ def build_parser() -> argparse.ArgumentParser:
     clear = subparsers.add_parser("clear", help="delete every record in the store")
     clear.add_argument("--store", metavar="DIR", required=True)
     clear.set_defaults(handler=_cmd_clear)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign and verify every "
+        "recovery path (see docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--circuit",
+        action="append",
+        metavar="NAME",
+        help="registry circuit name; repeatable (default: qdi_full_adder)",
+    )
+    chaos.add_argument(
+        "--channel-width",
+        action="append",
+        type=int,
+        metavar="N",
+        help="routing channel width axis; repeatable (default: 8 and 10)",
+    )
+    chaos.add_argument(
+        "--analysis-only",
+        action="store_true",
+        help="skip placement/routing/bitstream for a faster campaign",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="fault-plan seed (default: 0)"
+    )
+    chaos.add_argument(
+        "--crash",
+        type=_probability,
+        default=0.0,
+        metavar="P",
+        help="per-attempt worker-crash probability",
+    )
+    chaos.add_argument(
+        "--hang",
+        type=_probability,
+        default=0.0,
+        metavar="P",
+        help="per-attempt hang-past-timeout probability",
+    )
+    chaos.add_argument(
+        "--oserror",
+        type=_probability,
+        default=0.0,
+        metavar="P",
+        help="per-attempt transient-OSError probability",
+    )
+    chaos.add_argument(
+        "--torn",
+        type=_probability,
+        default=0.0,
+        metavar="P",
+        help="per-record torn-store-write probability (needs --store)",
+    )
+    chaos.add_argument(
+        "--poison",
+        action="append",
+        metavar="LABEL",
+        help="point label (circuit@WxH/cwN) that crashes on every attempt; "
+        "repeatable -- each must end status=poisoned",
+    )
+    chaos.add_argument(
+        "--faulted-attempts",
+        type=_attempts,
+        default=1,
+        metavar="N",
+        help="only the first N attempts of a point may fault (default: 1)",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-point wall-clock budget during the campaign (default: 120)",
+    )
+    chaos.add_argument(
+        "--retries",
+        type=_attempts,
+        default=3,
+        metavar="N",
+        help="retry policy attempts during the campaign (default: 3)",
+    )
+    chaos.add_argument(
+        "--max-point-crashes",
+        type=_attempts,
+        default=2,
+        metavar="N",
+        help="crashes a point survives before it is poisoned (default: 2)",
+    )
+    chaos.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="inner backend the chaos wrapper drives (default: serial)",
+    )
+    chaos.add_argument("--workers", type=int, default=1, help="pool size (default: 1)")
+    chaos.add_argument(
+        "--store",
+        metavar="DIR",
+        help="result-store directory for the chaos run (enables torn-write "
+        "injection and the quarantine check)",
+    )
+    chaos.add_argument("--json", metavar="PATH", help="also write the campaign report as JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     return parser
 

@@ -1,30 +1,41 @@
 """Batch sweep engine: grids of (circuit × architecture × options) flows.
 
-The subsystem has five pieces:
+The subsystem has six pieces:
 
 * :mod:`repro.sweep.spec` -- :class:`SweepPoint` / :class:`SweepSpec`, the
   declarative description of a sweep grid with stable content hashing (both
   the flow-summary key and the placement key embed the code fingerprint, so
-  behaviour changes retire stale records automatically);
+  behaviour changes retire stale records automatically), plus the record
+  status vocabulary (``ok`` / ``error`` / ``timeout`` / ``poisoned`` /
+  ``skipped``);
 * :mod:`repro.sweep.store` -- :class:`SweepResultStore`, a content-addressed
-  on-disk cache of flow summaries and placements, with fingerprint-aware
-  :meth:`~repro.sweep.store.SweepResultStore.stats` and
-  :meth:`~repro.sweep.store.SweepResultStore.gc`;
+  on-disk cache of flow summaries and placements with checksum-verified
+  reads (corrupt files quarantine to ``.quarantine/`` instead of raising)
+  and fingerprint-aware :meth:`~repro.sweep.store.SweepResultStore.stats`
+  and :meth:`~repro.sweep.store.SweepResultStore.gc`;
 * :mod:`repro.sweep.runner` -- :class:`SweepRunner` over the pluggable
   :class:`Executor` protocol (``serial`` / ``thread`` / ``process`` backends
   in-tree, third-party ones via :func:`register_executor`), with cache
-  hit/miss accounting and incremental re-route from cached placements;
+  hit/miss accounting, incremental re-route from cached placements, and a
+  supervision layer (:class:`RetryPolicy` retries, per-point timeouts,
+  worker-crash recovery, poison quarantine, executor fallback);
+* :mod:`repro.sweep.chaos` -- the deterministic fault-injection harness
+  (:class:`FaultPlan` / :class:`ChaosExecutor` / :class:`ChaosStore` /
+  :func:`run_campaign`) that proves the supervision layer's recovery paths;
 * :mod:`repro.sweep.report` -- CSV / JSON / text reporters;
 * :mod:`repro.cli` -- the ``repro-sweep`` command-line interface over all of
-  the above (``run`` / ``stats`` / ``gc`` / ``export`` / ``clear``).
+  the above (``run`` / ``stats`` / ``gc`` / ``export`` / ``clear`` /
+  ``chaos``).
 
-See ``docs/sweep.md`` for the walk-through.
+See ``docs/sweep.md`` and ``docs/robustness.md`` for the walk-throughs.
 """
 
+from repro.sweep.chaos import ChaosExecutor, ChaosStore, FaultPlan, run_campaign
 from repro.sweep.report import format_report, format_stats, write_csv, write_json
 from repro.sweep.runner import (
     Executor,
     ProcessExecutor,
+    RetryPolicy,
     RunnerConfig,
     SerialExecutor,
     SweepOutcome,
@@ -32,17 +43,37 @@ from repro.sweep.runner import (
     SweepRunner,
     ThreadExecutor,
     available_executors,
+    create_executor,
     execute_point,
     register_executor,
     report_from_records,
 )
-from repro.sweep.spec import SweepPoint, SweepSpec
-from repro.sweep.store import StoreLockTimeout, SweepResultStore
+from repro.sweep.spec import (
+    RECORD_STATUSES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_POISONED,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    SweepPoint,
+    SweepSpec,
+)
+from repro.sweep.store import StoreLockTimeout, SweepResultStore, record_checksum
 
 __all__ = [
+    "ChaosExecutor",
+    "ChaosStore",
     "Executor",
+    "FaultPlan",
     "ProcessExecutor",
+    "RECORD_STATUSES",
+    "RetryPolicy",
     "RunnerConfig",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_POISONED",
+    "STATUS_SKIPPED",
+    "STATUS_TIMEOUT",
     "SerialExecutor",
     "StoreLockTimeout",
     "SweepOutcome",
@@ -53,11 +84,14 @@ __all__ = [
     "SweepSpec",
     "ThreadExecutor",
     "available_executors",
+    "create_executor",
     "execute_point",
     "format_report",
     "format_stats",
+    "record_checksum",
     "register_executor",
     "report_from_records",
+    "run_campaign",
     "write_csv",
     "write_json",
 ]

@@ -38,6 +38,32 @@ sweep after fixing the mapper re-attempts the point instead of replaying the
 stale error (the code-fingerprint cache key would retire the record anyway,
 but an uncached error also survives e.g. a restored store snapshot).
 
+Supervision (timeouts, retries, crash recovery)
+-----------------------------------------------
+Cache misses run under a supervision loop (see ``docs/robustness.md``):
+
+* a per-point wall-clock ``timeout_s`` is enforced for every in-tree backend
+  (preemptively where the backend can wait with a deadline, cooperatively --
+  by discarding an overrun result -- where it cannot), producing
+  ``status="timeout"`` records that are never cached;
+* **transient** failures (``OSError`` / ``MemoryError``, plus anything the
+  executor infrastructure itself raises) are retried per the seeded
+  :class:`RetryPolicy` with deterministic exponential backoff;
+* a broken worker pool (``BrokenProcessPool`` and friends) no longer aborts
+  the sweep: the pool is rebuilt, in-flight points are resubmitted, and a
+  point that kills its worker more than ``max_point_crashes`` times is
+  quarantined as ``status="poisoned"`` -- cached *with* its attempt history
+  so ``repro-sweep stats`` can report it;
+* an opt-in ``fallback`` ladder degrades the backend (e.g. process -> thread
+  -> serial) after ``max_pool_rebuilds`` rebuilds of the same backend;
+* ``fail_fast`` stops submitting after the first non-ok point and marks the
+  rest ``status="skipped"``.
+
+Third-party backends that only implement the minimal submit/gather protocol
+keep the historical semantics (no timeout, no retry, no crash recovery);
+supervision engages for any backend that also offers ``result(token,
+timeout)`` (and, for crash recovery, ``rebuild()``).
+
 Incremental re-route
 --------------------
 When a store is attached, successful placements are cached under
@@ -54,13 +80,39 @@ bit-identical to a cold run.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import logging
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
-from repro.sweep.spec import SWEEP_SCHEMA_VERSION, SweepPoint, SweepSpec, as_points
+from repro.sweep.spec import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_POISONED,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    SWEEP_SCHEMA_VERSION,
+    SweepPoint,
+    SweepSpec,
+    as_points,
+)
 from repro.sweep.store import SweepResultStore
+
+logger = logging.getLogger(__name__)
+
+#: Exception classes whose flow failures are *environmental* rather than
+#: deterministic: never cached, and retried in-run by the supervision loop
+#: when the :class:`RetryPolicy` grants attempts.  ``TimeoutError`` is an
+#: ``OSError`` subclass, so backend timeouts classify as transient too.
+TRANSIENT_EXCEPTIONS = (OSError, MemoryError)
 
 
 def _seed_trees_from_record(record: Mapping[str, object]) -> dict[str, list[str]] | None:
@@ -123,8 +175,6 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
     """
     # Imports stay inside the function so worker processes pay them lazily
     # and a broken optional subsystem cannot poison runner import time.
-    import dataclasses
-
     from repro.cad.flow import CadFlow
     from repro.cad.place import Placement
     from repro.cad.techmap import MappingError
@@ -147,6 +197,7 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
         SweepResultStore(placement_store_root) if placement_store_root else None
     )
     routing_store = SweepResultStore(routing_store_root) if routing_store_root else None
+    started = time.perf_counter()
     try:
         circuit = build_circuit(point.circuit)
         flow_options = point.options
@@ -164,8 +215,20 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
             if cached is not None and cached.get("kind") == "placement":
                 try:
                     injected = Placement.from_dict(cached["placement"])  # type: ignore[arg-type]
-                except (KeyError, TypeError, ValueError):
-                    injected = None  # corrupt record: fall back to placing
+                except (KeyError, TypeError, ValueError) as exc:
+                    # Corrupt cached placement: fall back to placing, but
+                    # observably -- the silent swallow used to hide cache
+                    # corruption entirely.
+                    injected = None
+                    record["placement_cache_corrupt"] = True
+                    logger.warning(
+                        "corrupt placement-cache record %s for %s (%s: %s); "
+                        "falling back to a fresh placement",
+                        placement_key,
+                        point.label(),
+                        type(exc).__name__,
+                        exc,
+                    )
 
         routing_seed = None
         routing_key: str | None = None
@@ -234,12 +297,13 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
                     },
                 )
 
-        record["status"] = "ok"
+        record["status"] = STATUS_OK
         record["summary"] = result.summary()
         record["error"] = None
         record["cacheable"] = True
+        record["transient"] = False
     except Exception as exc:
-        record["status"] = "error"
+        record["status"] = STATUS_ERROR
         record["summary"] = None
         record["error"] = {"type": type(exc).__name__, "message": str(exc)}
         # Flow-domain failures (unroutable, unplaceable, ...) are as
@@ -250,8 +314,21 @@ def execute_point(point_data: Mapping[str, object]) -> dict[str, object]:
         # recorded (class + message) but never cached -- the next run after a
         # fix re-attempts the point instead of replaying the old failure.
         record["cacheable"] = not isinstance(
-            exc, (OSError, MemoryError, KeyError, MappingError)
+            exc, TRANSIENT_EXCEPTIONS + (KeyError, MappingError)
         )
+        # Transient (environmental) failures are additionally retried
+        # *in-run* by the supervision loop when the RetryPolicy allows.
+        record["transient"] = isinstance(exc, TRANSIENT_EXCEPTIONS)
+    record["duration_s"] = round(time.perf_counter() - started, 6)
+    # A single-attempt history; the supervision loop replaces it with the
+    # full per-attempt trail when retries / crashes / timeouts occurred.
+    record["attempts"] = [
+        {
+            "outcome": record["status"],
+            "error": record["error"],
+            "duration_s": record["duration_s"],
+        }
+    ]
     return record
 
 
@@ -283,7 +360,11 @@ class SerialExecutor:
     """In-process execution, one payload at a time, in submission order.
 
     The reference backend: bit-identical to calling the flow by hand, no
-    pickling, exceptions propagate with their original tracebacks.
+    pickling, exceptions propagate with their original tracebacks.  Work is
+    deferred to :meth:`result` / :meth:`gather`, so the supervision loop's
+    per-point timing measures the point itself, not queue wait.  Timeouts
+    are **cooperative** here -- an in-process flow cannot be preempted, so
+    an overrun is detected (and the result discarded) after the fact.
     """
 
     def submit(self, fn, payload):
@@ -292,21 +373,45 @@ class SerialExecutor:
     def gather(self, tokens):
         return [fn(payload) for fn, payload in tokens]
 
+    def result(self, token, timeout: float | None = None):
+        fn, payload = token
+        return fn(payload)
+
+    def rebuild(self) -> None:
+        pass  # nothing pooled to rebuild
+
     def shutdown(self) -> None:
         pass
 
 
 class _PoolExecutor:
-    """Shared submit/gather/shutdown over a ``concurrent.futures`` pool."""
+    """Shared submit/gather/result/rebuild over a ``concurrent.futures`` pool.
 
-    def __init__(self, pool) -> None:
-        self._pool = pool
+    Holding the pool *factory* rather than the pool itself is what makes
+    :meth:`rebuild` possible: when a worker dies and the pool reports
+    itself broken, the supervision loop discards it and builds a fresh one
+    without losing the executor's identity (or, for wrappers such as the
+    chaos executor, their fault-plan state).
+    """
+
+    def __init__(self, pool_factory) -> None:
+        self._pool_factory = pool_factory
+        self._pool = pool_factory()
 
     def submit(self, fn, payload) -> Future:
         return self._pool.submit(fn, payload)
 
     def gather(self, tokens):
         return [token.result() for token in tokens]
+
+    def result(self, token, timeout: float | None = None):
+        return token.result(timeout)
+
+    def rebuild(self) -> None:
+        # The broken pool's shutdown returns immediately; cancel_futures
+        # clears anything still queued (the supervisor resubmits it).
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._pool_factory()
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -321,14 +426,72 @@ class ThreadExecutor(_PoolExecutor):
     """
 
     def __init__(self, workers: int) -> None:
-        super().__init__(ThreadPoolExecutor(max_workers=max(1, workers)))
+        super().__init__(lambda: ThreadPoolExecutor(max_workers=max(1, workers)))
 
 
 class ProcessExecutor(_PoolExecutor):
     """``ProcessPoolExecutor`` backend: true parallelism for cold sweeps."""
 
     def __init__(self, workers: int) -> None:
-        super().__init__(ProcessPoolExecutor(max_workers=max(1, workers)))
+        super().__init__(lambda: ProcessPoolExecutor(max_workers=max(1, workers)))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the supervision loop re-attempts a failed point.
+
+    Only **transient** outcomes are retried: environmental flow failures
+    (``OSError`` / ``MemoryError``, marked ``transient`` in the record),
+    per-point timeouts, and executor-infrastructure errors.  Deterministic
+    flow failures (unroutable, unplaceable, mapping errors...) would fail
+    identically on every attempt, so they are never retried.  Worker
+    crashes are governed separately by ``RunnerConfig.max_point_crashes``
+    -- a crashed point is always resubmitted until it poisons out.
+
+    The policy is fully serializable and its backoff is **deterministic**:
+    the jitter for retry *n* of a given point is derived from
+    ``(seed, token, n)`` via sha256, so a replayed sweep sleeps the exact
+    same schedule (the chaos harness relies on this for bit-identical
+    replays).
+    """
+
+    #: Total attempts per point (1 = no retries).
+    max_attempts: int = 1
+    #: Base delay before the first retry; 0 disables backoff entirely.
+    backoff_s: float = 0.0
+    #: Exponential growth factor between consecutive retries.
+    backoff_factor: float = 2.0
+    #: Fractional +- jitter applied to each delay (0.1 = +-10%).
+    jitter: float = 0.1
+    #: Seed for the deterministic jitter stream.
+    seed: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RetryPolicy":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)  # type: ignore[arg-type]
+
+    def delay_s(self, retry: int, token: str = "") -> float:
+        """Deterministic backoff before the *retry*-th re-attempt (1-based)."""
+        if self.backoff_s <= 0:
+            return 0.0
+        base = self.backoff_s * (self.backoff_factor ** max(0, retry - 1))
+        if self.jitter <= 0:
+            return base
+        digest = hashlib.sha256(
+            f"{self.seed}|{token}|{retry}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
 
 
 @dataclass(frozen=True)
@@ -336,12 +499,30 @@ class RunnerConfig:
     """How a sweep executes -- independent of what it computes.
 
     Deliberately separate from :class:`~repro.cad.flow.FlowOptions`: executor
-    choice and worker count never enter cache keys, so the same grid run on
-    any backend shares one store.
+    choice, worker count and the supervision knobs never enter cache keys,
+    so the same grid run on any backend shares one store.
     """
 
     executor: str = "serial"
     workers: int = 1
+    #: Per-point wall-clock budget in seconds; ``None`` disables the check.
+    #: Pool backends enforce it preemptively (the result wait times out);
+    #: the serial backend detects overruns cooperatively after the fact.
+    #: Either way the point records ``status="timeout"`` and is never cached.
+    timeout_s: float | None = None
+    #: Transient-failure retry policy (attempts, deterministic backoff).
+    retry: RetryPolicy = RetryPolicy()
+    #: A point that breaks the worker pool more than this many times is
+    #: quarantined as ``status="poisoned"`` instead of being resubmitted.
+    max_point_crashes: int = 2
+    #: Pool rebuilds tolerated per backend before the opt-in ``fallback``
+    #: ladder degrades to the next backend (when one is configured).
+    max_pool_rebuilds: int = 3
+    #: Opt-in graceful-degradation ladder, e.g. ``("thread", "serial")``.
+    fallback: tuple[str, ...] = ()
+    #: Stop submitting after the first non-ok point; the rest of the grid
+    #: is recorded as ``status="skipped"``.
+    fail_fast: bool = False
 
     @classmethod
     def from_workers(cls, workers: int, executor: str | None = None) -> "RunnerConfig":
@@ -391,6 +572,345 @@ register_executor("thread", lambda config: ThreadExecutor(config.workers))
 register_executor("process", lambda config: ProcessExecutor(config.workers))
 
 
+# ----------------------------------------------------------------------
+# Supervision: timeouts, retries, crash recovery, poisoning, fallback
+# ----------------------------------------------------------------------
+class _PointRun:
+    """Mutable supervision state for one cache-missed point."""
+
+    __slots__ = ("payload", "point", "attempts", "failures", "crashes", "record")
+
+    def __init__(self, payload: dict[str, object], point: SweepPoint) -> None:
+        self.payload = payload
+        self.point = point
+        #: Full per-attempt trail: ``{"outcome", "error", "duration_s"}``.
+        self.attempts: list[dict[str, object]] = []
+        #: Attempts consumed against ``RetryPolicy.max_attempts`` (timeouts,
+        #: transient flow errors, infrastructure errors -- NOT crashes).
+        self.failures = 0
+        #: Worker-pool breakages blamed on this point (poison budget).
+        self.crashes = 0
+        self.record: dict[str, object] | None = None
+
+
+class _Supervisor:
+    """Drive cache misses through a backend with fault tolerance.
+
+    One supervisor lives for the whole :meth:`SweepRunner.run` call (both
+    placement-dedup waves share its backend, crash counters and fail-fast
+    trip wire).  Backends without a ``result(token, timeout)`` method --
+    minimal third-party registrations -- run on the historical
+    submit/gather path with none of the supervision semantics.
+    """
+
+    def __init__(self, config: RunnerConfig) -> None:
+        ladder = [config.executor, *config.fallback]
+        for name in ladder:
+            check_executor(name)
+        self.config = config
+        self._ladder = ladder
+        self._rung = 0
+        self.backend: Executor = self._create(config.executor)
+        self.executor_name = config.executor
+        self.pool_rebuilds = 0
+        self.fallbacks: list[str] = []
+        self._rebuilds_this_backend = 0
+        self._submit_failures = 0
+        self._tripped = False  # fail_fast fired
+
+    # -- backend lifecycle --------------------------------------------
+    def _create(self, name: str) -> Executor:
+        return _EXECUTOR_FACTORIES[name](
+            dataclasses.replace(self.config, executor=name)
+        )
+
+    @property
+    def supervised(self) -> bool:
+        return hasattr(self.backend, "result")
+
+    def shutdown(self) -> None:
+        self.backend.shutdown()
+
+    def _note_pool_failure(self) -> None:
+        """Rebuild the broken pool, degrading down the ladder when due."""
+        self.pool_rebuilds += 1
+        self._rebuilds_this_backend += 1
+        if (
+            self._rebuilds_this_backend > self.config.max_pool_rebuilds
+            and self._rung + 1 < len(self._ladder)
+        ):
+            self._rung += 1
+            name = self._ladder[self._rung]
+            try:
+                self.backend.shutdown()
+            except Exception:  # the pool is broken; releasing is best-effort
+                pass
+            self.backend = self._create(name)
+            self.executor_name = name
+            self.fallbacks.append(name)
+            self._rebuilds_this_backend = 0
+            logger.warning(
+                "worker pool failed %d time(s); falling back to the %r backend",
+                self.pool_rebuilds,
+                name,
+            )
+            return
+        rebuild = getattr(self.backend, "rebuild", None)
+        if rebuild is not None:
+            rebuild()
+        else:  # no rebuild hook: recreate from the factory
+            try:
+                self.backend.shutdown()
+            except Exception:
+                pass
+            self.backend = self._create(self._ladder[self._rung])
+
+    def _note_submit_failure(self) -> None:
+        """A pool that breaks before accepting work attaches no blame --
+        but it must not loop forever either."""
+        self._submit_failures += 1
+        budget = (self.config.max_pool_rebuilds + 1) * len(self._ladder) + 4
+        if self._submit_failures > budget:
+            raise BrokenExecutor(
+                f"worker pool keeps breaking before accepting work "
+                f"(gave up after {self.pool_rebuilds} rebuild(s)); "
+                f"run with executor='serial' to bypass pooling"
+            )
+        self._note_pool_failure()
+
+    # -- record construction ------------------------------------------
+    def _attempt(
+        self,
+        run: _PointRun,
+        outcome: str,
+        error: dict[str, object] | None,
+        duration_s: float,
+    ) -> None:
+        run.attempts.append(
+            {"outcome": outcome, "error": error, "duration_s": round(duration_s, 6)}
+        )
+
+    def _stub(
+        self,
+        run: _PointRun,
+        status: str,
+        error: dict[str, object] | None,
+        cacheable: bool,
+        transient: bool,
+    ) -> dict[str, object]:
+        from repro.fingerprint import code_fingerprint
+
+        return {
+            "version": SWEEP_SCHEMA_VERSION,
+            "kind": "flow",
+            "fingerprint": code_fingerprint(),
+            "point": run.point.to_dict(),
+            "label": run.point.label(),
+            "status": status,
+            "summary": None,
+            "error": error,
+            "cacheable": cacheable,
+            "transient": transient,
+            "duration_s": round(
+                sum(float(a.get("duration_s") or 0.0) for a in run.attempts), 6
+            ),
+            "attempts": run.attempts,
+        }
+
+    def _finalise(self, run: _PointRun, record: dict[str, object]) -> None:
+        record["attempts"] = run.attempts
+        run.record = record
+        if self.config.fail_fast and record.get("status") != STATUS_OK:
+            self._tripped = True
+
+    def _finalise_skipped(self, run: _PointRun) -> None:
+        run.record = self._stub(
+            run,
+            STATUS_SKIPPED,
+            {
+                "type": "FailFast",
+                "message": "sweep stopped by fail_fast before this point ran",
+            },
+            cacheable=False,
+            transient=False,
+        )
+
+    # -- the supervision loop -----------------------------------------
+    def run_wave(
+        self, entries: Sequence[tuple[dict[str, object], SweepPoint]]
+    ) -> list[dict[str, object]]:
+        """Execute one wave of payloads; returns records in entry order."""
+        runs = [_PointRun(payload, point) for payload, point in entries]
+        if not self.supervised:
+            # Historical minimal-protocol path: no timeout, no retry, no
+            # crash recovery.  Records come back exactly as executed.
+            tokens = [self.backend.submit(execute_point, run.payload) for run in runs]
+            return list(self.backend.gather(tokens))
+
+        pending = list(runs)
+        while pending:
+            if self._tripped:
+                for run in pending:
+                    self._finalise_skipped(run)
+                break
+            batch, pending = pending, []
+            # Deterministic backoff: one sleep per resubmission round, the
+            # longest of the batch's per-point delays.
+            delay = max(
+                (
+                    self.config.retry.delay_s(len(run.attempts), run.point.label())
+                    for run in batch
+                    if run.attempts
+                ),
+                default=0.0,
+            )
+            if delay > 0:
+                time.sleep(delay)
+            tokens: list[object] = []
+            accepted = True
+            for run in batch:
+                try:
+                    tokens.append(self.backend.submit(execute_point, run.payload))
+                except BrokenExecutor:
+                    self._note_submit_failure()
+                    accepted = False
+                    break
+            if not accepted:
+                pending = batch  # nobody ran; resubmit the whole batch
+                continue
+            for index, run in enumerate(batch):
+                if self._tripped:
+                    self._finalise_skipped(run)
+                    continue
+                waited = time.perf_counter()
+                try:
+                    record = self.backend.result(tokens[index], self.config.timeout_s)  # type: ignore[attr-defined]
+                except TimeoutError:
+                    self._on_timeout(run, time.perf_counter() - waited, pending)
+                except BrokenExecutor as exc:
+                    # The pool died under this point: blame it, rebuild, and
+                    # resubmit everything the breakage took down with it.
+                    self._on_crash(run, exc, time.perf_counter() - waited, pending)
+                    pending.extend(batch[index + 1 :])
+                    break
+                except Exception as exc:
+                    self._on_infra_error(run, exc, time.perf_counter() - waited, pending)
+                else:
+                    self._on_record(run, record, pending)
+        return [run.record for run in runs]  # type: ignore[misc]
+
+    def _retryable(self, run: _PointRun) -> bool:
+        return run.failures < self.config.retry.max_attempts
+
+    def _on_timeout(self, run: _PointRun, elapsed: float, pending: list) -> None:
+        budget = self.config.timeout_s
+        error = {
+            "type": "TimeoutError",
+            "message": f"point exceeded the {budget:g}s wall-clock budget"
+            if budget is not None
+            else "point reported a hang",
+        }
+        run.failures += 1
+        self._attempt(run, STATUS_TIMEOUT, error, elapsed)
+        if self._retryable(run):
+            pending.append(run)
+        else:
+            self._finalise(
+                run,
+                self._stub(run, STATUS_TIMEOUT, error, cacheable=False, transient=True),
+            )
+
+    def _on_crash(
+        self, run: _PointRun, exc: BaseException, elapsed: float, pending: list
+    ) -> None:
+        run.crashes += 1
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc) or "worker pool broke while this point ran",
+        }
+        self._attempt(run, "crash", error, elapsed)
+        self._note_pool_failure()
+        if run.crashes > self.config.max_point_crashes:
+            self._finalise(
+                run,
+                self._stub(
+                    run,
+                    STATUS_POISONED,
+                    {
+                        "type": "WorkerCrash",
+                        "message": (
+                            f"point killed its worker {run.crashes} time(s); "
+                            f"quarantined as poisoned"
+                        ),
+                    },
+                    # Poisoned records ARE cached, with their attempt
+                    # history: stats() reports them, and a deliberate
+                    # gc/clear (or a code-fingerprint change) re-arms them.
+                    cacheable=True,
+                    transient=False,
+                ),
+            )
+        else:
+            pending.append(run)
+
+    def _on_infra_error(
+        self, run: _PointRun, exc: BaseException, elapsed: float, pending: list
+    ) -> None:
+        # The executor infrastructure (not the flow) failed: pickling, IPC,
+        # an injected chaos fault...  Always transient, never cached.
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        run.failures += 1
+        self._attempt(run, STATUS_ERROR, error, elapsed)
+        if self._retryable(run):
+            pending.append(run)
+        else:
+            self._finalise(
+                run,
+                self._stub(run, STATUS_ERROR, error, cacheable=False, transient=True),
+            )
+
+    def _on_record(
+        self, run: _PointRun, record: dict[str, object], pending: list
+    ) -> None:
+        duration = float(record.get("duration_s") or 0.0)
+        error = record.get("error")
+        if (
+            self.config.timeout_s is not None
+            and duration > self.config.timeout_s
+        ):
+            # Cooperative overrun (the serial backend cannot preempt): the
+            # result arrived but blew the budget, so it is discarded.
+            run.failures += 1
+            timeout_error = {
+                "type": "TimeoutError",
+                "message": (
+                    f"point ran {duration:.3f}s against the "
+                    f"{self.config.timeout_s:g}s wall-clock budget"
+                ),
+            }
+            self._attempt(run, STATUS_TIMEOUT, timeout_error, duration)
+            if self._retryable(run):
+                pending.append(run)
+            else:
+                self._finalise(
+                    run,
+                    self._stub(
+                        run, STATUS_TIMEOUT, timeout_error, cacheable=False, transient=True
+                    ),
+                )
+            return
+        self._attempt(run, str(record.get("status", STATUS_ERROR)), error, duration)  # type: ignore[arg-type]
+        if (
+            record.get("status") == STATUS_ERROR
+            and record.get("transient")
+        ):
+            run.failures += 1
+            if self._retryable(run):
+                pending.append(run)
+                return
+        self._finalise(run, record)
+
+
 @dataclass
 class SweepOutcome:
     """One executed (or cache-served) sweep point."""
@@ -400,10 +920,20 @@ class SweepOutcome:
     summary: dict[str, object] | None
     error: dict[str, object] | None
     cached: bool
+    #: Per-attempt trail (``outcome`` / ``error`` / ``duration_s`` each);
+    #: empty for records predating the supervised runner.
+    attempts: list[dict[str, object]] = field(default_factory=list)
+    #: Wall-clock seconds of the recorded (final) flow execution.
+    duration_s: float | None = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def retried(self) -> bool:
+        """Whether this point needed more than one attempt."""
+        return len(self.attempts) > 1
 
     def row(self) -> dict[str, object]:
         """A flat dict for tables / CSV; summary keys are inlined."""
@@ -412,6 +942,8 @@ class SweepOutcome:
             "circuit": self.point.circuit,
             "status": self.status,
             "cached": self.cached,
+            "attempts": max(1, len(self.attempts)),
+            "duration_s": self.duration_s,
         }
         if self.summary:
             data.update(self.summary)
@@ -435,6 +967,10 @@ class SweepReport:
     workers: int = 1
     executor: str = "serial"
     elapsed_s: float = 0.0
+    #: Worker-pool rebuilds the supervision loop performed this run.
+    pool_rebuilds: int = 0
+    #: Fallback-ladder backends engaged, in order (empty: none needed).
+    fallbacks: list[str] = field(default_factory=list)
 
     @property
     def flow_executions(self) -> int:
@@ -447,7 +983,28 @@ class SweepReport:
 
     @property
     def error_count(self) -> int:
+        """Every non-ok outcome (errors, timeouts, poisoned, skipped)."""
         return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    def _status_count(self, status: str) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == status)
+
+    @property
+    def timeout_count(self) -> int:
+        return self._status_count(STATUS_TIMEOUT)
+
+    @property
+    def poisoned_count(self) -> int:
+        return self._status_count(STATUS_POISONED)
+
+    @property
+    def skipped_count(self) -> int:
+        return self._status_count(STATUS_SKIPPED)
+
+    @property
+    def retried_count(self) -> int:
+        """Points that needed more than one attempt."""
+        return sum(1 for outcome in self.outcomes if outcome.retried)
 
     def rows(self) -> list[dict[str, object]]:
         return [outcome.row() for outcome in self.outcomes]
@@ -461,6 +1018,11 @@ class SweepReport:
             "points": len(self.outcomes),
             "ok": self.ok_count,
             "errors": self.error_count,
+            "timeouts": self.timeout_count,
+            "poisoned": self.poisoned_count,
+            "skipped": self.skipped_count,
+            "retried": self.retried_count,
+            "pool_rebuilds": self.pool_rebuilds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "flow_executions": self.flow_executions,
@@ -509,6 +1071,8 @@ def report_from_records(
                 summary=record.get("summary"),  # type: ignore[arg-type]
                 error=record.get("error"),  # type: ignore[arg-type]
                 cached=True,
+                attempts=list(record.get("attempts") or []),  # type: ignore[arg-type]
+                duration_s=record.get("duration_s"),  # type: ignore[arg-type]
             )
         )
     report.outcomes.sort(key=lambda outcome: outcome.point.label())
@@ -592,7 +1156,10 @@ class SweepRunner:
         """Run every point of the grid, serving repeats from the store."""
         points = as_points(spec_or_points)
         started = time.perf_counter()
-        check_executor(self.config.executor)  # fail fast even on warm stores
+        # Fail fast on typo'd backend names even when every point is cached;
+        # the fallback ladder must name real backends too.
+        for name in (self.config.executor, *self.config.fallback):
+            check_executor(name)
         report = SweepReport(workers=self.config.workers, executor=self.config.executor)
 
         keys = [point.key() for point in points]
@@ -672,19 +1239,21 @@ class SweepRunner:
                 leader_positions = list(range(len(miss_indices)))
 
             fresh: list[dict[str, object] | None] = [None] * len(miss_indices)
-            backend = create_executor(self.config)
+            supervisor = _Supervisor(self.config)
             try:
                 for wave in (leader_positions, follower_positions):
                     if not wave:
                         continue
-                    tokens = [
-                        backend.submit(execute_point, miss_payloads[position])
+                    entries = [
+                        (miss_payloads[position], points[miss_indices[position]])
                         for position in wave
                     ]
-                    for position, record in zip(wave, backend.gather(tokens)):
+                    for position, record in zip(wave, supervisor.run_wave(entries)):
                         fresh[position] = record
             finally:
-                backend.shutdown()
+                supervisor.shutdown()
+            report.pool_rebuilds = supervisor.pool_rebuilds
+            report.fallbacks = list(supervisor.fallbacks)
             for index, record in zip(miss_indices, fresh):
                 assert record is not None  # every position is in exactly one wave
                 records[index] = record
@@ -701,6 +1270,8 @@ class SweepRunner:
                     summary=record.get("summary"),  # type: ignore[arg-type]
                     error=record.get("error"),  # type: ignore[arg-type]
                     cached=index not in missed,
+                    attempts=list(record.get("attempts") or []),  # type: ignore[arg-type]
+                    duration_s=record.get("duration_s"),  # type: ignore[arg-type]
                 )
             )
         report.elapsed_s = time.perf_counter() - started

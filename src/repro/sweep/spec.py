@@ -21,8 +21,40 @@ from repro.fingerprint import code_fingerprint
 #: format itself changes (renamed fields, new envelope).  Behaviour changes in
 #: mappers / circuit factories / flow steps need no manual action: the cache
 #: key embeds :func:`repro.fingerprint.code_fingerprint`, so editing those
-#: sources automatically retires every stale record.
+#: sources automatically retires every stale record.  The robustness fields
+#: added for the supervised runner (``attempts``, ``duration_s``,
+#: ``transient``) are additive and optional, so they did not bump the
+#: version: pre-supervision records stay readable and simply report an empty
+#: attempt history.
 SWEEP_SCHEMA_VERSION = 1
+
+#: The record status vocabulary.  ``ok`` / ``error`` come straight from
+#: :func:`repro.sweep.runner.execute_point`; the remaining three are assigned
+#: by the runner's supervision layer (see ``docs/robustness.md``):
+#:
+#: * ``ok``       -- the flow completed; ``summary`` is populated.
+#: * ``error``    -- the flow raised; ``error`` carries class + message.
+#:   Deterministic flow errors are cacheable, environmental ones
+#:   (``transient: true``) are retried per policy and never cached.
+#: * ``timeout``  -- the point exceeded the per-point wall-clock budget;
+#:   never cached, retried per policy.
+#: * ``poisoned`` -- the point killed its worker more than the configured
+#:   number of times and was quarantined; cached *with* its attempt history
+#:   so ``repro-sweep stats`` can report it (``gc``/``clear`` re-arms it).
+#: * ``skipped``  -- the point was never run because ``fail_fast`` stopped
+#:   the sweep first; never cached.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_POISONED = "poisoned"
+STATUS_SKIPPED = "skipped"
+RECORD_STATUSES = (
+    STATUS_OK,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    STATUS_POISONED,
+    STATUS_SKIPPED,
+)
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,14 @@ crashed or concurrent sweep never leaves a half-written record behind, and
 records carry the full point description so a store can be audited without
 the code that produced it.
 
+Integrity: :meth:`SweepResultStore.put` stamps every record with a sha256
+checksum (:data:`CHECKSUM_KEY`) over its canonical JSON form;
+:meth:`SweepResultStore.get` verifies it and moves any file that fails to
+decode — torn write, truncation, bit rot, checksum mismatch — into a
+``.quarantine/`` sidecar directory instead of raising mid-sweep.  Quarantined
+files are counted by :meth:`SweepResultStore.stats` and reaped by
+:meth:`SweepResultStore.gc` (see ``docs/robustness.md``).
+
 Cache lifecycle: keys embed :func:`repro.fingerprint.code_fingerprint`, so a
 behaviour-bearing source edit silently *retires* every old record (new keys
 miss them) without deleting anything.  The runner stamps each record with the
@@ -25,6 +33,7 @@ double-report the reclaimed space.
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import os
 import tempfile
@@ -36,6 +45,36 @@ try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
+
+#: Record key carrying the integrity checksum.  Dunder-named so it can never
+#: collide with a real record field, and stripped before the record is
+#: handed back to callers.
+CHECKSUM_KEY = "__checksum__"
+
+#: Directory (under the store root) where corrupt record files are moved.
+QUARANTINE_DIR = ".quarantine"
+
+
+def _safe_size(path: Path) -> int | None:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return None
+
+
+def record_checksum(record: dict[str, object]) -> str:
+    """sha256 over the canonical JSON serialization of *record*.
+
+    The canonical form (sorted keys, compact separators, ``default=str``)
+    is chosen so the digest is identical whether computed over the
+    original Python objects *before* :meth:`SweepResultStore.put` writes
+    them or over the parsed JSON *after* :meth:`SweepResultStore.get`
+    reads them back: tuples serialize as arrays either way, non-string
+    dict keys coerce to strings either way, and anything non-JSON is
+    stringified the same way on both sides.
+    """
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class StoreLockTimeout(RuntimeError):
@@ -67,31 +106,74 @@ class SweepResultStore:
             raise ValueError(f"store key too short: {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_path(self) -> Path:
+        """Sidecar directory holding record files that failed to decode."""
+        return self.root / QUARANTINE_DIR
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, object] | None:
-        """The stored record for *key*, or ``None`` on a miss or corrupt file."""
+        """The stored record for *key*, or ``None`` on a miss or corrupt file.
+
+        Corruption — unparseable JSON, a non-object top level, or a
+        checksum mismatch against the embedded :data:`CHECKSUM_KEY` — is
+        *quarantined*: the file is moved to ``.quarantine/`` (so the next
+        read of the same key is a plain miss and a sweep re-runs the
+        point) and ``None`` is returned instead of raising mid-sweep.
+        Records written before checksum stamping carry no
+        :data:`CHECKSUM_KEY` and are trusted as-is.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a flipped byte's invalid UTF-8 raises.
+            self._quarantine(path)
             return None
         if not isinstance(record, dict):
+            self._quarantine(path)
+            return None
+        stored_checksum = record.pop(CHECKSUM_KEY, None)
+        if stored_checksum is not None and stored_checksum != record_checksum(record):
+            self._quarantine(path)
             return None
         return record
 
+    def _quarantine(self, path: Path) -> bool:
+        """Move *path* into ``.quarantine/``; best-effort, never raises.
+
+        The same key can be corrupted, quarantined, rewritten, and
+        corrupted again, so the destination name gets a numeric suffix
+        instead of overwriting earlier evidence.
+        """
+        try:
+            self.quarantine_path.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_path / path.name
+            suffix = 0
+            while destination.exists():
+                suffix += 1
+                destination = self.quarantine_path / f"{path.stem}.{suffix}{path.suffix}"
+            os.replace(path, destination)
+            return True
+        except OSError:
+            return False
+
     def put(self, key: str, record: dict[str, object]) -> Path:
-        """Atomically persist *record* under *key*."""
+        """Atomically persist *record* under *key*, stamped with its checksum."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        stamped = dict(record)
+        stamped[CHECKSUM_KEY] = record_checksum(record)
         fd, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True, indent=1, default=str)
+                json.dump(stamped, handle, sort_keys=True, indent=1, default=str)
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -106,10 +188,17 @@ class SweepResultStore:
 
     def keys(self) -> Iterator[str]:
         for shard in sorted(self.root.iterdir()) if self.root.is_dir() else []:
-            if not shard.is_dir():
+            # Dot-directories (.quarantine) hold non-record files.
+            if not shard.is_dir() or shard.name.startswith("."):
                 continue
             for entry in sorted(shard.glob("*.json")):
                 yield entry.stem
+
+    def quarantined(self) -> list[Path]:
+        """The quarantined files, oldest name first (for stats/gc/tests)."""
+        if not self.quarantine_path.is_dir():
+            return []
+        return sorted(p for p in self.quarantine_path.iterdir() if p.is_file())
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -228,9 +317,19 @@ class SweepResultStore:
         counted separately (``retired_records`` / ``retired_bytes``) against
         *current_fingerprint* (defaulting to this process's
         :func:`repro.fingerprint.code_fingerprint`) so :meth:`gc` has an
-        honest before/after.  Records predating fingerprint stamping, or
-        whose file is unreadable, count as retired.  The legacy ``records`` /
-        ``bytes`` totals cover every record, current or not.
+        honest before/after.  Records predating fingerprint stamping count as
+        retired.  The legacy ``records`` / ``bytes`` totals cover every
+        readable record, current or not.
+
+        Walking the store decodes every record through :meth:`get`, so any
+        corrupt file encountered is quarantined on the spot; the
+        ``.quarantine/`` sidecar is tallied afterwards
+        (``quarantined_records`` / ``quarantined_bytes``) so those files —
+        including ones quarantined by this very call — show up in the
+        report.  Flow records are additionally bucketed by the supervision
+        status vocabulary (``ok_records`` / ``error_records`` /
+        ``poisoned_records``; see ``docs/robustness.md``) so
+        ``repro-sweep stats`` can report fault outcomes.
         """
         if current_fingerprint is None:
             from repro.fingerprint import code_fingerprint
@@ -245,9 +344,17 @@ class SweepResultStore:
             "retired_bytes": 0,
             "placement_records": 0,
             "flow_records": 0,
+            "ok_records": 0,
+            "error_records": 0,
+            "poisoned_records": 0,
         }
         fingerprints: set[str] = set()
         for key in self.keys():
+            record = self.get(key)
+            if record is None:
+                # Vanished under our feet, or corrupt (now quarantined —
+                # tallied below); either way no longer a live record.
+                continue
             totals["records"] += 1
             size = 0
             try:
@@ -255,13 +362,6 @@ class SweepResultStore:
             except OSError:
                 pass
             totals["bytes"] += size
-            record = self.get(key)
-            if record is None:
-                # Unreadable/corrupt: a permanent cache miss, collectable by
-                # gc(); counted as retired but as neither flow nor placement.
-                totals["retired_records"] += 1
-                totals["retired_bytes"] += size
-                continue
             fingerprint = record.get("fingerprint")
             if isinstance(fingerprint, str):
                 fingerprints.add(fingerprint)
@@ -269,12 +369,22 @@ class SweepResultStore:
                 totals["placement_records"] += 1
             else:
                 totals["flow_records"] += 1
+                status = record.get("status")
+                if isinstance(status, str) and f"{status}_records" in totals:
+                    totals[f"{status}_records"] += 1
             if fingerprint == current_fingerprint:
                 totals["current_records"] += 1
                 totals["current_bytes"] += size
             else:
                 totals["retired_records"] += 1
                 totals["retired_bytes"] += size
+        quarantined = self.quarantined()
+        totals["quarantined_records"] = len(quarantined)
+        totals["quarantined_bytes"] = sum(
+            size
+            for path in quarantined
+            if (size := _safe_size(path)) is not None
+        )
         totals["fingerprints"] = len(fingerprints)
         totals["current_fingerprint"] = current_fingerprint
         return totals
@@ -296,9 +406,11 @@ class SweepResultStore:
         *generations* (records grouped by their stored fingerprint, newest
         file mtime first) — a safety net for e.g. comparing results across a
         code change.  Records with no fingerprint stamp form their own
-        "unknown" generation; **unreadable/corrupt** files (permanent cache
-        misses, counted as retired by :meth:`stats`) are always collected,
-        never spared.  ``dry_run`` reports without deleting.
+        "unknown" generation; **unreadable/corrupt** files are quarantined
+        by the walk itself (see :meth:`get`) and the ``.quarantine/``
+        sidecar is then reaped in full (``quarantine_reaped`` in the
+        report) — quarantined files are never spared.  ``dry_run`` reports
+        without deleting.
 
         ``max_bytes=N`` additionally bounds the store's footprint: after the
         fingerprint pass, surviving records are evicted oldest-mtime-first
@@ -364,15 +476,15 @@ class SweepResultStore:
     ) -> dict[str, object]:
         # Group retired records into generations by stored fingerprint.
         # Keys are enumerated directly (not via records()) so corrupt files
-        # are collectable too.
+        # get quarantined by the walk and reaped below.
         generations: dict[str, list[str]] = {}
         newest_mtime: dict[str, float] = {}
         kept_current = 0
-        unreadable: list[str] = []
         for key in self.keys():
             record = self.get(key)
             if record is None:
-                unreadable.append(key)
+                # Corrupt (just quarantined) or vanished; the quarantine
+                # reap below accounts for it.
                 continue
             fingerprint = record.get("fingerprint")
             if fingerprint == current_fingerprint:
@@ -394,7 +506,7 @@ class SweepResultStore:
         removed = 0
         bytes_freed = 0
         kept_retired = 0
-        collectable = list(unreadable)
+        collectable: list[str] = []
         for generation, keys in generations.items():
             if generation in spared:
                 kept_retired += len(keys)
@@ -410,18 +522,34 @@ class SweepResultStore:
                 continue
             removed += 1
             bytes_freed += size
+        # Reap the quarantine: corrupt files are permanent cache misses, so
+        # a gc pass is where their disk comes back.
+        quarantine_reaped = 0
+        for path in self.quarantined():
+            size = _safe_size(path)
+            if size is None:
+                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            quarantine_reaped += 1
+            removed += 1
+            bytes_freed += size
         return {
             "removed": removed,
             "bytes_freed": bytes_freed,
             "kept_current": kept_current,
             "kept_retired": kept_retired,
+            "quarantine_reaped": quarantine_reaped,
             "generations_removed": len(generations) - len(spared),
             "generations_kept": len(spared),
             "dry_run": dry_run,
         }
 
     def clear(self) -> int:
-        """Delete every record; returns how many were removed.
+        """Delete every record (and quarantined file); returns the count.
 
         Serializes on :meth:`lock` like :meth:`gc` (both walk and delete
         multiple files).
@@ -431,6 +559,12 @@ class SweepResultStore:
             for key in list(self.keys()):
                 try:
                     self.path_for(key).unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for path in self.quarantined():
+                try:
+                    path.unlink()
                     removed += 1
                 except OSError:
                     pass

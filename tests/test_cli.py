@@ -23,7 +23,7 @@ def test_help_exits_zero():
     with pytest.raises(SystemExit) as excinfo:
         main(["--help"])
     assert excinfo.value.code == 0
-    for subcommand in ("run", "stats", "gc", "export", "clear"):
+    for subcommand in ("run", "stats", "gc", "export", "clear", "chaos"):
         with pytest.raises(SystemExit) as excinfo:
             main([subcommand, "--help"])
         assert excinfo.value.code == 0
@@ -282,3 +282,88 @@ def test_gc_max_bytes_reports_size_evictions(tmp_path, capsys):
     # Without --max-bytes the size-bound clause stays out of the message.
     assert main(["gc", "--store", store_dir]) == 0
     assert "size bound" not in capsys.readouterr().out
+
+
+def test_supervision_flags_reject_bad_values():
+    # Usage errors must exit 2 (argparse convention), not crash or run.
+    for argv in (
+        ["run", "--circuit", "qdi_full_adder", "--timeout", "0"],
+        ["run", "--circuit", "qdi_full_adder", "--timeout", "-3"],
+        ["run", "--circuit", "qdi_full_adder", "--timeout", "soon"],
+        ["run", "--circuit", "qdi_full_adder", "--retries", "0"],
+        ["run", "--circuit", "qdi_full_adder", "--retries", "many"],
+        ["run", "--circuit", "qdi_full_adder", "--backoff", "-1"],
+        ["run", "--circuit", "qdi_full_adder", "--fallback", "slurm"],
+        ["chaos", "--crash", "1.5"],
+        ["chaos", "--hang", "-0.1"],
+        ["chaos", "--retries", "0"],
+        ["chaos", "--timeout", "0"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2, argv
+
+
+def test_run_accepts_supervision_flags(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert (
+        main(
+            RUN_ARGS
+            + [
+                "--store",
+                store_dir,
+                "--timeout",
+                "120",
+                "--retries",
+                "2",
+                "--backoff",
+                "0.001",
+                "--fail-fast",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "ok=2" in out and "poisoned=0" in out and "skipped=0" in out
+
+
+def test_chaos_rejects_unknown_poison_label(capsys):
+    assert main(["chaos", "--poison", "no_such@9x9/cw1", "--analysis-only"]) == 2
+    assert "--poison label(s)" in capsys.readouterr().err
+
+
+def test_chaos_campaign_smoke(tmp_path, capsys):
+    store_dir = str(tmp_path / "chaos-store")
+    report_path = tmp_path / "chaos.json"
+    assert (
+        main(
+            [
+                "chaos",
+                "--analysis-only",
+                "--seed",
+                "3",
+                "--crash",
+                "0.5",
+                "--oserror",
+                "0.3",
+                "--torn",
+                "0.6",
+                "--poison",
+                "qdi_full_adder@6x6/cw8",
+                "--store",
+                store_dir,
+                "--json",
+                str(report_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "chaos: all recovery paths held" in out
+    outcome = json.loads(report_path.read_text())
+    assert outcome["completed"] and outcome["summaries_match"]
+    assert outcome["statuses"]["poisoned"] >= 1
+    # The torn records are sitting in the store's quarantine.
+    store = SweepResultStore(store_dir)
+    assert len(store.quarantined()) == outcome["quarantined"]

@@ -473,17 +473,22 @@ def test_report_from_records_round_trips_store(tmp_path):
 
 
 def test_store_gc_collects_corrupt_records(tmp_path):
-    # A corrupt record is a permanent cache miss: stats() counts it as
-    # retired, so gc() must be able to reclaim it (it enumerates keys
-    # directly, not the readable-records iterator).
+    # A corrupt record is a permanent cache miss: any read that touches it
+    # (stats() included) quarantines the file, and gc() reaps the
+    # quarantine, so the disk always comes back.
     store = SweepResultStore(tmp_path)
     key = "ab" + "0" * 62
     store.put(key, {"kind": "flow", "fingerprint": "x"})
     store.path_for(key).write_text("{not json", encoding="utf-8")
-    assert store.stats(current_fingerprint="x")["retired_records"] == 1
+    stats = store.stats(current_fingerprint="x")
+    assert stats["records"] == 0
+    assert stats["quarantined_records"] == 1
     outcome = store.gc(current_fingerprint="x", keep_latest=99)
     assert outcome["removed"] == 1  # never spared, even by keep_latest
-    assert store.stats(current_fingerprint="x")["records"] == 0
+    assert outcome["quarantine_reaped"] == 1
+    after = store.stats(current_fingerprint="x")
+    assert after["records"] == 0
+    assert after["quarantined_records"] == 0
 
 
 def test_report_from_records_filters_by_fingerprint(tmp_path):
