@@ -15,11 +15,24 @@ Two entry points share the instrumented flow runner below:
   checked-in floor (``benchmarks/perf_floor.json``), the incremental
   placer's evaluation reduction drops under ``min_eval_reduction``, the A*
   router stops popping fewer nodes than Dijkstra on the largest fabric
-  (``min_astar_pop_reduction``), or the timing-driven flow's throughput on
+  (``min_astar_pop_reduction``), the timing-driven flow's throughput on
   the largest design falls more than ``regression_factor``× below
-  ``timing_driven_flows_per_s``.  CI runs the check on every build and
-  uploads the JSON, so the perf trajectory of the CAD hot paths is recorded
-  per commit.
+  ``timing_driven_flows_per_s``, the router's serial wall-clock on the
+  largest design exceeds ``router_route_s`` by more than the same factor,
+  or the net-parallel router stops forming groups (``min_parallel_groups``).
+
+Schema 4 extensions: ``--kernel {auto,python,numpy}`` selects the compute
+backend (recorded per document and per record; both backends are
+bit-identical, only speed differs), the place and serial-route stages are
+timed **best-of-N** (``--rounds``, deterministic reruns — the minimum
+filters out scheduler noise that otherwise swamps a 3× speedup), the route
+stage is timed with ``parallel=False`` so kernel comparisons are not
+confounded by group/replay overhead (a separate single parallel route
+records ``parallel_groups`` / ``conflict_replays`` and asserts tree parity
+with the serial router), and registry circuits (``qdi_multiplier_2x2``)
+join the generated specs as full-flow records.  ``perf_floor.json`` may
+carry per-kernel overrides under a ``"kernels"`` key so CI can ratchet the
+numpy legs ~3× above the pure-python floors.
 """
 
 import argparse
@@ -36,24 +49,54 @@ from repro.cad.pack import pack_design
 from repro.cad.place import place_design
 from repro.cad.route import route_design
 from repro.circuits.adders import qdi_ripple_adder
+from repro.cad.kernels import resolve_kernel
 from repro.core.fabric import Fabric
 from repro.core.params import ArchitectureParams, RoutingParams
-from repro.core.rrgraph import RoutingResourceGraph
+from repro.core.rrgraph import cached_rr_graph
 
 WIDTHS = (1, 2, 4)
 HARNESS_WIDTHS = (1, 2, 4, 8)
 #: Generator-family circuits the harness runs end to end (bitgen included)
 #: on their recommended fabrics, alongside the adder ladder.
 GENERATED_SPECS = ("gen:mult8x8@micropipeline",)
-BENCH_SCHEMA = 3
+#: Registry circuits the harness runs as full flows — the multiplier is the
+#: net-parallel router's acceptance bench (dirty-net count clears the
+#: grouping threshold, so ``parallel_groups`` must come back nonzero).
+REGISTRY_CIRCUITS = ("qdi_multiplier_2x2",)
+BENCH_SCHEMA = 4
+#: Deterministic stage reruns per timing measurement; the minimum is kept.
+TIMING_ROUNDS = 5
 DEFAULT_FLOOR_FILE = Path(__file__).with_name("perf_floor.json")
 
 
-def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
+def _best_of(run, rounds: int):
+    """``(result, seconds)`` of *run*, timed as the best of *rounds* calls.
+
+    Every stage measured this way is deterministic (same seed, immutable
+    graph), so each rerun returns a bit-identical result and the minimum
+    wall-clock is an honest estimate with scheduler noise filtered out.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, int(rounds))):
+        t0 = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def instrumented_flow(
+    bits: int, seed: int = 1, kernel: str = "python", rounds: int = TIMING_ROUNDS
+) -> dict[str, object]:
     """Pack, place and route one synthetic adder, timing each stage.
 
     Returns a flat record of the stage wall-clocks plus the incremental
-    placer/router counters — the unit of ``BENCH_cad.json``.
+    placer/router counters — the unit of ``BENCH_cad.json``.  The place and
+    route stages run under *kernel* and are timed best-of-*rounds*; the
+    route stage is serial (``parallel=False``) so kernels compare cleanly,
+    with a separate parallel route recording the grouping counters.
     """
     adder = qdi_ripple_adder(bits)
     design: MappedDesign = adder.mapped
@@ -67,29 +110,36 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
         width=side, height=side, routing=RoutingParams(channel_width=10, io_pads_per_side=6)
     )
     fabric = Fabric(params)
-    graph = RoutingResourceGraph(fabric)
+    graph = cached_rr_graph(fabric)
 
-    t2 = time.perf_counter()
-    placement = place_design(design, fabric, seed=seed)
-    t3 = time.perf_counter()
-    routing = route_design(design, placement, graph)
+    placement, place_s = _best_of(
+        lambda: place_design(design, fabric, seed=seed, kernel=kernel), rounds
+    )
+    routing, route_s = _best_of(
+        lambda: route_design(design, placement, graph, kernel=kernel, parallel=False),
+        rounds,
+    )
+
+    # Grouped routing: counters + bit-identity against the serial trees.
     t4 = time.perf_counter()
-
-    # A* counter reference: the identical route with the lower bound off.
-    dijkstra = route_design(design, placement, graph, astar=False)
+    parallel_routing = route_design(design, placement, graph, kernel=kernel, parallel=True)
     t5 = time.perf_counter()
 
-    # Timing quality + wall-clock: the full flow, baseline vs timing-driven.
-    flow_options = dict(generate_bitstream=False)
+    # A* counter reference: the identical route with the lower bound off.
+    dijkstra = route_design(
+        design, placement, graph, kernel=kernel, astar=False, parallel=False
+    )
     t6 = time.perf_counter()
-    baseline_flow = CadFlow(params, FlowOptions(**flow_options)).run(adder)
-    t7 = time.perf_counter()
-    timing_flow = CadFlow(params, FlowOptions(timing_driven=True, **flow_options)).run(adder)
-    t8 = time.perf_counter()
-    baseline_s = t7 - t6
-    timing_s = t8 - t7
 
-    place_s = t3 - t2
+    # Timing quality + wall-clock: the full flow, baseline vs timing-driven.
+    flow_options = dict(generate_bitstream=False, kernel=kernel)
+    t7 = time.perf_counter()
+    baseline_flow = CadFlow(params, FlowOptions(**flow_options)).run(adder)
+    t8 = time.perf_counter()
+    timing_flow = CadFlow(params, FlowOptions(timing_driven=True, **flow_options)).run(adder)
+    t9 = time.perf_counter()
+    baseline_s = t8 - t7
+    timing_s = t9 - t8
     full_equiv_evals = placement.iterations * placement.net_count
     return {
         "name": f"qdi_ripple_adder_{bits}",
@@ -97,10 +147,13 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
         "grid": f"{side}x{side}",
         "les": len(design.les),
         "plbs": len(design.plbs),
+        "kernel": kernel,
+        "timing_rounds": max(1, int(rounds)),
         "stages_s": {
             "pack": round(t1 - t0, 6),
             "place": round(place_s, 6),
-            "route": round(t4 - t3, 6),
+            "route": round(route_s, 6),
+            "route_parallel": round(t5 - t4, 6),
         },
         "placement": {
             "cost": round(placement.cost, 1),
@@ -124,6 +177,9 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
             "total_reroutes": routing.total_reroutes,
             "full_reroute_equiv": routing.iterations * len(routing.routed),
             "wirelength": routing.total_wirelength,
+            "parallel_groups": parallel_routing.parallel_groups,
+            "conflict_replays": parallel_routing.conflict_replays,
+            "parallel_parity": parallel_routing.routed == routing.routed,
         },
         "astar": {
             "pops": routing.node_pops,
@@ -133,7 +189,7 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
                 if routing.node_pops
                 else 0.0
             ),
-            "dijkstra_route_s": round(t5 - t4, 6),
+            "dijkstra_route_s": round(t6 - t5, 6),
             "parity": routing.success == dijkstra.success,
         },
         "timing": {
@@ -154,7 +210,34 @@ def instrumented_flow(bits: int, seed: int = 1) -> dict[str, object]:
     }
 
 
-def generated_flow_record(spec_name: str, seed: int = 1) -> dict[str, object]:
+def _flow_record(
+    name: str, bench, params: ArchitectureParams, seed: int, kernel: str
+) -> dict[str, object]:
+    """Full flow (bitstream included) of one circuit, with parallel counters."""
+    t0 = time.perf_counter()
+    result = CadFlow(params, FlowOptions(placement_seed=seed, kernel=kernel)).run(bench)
+    flow_s = time.perf_counter() - t0
+    summary = result.summary()
+    return {
+        "name": name,
+        "grid": f"{params.width}x{params.height}",
+        "channel_width": params.routing.channel_width,
+        "les": summary["les"],
+        "plbs": summary["plbs"],
+        "kernel": kernel,
+        "flow_s": round(flow_s, 6),
+        "routing_success": summary.get("routing_success", False),
+        "total_wirelength": summary.get("total_wirelength", 0),
+        "cycle_time_ps": summary.get("cycle_time_ps", 0),
+        "bitstream_bits_set": summary.get("bitstream_bits_set", 0),
+        "parallel_groups": summary.get("router_parallel_groups", 0),
+        "conflict_replays": summary.get("router_conflict_replays", 0),
+    }
+
+
+def generated_flow_record(
+    spec_name: str, seed: int = 1, kernel: str = "python"
+) -> dict[str, object]:
     """Full flow (bitstream included) of one generated circuit.
 
     The fabric comes from ``recommended_fabric``, so this also exercises the
@@ -165,30 +248,41 @@ def generated_flow_record(spec_name: str, seed: int = 1) -> dict[str, object]:
     from repro.circuits.specs import build_from_spec
 
     bench = build_from_spec(spec_name)
-    params = recommended_fabric(bench)
-    t0 = time.perf_counter()
-    result = CadFlow(params, FlowOptions(placement_seed=seed)).run(bench)
-    flow_s = time.perf_counter() - t0
-    summary = result.summary()
-    return {
-        "name": spec_name,
-        "grid": f"{params.width}x{params.height}",
-        "channel_width": params.routing.channel_width,
-        "les": summary["les"],
-        "plbs": summary["plbs"],
-        "flow_s": round(flow_s, 6),
-        "routing_success": summary.get("routing_success", False),
-        "total_wirelength": summary.get("total_wirelength", 0),
-        "cycle_time_ps": summary.get("cycle_time_ps", 0),
-        "bitstream_bits_set": summary.get("bitstream_bits_set", 0),
-    }
+    return _flow_record(spec_name, bench, recommended_fabric(bench), seed, kernel)
 
 
-def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
+def registry_flow_record(
+    name: str, seed: int = 1, kernel: str = "python"
+) -> dict[str, object]:
+    """Full flow of one registry circuit on the standard routable fabric."""
+    from repro.circuits.registry import build_circuit
+
+    params = ArchitectureParams(routing=RoutingParams(channel_width=10))
+    return _flow_record(name, build_circuit(name), params, seed, kernel)
+
+
+def run_harness(
+    widths=HARNESS_WIDTHS,
+    seed: int = 1,
+    kernel: str = "auto",
+    rounds: int = TIMING_ROUNDS,
+) -> dict[str, object]:
     """The full ``BENCH_cad.json`` document for the given adder widths."""
-    designs = [instrumented_flow(bits, seed=seed) for bits in widths]
-    generated = [generated_flow_record(spec, seed=seed) for spec in GENERATED_SPECS]
+    backend = resolve_kernel(kernel)
+    designs = [
+        instrumented_flow(bits, seed=seed, kernel=backend, rounds=rounds)
+        for bits in widths
+    ]
+    registry = [
+        registry_flow_record(name, seed=seed, kernel=backend)
+        for name in REGISTRY_CIRCUITS
+    ]
+    generated = [
+        generated_flow_record(spec, seed=seed, kernel=backend)
+        for spec in GENERATED_SPECS
+    ]
     largest = designs[-1]
+    flow_records = registry + generated
     return {
         "schema": BENCH_SCHEMA,
         "benchmark": "bench_cad_flow",
@@ -196,11 +290,22 @@ def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "seed": seed,
+        "kernel": backend,
+        "timing_rounds": max(1, int(rounds)),
         "designs": designs,
+        "registry": registry,
         "generated": generated,
         "headline": {
             "largest_design": largest["name"],
+            "kernel": backend,
             "placement_moves_per_s": largest["placement"]["moves_per_s"],
+            "router_route_s": largest["stages_s"]["route"],
+            "parallel_groups": sum(
+                record["parallel_groups"] for record in flow_records
+            ),
+            "parallel_conflict_replays": sum(
+                record["conflict_replays"] for record in flow_records
+            ),
             "placement_eval_reduction": largest["placement"]["eval_reduction"],
             "router_total_reroutes": largest["routing"]["total_reroutes"],
             "router_full_reroute_equiv": largest["routing"]["full_reroute_equiv"],
@@ -215,6 +320,20 @@ def run_harness(widths=HARNESS_WIDTHS, seed: int = 1) -> dict[str, object]:
     }
 
 
+def _floor_for_kernel(floor: dict[str, object], kernel: str) -> dict[str, object]:
+    """Flatten per-kernel floor overrides into one floor mapping.
+
+    The base keys are the pure-python floors; a ``"kernels"`` section may
+    override any of them per backend (CI ratchets the numpy legs ~3× above
+    python without needing two floor files).
+    """
+    merged = {key: value for key, value in floor.items() if key != "kernels"}
+    overrides = floor.get("kernels", {})
+    if isinstance(overrides, dict):
+        merged.update(overrides.get(kernel, {}))
+    return merged
+
+
 def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[str]:
     """Floor violations of a harness document (empty list == healthy).
 
@@ -223,6 +342,7 @@ def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[s
     it, so slower CI machines don't flap while a real algorithmic regression
     (the asymptotic kind this PR removed) still trips it.
     """
+    floor = _floor_for_kernel(floor, str(document.get("kernel", "python")))
     problems: list[str] = []
     for design in document["designs"]:
         if not design["routing"]["success"]:
@@ -230,11 +350,30 @@ def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[s
                 f"{design['name']} failed to route — the throughput numbers "
                 "below would be measured on a broken router"
             )
+        if not design["routing"].get("parallel_parity", True):
+            problems.append(
+                f"{design['name']}: grouped routing diverged from the serial "
+                "trees — the net-parallel router must stay bit-identical"
+            )
+    for design in document.get("registry", []):
+        if not design["routing_success"]:
+            problems.append(f"{design['name']} failed to route")
     for design in document.get("generated", []):
         if not design["routing_success"]:
             problems.append(
                 f"{design['name']} failed to route on its recommended fabric"
             )
+    min_groups = int(floor.get("min_parallel_groups", 0))
+    if min_groups > 0:
+        for record in list(document.get("registry", [])) + list(
+            document.get("generated", [])
+        ):
+            if int(record.get("parallel_groups", 0)) < min_groups:
+                problems.append(
+                    f"{record['name']}: router formed "
+                    f"{record.get('parallel_groups', 0)} parallel group(s), "
+                    f"floor requires >= {min_groups} (grouping disengaged?)"
+                )
     headline = document["headline"]
     floor_moves = float(floor.get("placement_moves_per_s", 0.0))
     factor = float(floor.get("regression_factor", 3.0))
@@ -266,6 +405,13 @@ def check_floor(document: dict[str, object], floor: dict[str, object]) -> list[s
             f"timing-driven throughput {measured_td:.3f} flows/s is more than "
             f"{factor:g}x below the floor {floor_td:.3f} flows/s"
         )
+    floor_route = float(floor.get("router_route_s", 0.0))
+    measured_route = float(headline.get("router_route_s", 0.0))
+    if floor_route > 0 and measured_route > floor_route * factor:
+        problems.append(
+            f"router wall-clock {measured_route:.4f}s on the largest design "
+            f"is more than {factor:g}x above the floor {floor_route:.4f}s"
+        )
     return problems
 
 
@@ -282,13 +428,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1, help="placement seed")
     parser.add_argument(
+        "--kernel", choices=("auto", "python", "numpy"), default="auto",
+        help="compute backend for the place/route stages (default: auto = "
+        "numpy when importable; both backends are bit-identical)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=TIMING_ROUNDS, metavar="N",
+        help="deterministic reruns per place/route timing, best kept "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
         "--check-floor", type=Path, nargs="?", const=DEFAULT_FLOOR_FILE, default=None,
         metavar="FLOOR.json",
         help="fail (exit 1) when throughput regresses below the checked-in floor",
     )
     args = parser.parse_args(argv)
 
-    document = run_harness(widths=args.widths, seed=args.seed)
+    document = run_harness(
+        widths=args.widths, seed=args.seed, kernel=args.kernel, rounds=args.rounds
+    )
     args.json.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="utf-8")
 
     rows = [
@@ -308,6 +466,15 @@ def main(argv: list[str] | None = None) -> int:
         for design in document["designs"]
     ]
     print(format_table(rows))
+    print(f"kernel: {document['kernel']} (best of {document['timing_rounds']} rounds)")
+    for design in document["registry"]:
+        print(
+            f"registry {design['name']}: grid {design['grid']} "
+            f"cw {design['channel_width']}, {design['les']} LEs / "
+            f"{design['plbs']} PLBs, routed={design['routing_success']}, "
+            f"{design['parallel_groups']} parallel group(s) / "
+            f"{design['conflict_replays']} replay(s) in {design['flow_s']:.2f}s"
+        )
     for design in document["generated"]:
         print(
             f"generated {design['name']}: grid {design['grid']} "
@@ -325,9 +492,12 @@ def main(argv: list[str] | None = None) -> int:
         if problems:
             return 1
         print(
-            f"perf floor ok: {document['headline']['placement_moves_per_s']:.0f} moves/s, "
+            f"perf floor ok ({document['kernel']}): "
+            f"{document['headline']['placement_moves_per_s']:.0f} moves/s, "
+            f"route {document['headline']['router_route_s']:.4f}s, "
             f"{document['headline']['placement_eval_reduction']}x fewer net evals, "
             f"{document['headline']['astar_pop_reduction']}x fewer A* pops, "
+            f"{document['headline']['parallel_groups']} parallel group(s), "
             f"timing-driven {document['headline']['timing_driven_flows_per_s']:.3f} flows/s"
         )
     return 0

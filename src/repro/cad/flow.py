@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cad.bitgen import ConfiguredPLB, configure_plb, generate_bitstream
+from repro.cad.kernels import KERNELS, resolve_kernel
 from repro.cad.lemap import MappedDesign
 from repro.cad.metrics import FillingRatioReport, filling_ratio
 from repro.cad.pack import pack_design, packing_summary
@@ -37,7 +38,7 @@ from repro.cad.timing import TimingEngine, TimingModel, TimingReport, analyse_ti
 from repro.core.bitstream import Bitstream
 from repro.core.fabric import Fabric
 from repro.core.params import ArchitectureParams, SerializableParams
-from repro.core.rrgraph import RoutingResourceGraph
+from repro.core.rrgraph import RoutingResourceGraph, cached_rr_graph
 from repro.netlist.netlist import Netlist
 from repro.styles.base import StyledCircuit
 
@@ -90,19 +91,33 @@ class FlowOptions(SerializableParams):
     #: meaningful with ``artifact_store``; excluded from :meth:`to_dict`
     #: like it.
     checkpoint_stages: tuple[str, ...] | None = field(default=None, compare=False)
+    #: Kernel backend for the placer/router hot paths (see
+    #: :mod:`repro.cad.kernels`): ``"auto"`` uses numpy when installed,
+    #: ``"python"`` forces the reference implementation, ``"numpy"``
+    #: requires the optional dependency.  **Execution-side knob**: both
+    #: backends produce bit-identical results, so like ``artifact_store``
+    #: it is excluded from :meth:`to_dict`, equality and hashing — the
+    #: same flow must hit the same cache entries under either backend.
+    kernel: str = field(default="auto", compare=False)
 
     def __post_init__(self) -> None:
         if self.checkpoint_stages is not None and not isinstance(self.checkpoint_stages, tuple):
             # Normalise JSON-borne lists so the dataclass stays hashable.
             object.__setattr__(self, "checkpoint_stages", tuple(self.checkpoint_stages))
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
 
     def to_dict(self) -> dict[str, object]:
         data = super().to_dict()
-        # The artifact knobs steer persistence, not semantics: dropping them
-        # keeps sweep keys, flow keys and stable_hash() byte-stable whether
-        # or not a run checkpoints.
+        # The artifact/kernel knobs steer persistence and execution, not
+        # semantics: dropping them keeps sweep keys, flow keys and
+        # stable_hash() byte-stable whether or not a run checkpoints, and
+        # whichever backend computes the (bit-identical) result.
         del data["artifact_store"]
         del data["checkpoint_stages"]
+        del data["kernel"]
         return data
 
     @classmethod
@@ -142,6 +157,11 @@ class FlowResult:
     #: Findings of the ``verify_stages`` lint gate (``None`` when the gate
     #: did not run); each is a :class:`repro.verify.Finding`.
     lint_findings: list | None = None
+    #: The resolved kernel backend (``"python"``/``"numpy"``) this flow
+    #: executed with.  Deliberately **not** part of :meth:`summary` — both
+    #: backends produce identical summaries, and the execution backend must
+    #: never leak into cached or golden-pinned result dicts.
+    kernel: str | None = None
 
     # ------------------------------------------------------------------
     # Reporting
@@ -189,6 +209,11 @@ class FlowResult:
         ``router_node_pops``
             Dijkstra/A* heap pops over the whole routing run — the counter
             the A* geometric lower bound reduces versus plain Dijkstra.
+        ``router_parallel_groups``, ``router_conflict_replays``
+            Net-parallel routing counters: speculative net groups routed
+            concurrently and nets replayed serially after a commit-time
+            conflict (both 0 when grouping never engaged; the result is
+            bit-identical to serial routing either way).
         ``routing_warm_started``
             Only when a routing-tree warm start seeded this run (the sweep
             engine's channel-width ladders): how many nets inherited a
@@ -241,6 +266,8 @@ class FlowResult:
             data["router_iterations"] = self.routing.iterations
             data["router_nets_rerouted"] = self.routing.total_reroutes
             data["router_node_pops"] = self.routing.node_pops
+            data["router_parallel_groups"] = self.routing.parallel_groups
+            data["router_conflict_replays"] = self.routing.conflict_replays
             if self.routing.warm_started_nets:
                 # Only present when a warm-start seed actually fired, so
                 # plain flows keep their historical key set.
@@ -414,9 +441,15 @@ class CadFlow:
 
     @property
     def rr_graph(self) -> RoutingResourceGraph:
-        """The routing-resource graph (built lazily and cached)."""
+        """The routing-resource graph (lazy; shared per fabric geometry).
+
+        Served from :func:`repro.core.rrgraph.cached_rr_graph`, so repeated
+        flows over the same architecture — a batch sweep, a channel-width
+        ladder — reuse one graph instance (and its attached kernel arrays)
+        instead of rebuilding it per :class:`CadFlow`.
+        """
         if self._rr_graph is None:
-            self._rr_graph = RoutingResourceGraph(self.fabric)
+            self._rr_graph = cached_rr_graph(self.fabric)
         return self._rr_graph
 
     # ------------------------------------------------------------------
@@ -580,6 +613,11 @@ class CadFlow:
         result = FlowResult(circuit_name=name, architecture=self.architecture, mapped=mapped)
         result.packing = packing_summary(mapped)
         result.filling = filling_ratio(mapped)
+        # Resolve the backend once per run: an "auto" request binds to the
+        # same concrete kernel for placement and routing, and the result
+        # records what actually executed.
+        backend = resolve_kernel(self.options.kernel)
+        result.kernel = backend
 
         model = self.options.timing_model
         engine: TimingEngine | None = None
@@ -607,6 +645,7 @@ class CadFlow:
                     self.fabric,
                     seed=self.options.placement_seed,
                     effort=self.options.placement_effort,
+                    kernel=backend,
                 )
                 if placement is not None:
                     result.placement_cache_hit = False
@@ -634,6 +673,7 @@ class CadFlow:
                         objective=objective,
                         initial=baseline_placement,
                         temperature_factor=0.02,
+                        kernel=backend,
                     )
             if session is not None and result.placement is not None:
                 session.checkpoint("placement", loaded, result.placement.to_dict())
@@ -685,6 +725,7 @@ class CadFlow:
                     # only the final congestion rung keeps the router's
                     # internal A*→Dijkstra restart (baseline semantics).
                     restart_on_failure=crits is None,
+                    kernel=backend,
                 )
 
             routing = attempt(result.placement, criticalities, warm_start)

@@ -1,0 +1,55 @@
+"""Pluggable array-native kernels for the CAD hot paths.
+
+The placer and router each have two interchangeable backends:
+
+* ``"python"`` — the pure-python reference implementation.  Always
+  available, always tested, and the semantic ground truth.
+* ``"numpy"`` — array-native kernels over the flattened RR-graph CSR
+  arrays and per-net terminal coordinate arrays.  Requires the optional
+  ``numpy`` extra (``pip install asyncfpga-repro[fast]``).
+
+Both backends are bit-identical by construction: the numpy kernels
+precompute exactly the same IEEE-754 double quantities the python inner
+loops derive element-by-element, so bitstreams, summaries and every
+router/placer counter match for a fixed seed.  ``"auto"`` selects numpy
+when it is importable and silently falls back to python otherwise.
+"""
+
+from __future__ import annotations
+
+KERNELS = ("auto", "python", "numpy")
+
+try:  # pragma: no cover - exercised via numpy_available()
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised on no-numpy CI leg
+    _numpy = None
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested kernel backend cannot be used."""
+
+
+def numpy_available() -> bool:
+    """Return True when the optional numpy dependency is importable."""
+
+    return _numpy is not None
+
+
+def resolve_kernel(kernel: str = "auto") -> str:
+    """Resolve a kernel request to a concrete backend name.
+
+    ``"auto"`` prefers numpy and falls back to python; an explicit
+    ``"numpy"`` request raises :class:`KernelUnavailableError` when the
+    dependency is absent so callers never silently get the wrong backend.
+    """
+
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    if kernel == "auto":
+        return "numpy" if numpy_available() else "python"
+    if kernel == "numpy" and not numpy_available():
+        raise KernelUnavailableError(
+            "kernel='numpy' requested but numpy is not installed; "
+            "install the [fast] extra or use kernel='auto'"
+        )
+    return kernel

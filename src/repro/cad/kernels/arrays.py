@@ -1,0 +1,41 @@
+"""Lazy numpy views of the flattened RR-graph arrays.
+
+:class:`~repro.core.rrgraph.RoutingResourceGraph` keeps its flattened
+node/edge data as plain python lists so the pure-python kernels (and the
+no-numpy install) never pay an import.  The numpy kernels need the same
+data as contiguous arrays; this module attaches them to the graph once,
+on first use, so repeated flows over a cached graph share one copy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.rrgraph import RoutingResourceGraph
+
+_ATTR = "_kernel_arrays"
+
+
+def graph_arrays(graph: "RoutingResourceGraph") -> Dict[str, Any]:
+    """Return (building on first use) the numpy views of ``graph``.
+
+    The returned dict holds ``base_cost``/``capacity``/``x``/``y`` and
+    ``is_wire`` arrays mirroring the graph's flattened lists.  The graph
+    is immutable after construction, so the attachment is idempotent and
+    safe to share between flows and threads.
+    """
+
+    cached = getattr(graph, _ATTR, None)
+    if cached is None:
+        import numpy as np
+
+        cached = {
+            "base_cost": np.asarray(graph.base_cost, dtype=np.float64),
+            "capacity": np.asarray(graph.capacity, dtype=np.int64),
+            "x": np.asarray(graph.x, dtype=np.int64),
+            "y": np.asarray(graph.y, dtype=np.int64),
+            "is_wire": np.asarray(graph.is_wire, dtype=bool),
+        }
+        setattr(graph, _ATTR, cached)
+    return cached

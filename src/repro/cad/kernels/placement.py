@@ -1,0 +1,523 @@
+"""Array-backed net-cost cache for the annealing placer.
+
+:class:`NumpyNetCostCache` keeps the semantics, counters and float
+results of the reference :class:`~repro.cad.place.NetCostCache`
+bit-identical while restructuring the data layout for speed:
+
+* every terminal gets an integer id; per-net terminal-id rows and flat
+  ``x``/``y`` coordinate arrays replace name-keyed dict lookups in the
+  bounding-box scan (the anneal's hottest function);
+* a per-terminal-id net index replaces the name-keyed ``_nets_of`` dict
+  in the propose path;
+* full delta-HPWL recomputes (the audit/reference path) run as one
+  vectorized ``reduceat`` sweep over the coordinate arrays.
+
+Coordinates are integer-valued doubles well below 2**53, so every min /
+max / sum here is exact regardless of evaluation order — which is what
+lets the vectorized recompute return the reference value bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cad.place import NetCostCache, WirelengthObjective
+
+
+class NumpyNetCostCache(NetCostCache):
+    """Drop-in :class:`NetCostCache` with flat-array bookkeeping."""
+
+    def __init__(
+        self,
+        nets: Dict[str, List[str]],
+        plb_sites: Dict[str, Tuple[int, int]],
+        io_positions: Dict[str, Tuple[float, float]],
+        objective: Optional[WirelengthObjective] = None,
+    ) -> None:
+        # Flat terminal structures must exist before the base constructor
+        # runs: it builds the initial boxes through our _scan_box override.
+        self.plb_sites = plb_sites
+        self.io_positions = io_positions
+        tid_of: Dict[str, int] = {}
+        names: List[str] = []
+        term_tids: List[List[int]] = []
+        for terminals in nets.values():
+            row: List[int] = []
+            for terminal in terminals:
+                tid = tid_of.get(terminal)
+                if tid is None:
+                    tid = len(names)
+                    tid_of[terminal] = tid
+                    names.append(terminal)
+                row.append(tid)
+            term_tids.append(row)
+        self._tid_of = tid_of
+        self._tid_names = names
+        self._io_net = [
+            name[3:] if name.startswith("io:") else None for name in names
+        ]
+        self._term_tids = term_tids
+        count = len(names)
+        self._pos_x: List[Optional[float]] = [None] * count
+        self._pos_y: List[Optional[float]] = [None] * count
+        for tid in range(count):
+            self._refresh_tid(tid)
+        nets_of_tid: List[List[int]] = [[] for _ in range(count)]
+        for index, row in enumerate(term_tids):
+            for tid in row:
+                nets_of_tid[tid].append(index)
+        self._nets_of_tid: List[Tuple[int, ...]] = [
+            tuple(indices) for indices in nets_of_tid
+        ]
+        # Per-net (a, b) terminal pair for two-terminal nets (None for
+        # larger nets): the propose loop's dominant branch keys off it
+        # without re-measuring the terminal row.
+        self._two_pin: List[Optional[Tuple[int, int]]] = [
+            (row[0], row[1]) if len(row) == 2 else None for row in term_tids
+        ]
+        self._pos_undo: List[Tuple[int, Optional[float], Optional[float]]] = []
+        # Generation-stamped proposal slots: ``_slot_gen[i] == _prop_gen``
+        # means net ``i`` was touched by the current proposal and its
+        # working box lives in ``_slot_box[i]`` (``_slot_final`` marks
+        # rescanned nets that take no further shifts).  Stamping avoids
+        # allocating a dict + set per proposal on the anneal hot path.
+        net_count = len(term_tids)
+        self._prop_gen = 0
+        self._slot_gen = [0] * net_count
+        self._slot_final = [0] * net_count
+        self._slot_box: List[Optional[list]] = [None] * net_count
+        self._fold_gen = [0] * net_count
+        self._plan: Optional[
+            List[Tuple[int, Tuple[float, float], Tuple[float, float]]]
+        ] = None
+        self._plain = objective is None or type(objective) is WirelengthObjective
+        self._flat = None  # lazy reduceat layout for vectorized recomputes
+        self._starts = None
+        super().__init__(nets, plb_sites, io_positions, objective=objective)
+
+    # ------------------------------------------------------------------
+    # Flat-coordinate maintenance
+    # ------------------------------------------------------------------
+    def _refresh_tid(self, tid: int) -> None:
+        """Re-read one terminal's coordinates from the caller's dicts."""
+        io_net = self._io_net[tid]
+        if io_net is not None:
+            position = self.io_positions.get(io_net)
+            if position is None:
+                self._pos_x[tid] = None
+                self._pos_y[tid] = None
+            else:
+                self._pos_x[tid] = position[0]
+                self._pos_y[tid] = position[1]
+        else:
+            x, y = self.plb_sites[self._tid_names[tid]]
+            self._pos_x[tid] = float(x)
+            self._pos_y[tid] = float(y)
+
+    # ------------------------------------------------------------------
+    # Hot-path overrides (same counters, same floats, flat lookups)
+    # ------------------------------------------------------------------
+    def _scan_box(self, index: int):
+        self.evaluations += 1
+        px = self._pos_x
+        py = self._pos_y
+        row = self._term_tids[index]
+        if len(row) == 2:
+            # Two-terminal nets dominate the netlists and always rescan
+            # (either terminal is an extreme), so they get a branch-only
+            # path: no intermediate lists, no count() passes.
+            tid_a, tid_b = row
+            x_a = px[tid_a]
+            x_b = px[tid_b]
+            if x_a is None or x_b is None:
+                return None
+            y_a = py[tid_a]
+            y_b = py[tid_b]
+            if x_a < x_b:
+                xmin, xmax, cxmin, cxmax = x_a, x_b, 1, 1
+            elif x_b < x_a:
+                xmin, xmax, cxmin, cxmax = x_b, x_a, 1, 1
+            else:
+                xmin = xmax = x_a
+                cxmin = cxmax = 2
+            if y_a < y_b:
+                ymin, ymax, cymin, cymax = y_a, y_b, 1, 1
+            elif y_b < y_a:
+                ymin, ymax, cymin, cymax = y_b, y_a, 1, 1
+            else:
+                ymin = ymax = y_a
+                cymin = cymax = 2
+            return [xmin, xmax, ymin, ymax, cxmin, cxmax, cymin, cymax]
+        if len(row) == 3:
+            # Unrolled three-terminal scan: no intermediate lists, counts
+            # as boolean sums (same float equality as list.count).
+            tid_a, tid_b, tid_c = row
+            x_a = px[tid_a]
+            x_b = px[tid_b]
+            x_c = px[tid_c]
+            if x_a is not None and x_b is not None and x_c is not None:
+                y_a = py[tid_a]
+                y_b = py[tid_b]
+                y_c = py[tid_c]
+                xmin = x_b if x_b < x_a else x_a
+                if x_c < xmin:
+                    xmin = x_c
+                xmax = x_b if x_b > x_a else x_a
+                if x_c > xmax:
+                    xmax = x_c
+                ymin = y_b if y_b < y_a else y_a
+                if y_c < ymin:
+                    ymin = y_c
+                ymax = y_b if y_b > y_a else y_a
+                if y_c > ymax:
+                    ymax = y_c
+                return [
+                    xmin,
+                    xmax,
+                    ymin,
+                    ymax,
+                    (x_a == xmin) + (x_b == xmin) + (x_c == xmin),
+                    (x_a == xmax) + (x_b == xmax) + (x_c == xmax),
+                    (y_a == ymin) + (y_b == ymin) + (y_c == ymin),
+                    (y_a == ymax) + (y_b == ymax) + (y_c == ymax),
+                ]
+        if len(row) == 4:
+            tid_a, tid_b, tid_c, tid_d = row
+            x_a = px[tid_a]
+            x_b = px[tid_b]
+            x_c = px[tid_c]
+            x_d = px[tid_d]
+            if (
+                x_a is not None
+                and x_b is not None
+                and x_c is not None
+                and x_d is not None
+            ):
+                y_a = py[tid_a]
+                y_b = py[tid_b]
+                y_c = py[tid_c]
+                y_d = py[tid_d]
+                xmin = x_b if x_b < x_a else x_a
+                if x_c < xmin:
+                    xmin = x_c
+                if x_d < xmin:
+                    xmin = x_d
+                xmax = x_b if x_b > x_a else x_a
+                if x_c > xmax:
+                    xmax = x_c
+                if x_d > xmax:
+                    xmax = x_d
+                ymin = y_b if y_b < y_a else y_a
+                if y_c < ymin:
+                    ymin = y_c
+                if y_d < ymin:
+                    ymin = y_d
+                ymax = y_b if y_b > y_a else y_a
+                if y_c > ymax:
+                    ymax = y_c
+                if y_d > ymax:
+                    ymax = y_d
+                return [
+                    xmin,
+                    xmax,
+                    ymin,
+                    ymax,
+                    (x_a == xmin) + (x_b == xmin) + (x_c == xmin) + (x_d == xmin),
+                    (x_a == xmax) + (x_b == xmax) + (x_c == xmax) + (x_d == xmax),
+                    (y_a == ymin) + (y_b == ymin) + (y_c == ymin) + (y_d == ymin),
+                    (y_a == ymax) + (y_b == ymax) + (y_c == ymax) + (y_d == ymax),
+                ]
+        xs = [px[tid] for tid in row]
+        if None in xs:
+            positioned = [tid for tid in row if px[tid] is not None]
+            xs = [px[tid] for tid in positioned]
+            ys = [py[tid] for tid in positioned]
+        else:
+            ys = [py[tid] for tid in row]
+        if len(xs) < 2:
+            return None
+        xmin = min(xs)
+        xmax = max(xs)
+        ymin = min(ys)
+        ymax = max(ys)
+        return [
+            xmin,
+            xmax,
+            ymin,
+            ymax,
+            xs.count(xmin),
+            xs.count(xmax),
+            ys.count(ymin),
+            ys.count(ymax),
+        ]
+
+    def propose(self, affected: Iterable[int]) -> float:
+        affected = list(affected)
+        self._plan = None
+        undo = []
+        seen: set[int] = set()
+        for index in affected:
+            for tid in self._term_tids[index]:
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                undo.append((tid, self._pos_x[tid], self._pos_y[tid]))
+                self._refresh_tid(tid)
+        self._pos_undo = undo
+        return super().propose(affected)
+
+    def propose_moves(
+        self, moves: Sequence[Tuple[str, Tuple[float, float], Tuple[float, float]]]
+    ) -> float:
+        px = self._pos_x
+        py = self._pos_y
+        undo = []
+        plan: List[Tuple[int, Tuple[float, float], Tuple[float, float]]] = []
+        moved: set[int] = set()
+        for terminal, old, new in moves:
+            tid = self._tid_of.get(terminal)
+            if tid is None:
+                continue
+            undo.append((tid, px[tid], py[tid]))
+            # Apply every coordinate before any box work: a rescan must see
+            # the final positions (the reference reads the mutated dicts).
+            px[tid] = new[0]
+            py[tid] = new[1]
+            plan.append((tid, old, new))
+            moved.add(tid)
+        self._pos_undo = undo
+
+        # ``order`` preserves the reference's first-touch order; the
+        # stamped slot arrays carry the working boxes (see __init__).
+        if not self._plain:
+            # General objectives keep the reference propose/commit (same
+            # dict-order float summation); they still get the flat-array
+            # _scan_box.  Only the exact plain-HPWL path takes the fused
+            # loop below.
+            return super().propose_moves(moves)
+
+        gen = self._prop_gen + 1
+        self._prop_gen = gen
+        slot_gen = self._slot_gen
+        slot_final = self._slot_final
+        slot_box = self._slot_box
+        nets_of_tid = self._nets_of_tid
+        two_pin = self._two_pin
+        boxes = self.boxes
+        costs = self.costs
+        scan = self._scan_box
+        bbox_hits = 0
+        fast_evals = 0
+        # Every cost here is an integer-valued double (see the module
+        # docstring), so accumulating ``delta += new - prev`` per store —
+        # re-stores subtracting their earlier contribution — is exact and
+        # equals the reference's ordered (new_sum - old_sum).  ``commit``
+        # replays ``plan`` to fold the slot boxes in.
+        self._plan = plan
+        delta = 0.0
+        for tid, old, new in plan:
+            old_x, old_y = old
+            new_x, new_y = new
+            for index in nets_of_tid[tid]:
+                if slot_gen[index] == gen:
+                    if slot_final[index] == gen:
+                        continue
+                    base = slot_box[index]
+                    prev = (base[1] - base[0]) + (base[3] - base[2])
+                else:
+                    slot_gen[index] = gen
+                    base = boxes[index]
+                    prev = costs[index]
+                    if base is None:
+                        box = scan(index)
+                        slot_box[index] = box
+                        slot_final[index] = gen
+                        if box is not None:
+                            delta += (box[1] - box[0]) + (box[3] - box[2]) - prev
+                        else:
+                            delta -= prev
+                        continue
+                pair = two_pin[index]
+                if pair is not None:
+                    tid_a, tid_b = pair
+                    other = tid_b if tid_a == tid else tid_a
+                    if other not in moved:
+                        # Fast path for the dominant case: a two-terminal
+                        # net whose other endpoint did not move.  The new
+                        # box is the two-point box of (new, other) however
+                        # the reference gets there; only the counter
+                        # differs — an axis shift succeeds exactly when
+                        # that axis did not move or the old box was
+                        # degenerate on it (both-shift success is a
+                        # ``bbox_updates``, anything else is a rescan).
+                        other_x = px[other]
+                        other_y = py[other]
+                        if (new_x == old_x or old_x == other_x) and (
+                            new_y == old_y or old_y == other_y
+                        ):
+                            bbox_hits += 1
+                        else:
+                            fast_evals += 1
+                        if new_x < other_x:
+                            xmin, xmax, cxmin, cxmax = new_x, other_x, 1, 1
+                        elif other_x < new_x:
+                            xmin, xmax, cxmin, cxmax = other_x, new_x, 1, 1
+                        else:
+                            xmin = xmax = new_x
+                            cxmin = cxmax = 2
+                        if new_y < other_y:
+                            ymin, ymax, cymin, cymax = new_y, other_y, 1, 1
+                        elif other_y < new_y:
+                            ymin, ymax, cymin, cymax = other_y, new_y, 1, 1
+                        else:
+                            ymin = ymax = new_y
+                            cymin = cymax = 2
+                        slot_box[index] = [
+                            xmin, xmax, ymin, ymax, cxmin, cxmax, cymin, cymax,
+                        ]
+                        delta += (xmax - xmin) + (ymax - ymin) - prev
+                        continue
+                # Both-axis bbox shift, inlined from the reference
+                # NetCostCache._shift_axis (x axis first, short-circuit on
+                # the unresolvable remove-last-extreme case).
+                b0, b1, b2, b3, c0, c1, c2, c3 = base
+                ok = True
+                if new_x != old_x:
+                    if old_x == b0:
+                        if c0 == 1:
+                            ok = False
+                        else:
+                            c0 -= 1
+                    if ok:
+                        if old_x == b1:
+                            if c1 == 1:
+                                ok = False
+                            else:
+                                c1 -= 1
+                        if ok:
+                            if new_x < b0:
+                                b0 = new_x
+                                c0 = 1
+                            elif new_x == b0:
+                                c0 += 1
+                            if new_x > b1:
+                                b1 = new_x
+                                c1 = 1
+                            elif new_x == b1:
+                                c1 += 1
+                if ok and new_y != old_y:
+                    if old_y == b2:
+                        if c2 == 1:
+                            ok = False
+                        else:
+                            c2 -= 1
+                    if ok:
+                        if old_y == b3:
+                            if c3 == 1:
+                                ok = False
+                            else:
+                                c3 -= 1
+                        if ok:
+                            if new_y < b2:
+                                b2 = new_y
+                                c2 = 1
+                            elif new_y == b2:
+                                c2 += 1
+                            if new_y > b3:
+                                b3 = new_y
+                                c3 = 1
+                            elif new_y == b3:
+                                c3 += 1
+                if ok:
+                    bbox_hits += 1
+                    slot_box[index] = [b0, b1, b2, b3, c0, c1, c2, c3]
+                    delta += (b1 - b0) + (b3 - b2) - prev
+                else:
+                    box = scan(index)
+                    slot_box[index] = box
+                    slot_final[index] = gen
+                    if box is not None:
+                        delta += (box[1] - box[0]) + (box[3] - box[2]) - prev
+                    else:
+                        delta -= prev
+        self.bbox_updates += bbox_hits
+        self.evaluations += fast_evals
+        return delta
+
+    def commit(self) -> None:
+        self._pos_undo = []
+        plan = self._plan
+        if plan is not None:
+            # Replay the plan to find the touched nets (first-touch order,
+            # deduplicated by the fold stamp — same order, same exact
+            # floats as the reference's pending-list fold).
+            self._plan = None
+            gen = self._prop_gen
+            fold_gen = self._fold_gen
+            slot_box = self._slot_box
+            nets_of_tid = self._nets_of_tid
+            boxes = self.boxes
+            costs = self.costs
+            total = self.total
+            for tid, _old, _new in plan:
+                for index in nets_of_tid[tid]:
+                    if fold_gen[index] == gen:
+                        continue
+                    fold_gen[index] = gen
+                    box = slot_box[index]
+                    boxes[index] = box
+                    cost = (
+                        0.0 if box is None else (box[1] - box[0]) + (box[3] - box[2])
+                    )
+                    total += cost - costs[index]
+                    costs[index] = cost
+            self.total = total
+        super().commit()
+
+    def reject(self) -> None:
+        for tid, x, y in self._pos_undo:
+            self._pos_x[tid] = x
+            self._pos_y[tid] = y
+        self._pos_undo = []
+        self._plan = None
+        self._pending = []  # the base reject, inlined (hot on rejected moves)
+
+    # ------------------------------------------------------------------
+    # Vectorized reference recomputes
+    # ------------------------------------------------------------------
+    def _reduceat_layout(self):
+        import numpy as np
+
+        if self._flat is None:
+            flat: List[int] = []
+            starts: List[int] = []
+            for row in self._term_tids:
+                starts.append(len(flat))
+                flat.extend(row)
+            self._flat = np.asarray(flat, dtype=np.int64)
+            self._starts = np.asarray(starts, dtype=np.int64)
+        return self._flat, self._starts
+
+    def _vector_hpwl(self) -> float:
+        import numpy as np
+
+        flat, starts = self._reduceat_layout()
+        px = np.fromiter(self._pos_x, dtype=np.float64, count=len(self._pos_x))
+        py = np.fromiter(self._pos_y, dtype=np.float64, count=len(self._pos_y))
+        xs = px[flat]
+        ys = py[flat]
+        dx = np.maximum.reduceat(xs, starts) - np.minimum.reduceat(xs, starts)
+        dy = np.maximum.reduceat(ys, starts) - np.minimum.reduceat(ys, starts)
+        # Integer-valued doubles: the sum is exact in any order, so this
+        # equals the reference's sequential accumulation bit-for-bit.
+        return float(np.sum(dx + dy))
+
+    def full_recompute(self) -> float:
+        if self._plain and None not in self._pos_x:
+            return self._vector_hpwl()
+        return super().full_recompute()
+
+    def wirelength(self) -> float:
+        if None not in self._pos_x:
+            return self._vector_hpwl()
+        return super().wirelength()

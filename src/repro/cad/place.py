@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.cad.kernels import resolve_kernel
 from repro.cad.lemap import MappedDesign
 from repro.core.fabric import Fabric, IOPad
 from repro.core.schema import decoding, require_version
@@ -606,6 +607,7 @@ def place_design(
     objective: WirelengthObjective | None = None,
     initial: Placement | None = None,
     temperature_factor: float = 0.2,
+    kernel: str = "python",
 ) -> Placement:
     """Place a packed design on *fabric* with simulated annealing.
 
@@ -632,6 +634,11 @@ def place_design(
     temperature_factor:
         The starting temperature as a fraction of the initial cost (0.2 is
         the classic full-anneal schedule; polish passes use ~0.02).
+    kernel:
+        Cost-cache backend (see :mod:`repro.cad.kernels`): ``"python"``
+        is the reference :class:`NetCostCache`, ``"numpy"`` the
+        array-backed cache, ``"auto"`` picks numpy when installed.  Both
+        anneal bit-identically for a given seed.
     """
     if not design.plbs:
         raise PlacementError("design has no packed PLBs; run pack_design first")
@@ -670,7 +677,13 @@ def place_design(
         io_sites = {net: pads[index] for index, net in enumerate(io_nets)}
     io_positions = {net: _pad_position(pad, fabric) for net, pad in io_sites.items()}
 
-    cache = NetCostCache(
+    if resolve_kernel(kernel) == "numpy":
+        from repro.cad.kernels.placement import NumpyNetCostCache
+
+        cache_cls: type[NetCostCache] = NumpyNetCostCache
+    else:
+        cache_cls = NetCostCache
+    cache = cache_cls(
         _build_net_terminals(design), plb_sites, io_positions, objective=objective
     )
     initial_cost = cache.total
@@ -691,12 +704,18 @@ def place_design(
     moves_accepted = 0
     inv_temperature = 1.0 / temperature
 
-    def accepts(delta: float) -> bool:
-        """Metropolis criterion at the current batch temperature."""
-        return delta <= 0 or rng.random() < math.exp(-delta * inv_temperature)
-
-    def site_pos(site: tuple[int, int]) -> tuple[float, float]:
-        return (float(site[0]), float(site[1]))
+    # Site coordinates as floats, precomputed once (the anneal reads them
+    # on every PLB move); hot callables hoisted to locals for the loop.
+    # ``randbelow`` draws exactly like ``rng.choice`` does internally
+    # (``seq[rng._randbelow(len(seq))]``), keeping the pick sequence
+    # byte-identical while skipping the wrapper frame.
+    pos_of = {site: (float(site[0]), float(site[1])) for site in sites}
+    rng_random = rng.random
+    randbelow = rng._randbelow
+    exp = math.exp
+    propose_moves = cache.propose_moves
+    cache_commit = cache.commit
+    cache_reject = cache.reject
 
     while iterations < moves:
         batch = min(TEMPERATURE_BATCH, moves - iterations)
@@ -709,66 +728,70 @@ def place_design(
                     f"incremental cost drifted at move {iterations}: "
                     f"cached {cache.total} != full {cache.full_recompute()}"
                 )
-            if rng.random() < 0.7 and plb_names:
+            if rng_random() < 0.7 and plb_names:
                 # Move or swap a PLB.
-                name = rng.choice(plb_names)
+                name = plb_names[randbelow(len(plb_names))]
                 old_site = plb_sites[name]
-                if free_sites and rng.random() < 0.5:
-                    new_site = rng.choice(free_sites.items)
+                if free_sites.items and rng_random() < 0.5:
+                    items = free_sites.items
+                    new_site = items[randbelow(len(items))]
                     plb_sites[name] = new_site
-                    delta = cache.propose_moves(
-                        [(name, site_pos(old_site), site_pos(new_site))]
+                    delta = propose_moves(
+                        [(name, pos_of[old_site], pos_of[new_site])]
                     )
-                    if accepts(delta):
-                        cache.commit()
+                    # Metropolis criterion at the current batch temperature
+                    # (inlined at each proposal site below).
+                    if delta <= 0 or rng_random() < exp(-delta * inv_temperature):
+                        cache_commit()
                         moves_accepted += 1
                         free_sites.take(new_site)
                         free_sites.add(old_site)
                     else:
-                        cache.reject()
+                        cache_reject()
                         plb_sites[name] = old_site
                 else:
-                    other = rng.choice(plb_names)
+                    other = plb_names[randbelow(len(plb_names))]
                     if other == name:
                         continue
                     other_site = plb_sites[other]
                     plb_sites[name], plb_sites[other] = other_site, old_site
-                    delta = cache.propose_moves(
+                    delta = propose_moves(
                         [
-                            (name, site_pos(old_site), site_pos(other_site)),
-                            (other, site_pos(other_site), site_pos(old_site)),
+                            (name, pos_of[old_site], pos_of[other_site]),
+                            (other, pos_of[other_site], pos_of[old_site]),
                         ]
                     )
-                    if accepts(delta):
-                        cache.commit()
+                    if delta <= 0 or rng_random() < exp(-delta * inv_temperature):
+                        cache_commit()
                         moves_accepted += 1
                     else:
-                        cache.reject()
+                        cache_reject()
                         plb_sites[name], plb_sites[other] = old_site, other_site
             else:
                 # Swap two IO pads (or move one to a free pad).
                 if not io_nets:
                     continue
-                net = rng.choice(io_nets)
-                if free_pads and rng.random() < 0.6:
+                net = io_nets[randbelow(len(io_nets))]
+                if free_pads.items and rng_random() < 0.6:
                     old_pad = io_sites[net]
                     old_position = io_positions[net]
-                    new_pad = rng.choice(free_pads.items)
+                    items = free_pads.items
+                    new_pad = items[randbelow(len(items))]
                     new_position = _pad_position(new_pad, fabric)
                     io_sites[net] = new_pad
                     io_positions[net] = new_position
-                    delta = cache.propose_moves([(f"io:{net}", old_position, new_position)])
-                    if accepts(delta):
-                        cache.commit()
+                    delta = propose_moves([(f"io:{net}", old_position, new_position)])
+                    if delta <= 0 or rng_random() < exp(-delta * inv_temperature):
+                        cache_commit()
                         moves_accepted += 1
                         free_pads.take(new_pad)
                         free_pads.add(old_pad)
                     else:
-                        cache.reject()
+                        cache_reject()
                         io_sites[net] = old_pad
                         io_positions[net] = old_position
                 else:
-                    other = rng.choice(io_nets)
+                    other = io_nets[randbelow(len(io_nets))]
                     if other == net:
                         continue
                     net_position = io_positions[net]
@@ -776,17 +799,17 @@ def place_design(
                     io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
                     io_positions[net] = other_position
                     io_positions[other] = net_position
-                    delta = cache.propose_moves(
+                    delta = propose_moves(
                         [
                             (f"io:{net}", net_position, other_position),
                             (f"io:{other}", other_position, net_position),
                         ]
                     )
-                    if accepts(delta):
-                        cache.commit()
+                    if delta <= 0 or rng_random() < exp(-delta * inv_temperature):
+                        cache_commit()
                         moves_accepted += 1
                     else:
-                        cache.reject()
+                        cache_reject()
                         io_sites[net], io_sites[other] = io_sites[other], io_sites[net]
                         io_positions[net] = net_position
                         io_positions[other] = other_position

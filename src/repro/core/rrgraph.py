@@ -21,6 +21,8 @@ top of this graph.
 from __future__ import annotations
 
 import enum
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.fabric import Fabric, IOPad
@@ -245,3 +247,47 @@ class RoutingResourceGraph:
             "opins": by_type[RRNodeType.OPIN],
             "ipins": by_type[RRNodeType.IPIN],
         }
+
+
+#: Bound on the shared graph cache: a sweep's channel-width ladder touches a
+#: handful of geometries at a time, and an RR graph of a large fabric is tens
+#: of MB — keep the working set small and evict least-recently-used beyond it.
+_RR_GRAPH_CACHE_LIMIT = 8
+_rr_graph_cache: "OrderedDict[tuple[str, str], RoutingResourceGraph]" = OrderedDict()
+_rr_graph_lock = threading.Lock()
+
+
+def cached_rr_graph(fabric: Fabric) -> RoutingResourceGraph:
+    """A shared :class:`RoutingResourceGraph` for *fabric*'s geometry.
+
+    Graph construction is pure in the architecture parameters and the graph
+    is immutable after ``__init__`` (the router keeps occupancy externally),
+    so one instance can back every flow over the same geometry — a batch
+    sweep amortizes construction and the kernel layer's attached arrays
+    (:mod:`repro.cad.kernels.arrays`) across all of its points.
+
+    The cache key pairs the parameters' stable hash with the repo's code
+    fingerprint: an edited graph builder misses rather than serving a graph
+    built by older code.  Entries are LRU-bounded by
+    :data:`_RR_GRAPH_CACHE_LIMIT`.
+    """
+    from repro.fingerprint import code_fingerprint
+
+    key = (fabric.params.stable_hash(), code_fingerprint())
+    with _rr_graph_lock:
+        cached = _rr_graph_cache.get(key)
+        if cached is not None:
+            _rr_graph_cache.move_to_end(key)
+            return cached
+    graph = RoutingResourceGraph(fabric)
+    with _rr_graph_lock:
+        existing = _rr_graph_cache.get(key)
+        if existing is not None:
+            # A concurrent build won the race; keep the first instance so
+            # every caller shares one set of kernel arrays.
+            _rr_graph_cache.move_to_end(key)
+            return existing
+        _rr_graph_cache[key] = graph
+        while len(_rr_graph_cache) > _RR_GRAPH_CACHE_LIMIT:
+            _rr_graph_cache.popitem(last=False)
+    return graph
